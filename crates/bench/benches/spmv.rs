@@ -1,0 +1,125 @@
+//! Criterion microbenchmarks: SpMV across all implementations (ct128,
+//! single precision, one thread) plus the mask-expansion primitives.
+//!
+//! These complement the table/figure drivers: Criterion gives
+//! statistically sound per-kernel numbers; the drivers reproduce the
+//! paper's exact reporting format.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cscv_ct::datasets;
+use cscv_harness::suite::{executor_builders, prepare};
+use cscv_simd::expand::{expand_soft, expand_with, ExpandPath};
+use cscv_simd::MaskExpand;
+use cscv_sparse::ThreadPool;
+
+fn bench_spmv_field(c: &mut Criterion) {
+    let ds = datasets::default_suite()[0]; // ct128
+    let prep = prepare::<f32>(&ds);
+    let pool = ThreadPool::new(1);
+    let mut y = vec![0.0f32; prep.csr.n_rows()];
+    let mut group = c.benchmark_group("spmv_ct128_f32_1t");
+    group.throughput(Throughput::Elements(prep.csr.nnz() as u64));
+    group.sample_size(20);
+    for (name, builder) in executor_builders::<f32>() {
+        let exec = builder(&prep, 1);
+        group.bench_function(name, |b| {
+            b.iter(|| exec.spmv(&prep.x, &mut y, &pool));
+        });
+    }
+    group.finish();
+}
+
+fn bench_expand(c: &mut Criterion) {
+    let vals: Vec<f32> = (0..16).map(|i| i as f32).collect();
+    let masks: Vec<u32> = (0..256).map(|i| (i * 2654435761u32) & 0xFFFF).collect();
+    let mut group = c.benchmark_group("mask_expand_f32x16");
+    group.bench_function("soft-vexpand", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &m in &masks {
+                let lanes: [f32; 16] = expand_soft(m, &vals);
+                acc += lanes[0] + lanes[15];
+            }
+            acc
+        });
+    });
+    if <f32 as MaskExpand>::hw_available::<16>() {
+        group.bench_function("vexpand", |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for &m in &masks {
+                    let lanes: [f32; 16] = expand_with(ExpandPath::Hardware, m, &vals);
+                    acc += lanes[0] + lanes[15];
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    use cscv_core::{build, CscvExec, CscvParams, Variant};
+    let ds = datasets::default_suite()[0];
+    let prep = prepare::<f32>(&ds);
+    let pool = ThreadPool::new(1);
+    let y: Vec<f32> = (0..prep.csr.n_rows()).map(|i| (i % 13) as f32).collect();
+    let mut x = vec![0.0f32; prep.csr.n_cols()];
+    let mut group = c.benchmark_group("backprojection_ct128_f32_1t");
+    group.throughput(Throughput::Elements(prep.csr.nnz() as u64));
+    group.sample_size(20);
+    let exec_m = CscvExec::new(build(
+        &prep.csc,
+        prep.layout,
+        prep.img,
+        CscvParams::default_m(),
+        Variant::M,
+    ));
+    group.bench_function("CSCV-M-T", |b| {
+        b.iter(|| exec_m.spmv_transpose(&y, &mut x, &pool));
+    });
+    let at = cscv_sparse::formats::CsrExec::new(prep.csr.transpose());
+    use cscv_sparse::SpmvExecutor;
+    group.bench_function("CSR(At)", |b| {
+        b.iter(|| at.spmv(&y, &mut x, &pool));
+    });
+    group.finish();
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    use cscv_core::{build, CscvParams, Variant};
+    let ds = datasets::default_suite()[0];
+    let prep = prepare::<f32>(&ds);
+    let mut group = c.benchmark_group("format_conversion_ct128_f32");
+    group.sample_size(10);
+    group.bench_function("CSCV-M build", |b| {
+        b.iter(|| {
+            build(
+                &prep.csc,
+                prep.layout,
+                prep.img,
+                CscvParams::default_m(),
+                Variant::M,
+            )
+        });
+    });
+    group.bench_function("CSR5 build", |b| {
+        b.iter(|| cscv_sparse::formats::Csr5Exec::new(&prep.csr));
+    });
+    group.bench_function("SELL-C-sigma build", |b| {
+        b.iter(|| cscv_sparse::formats::SellCSigmaExec::new(&prep.csr));
+    });
+    group.bench_function("CSC->CSR transpose", |b| {
+        b.iter(|| prep.csc.to_csr());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spmv_field,
+    bench_expand,
+    bench_transpose,
+    bench_conversion
+);
+criterion_main!(benches);

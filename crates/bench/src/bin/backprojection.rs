@@ -1,0 +1,129 @@
+//! E-X2: back-projection `x = Aᵀy` — the paper's **future work**,
+//! implemented and measured.
+//!
+//! The conclusion of the paper promises "we will implement CSCV on
+//! x = Aᵀy in CT backward projection". This driver benchmarks exactly
+//! that: the CSCV transpose kernels (same block structure, gather +
+//! lane-dot + per-column horizontal sum) against the standard options —
+//! a tuned CSR executor built on an explicitly transposed matrix, and
+//! the gather-form CSC transpose.
+//!
+//! Run: `cargo run --release -p cscv-bench --bin backprojection --
+//! [--dataset NAME] [--threads 1,4] [--iters N]`
+
+use cscv_bench::{banner, emit, BenchArgs};
+use cscv_core::{build, CscvExec, CscvParams, Variant};
+use cscv_harness::suite::prepare;
+use cscv_harness::table::{f, Table};
+use cscv_sparse::formats::CsrExec;
+use cscv_sparse::{Scalar, SpmvExecutor, ThreadPool};
+use std::time::Instant;
+
+/// Measure a transpose-product closure: min time over `iters`.
+fn measure<T: Scalar>(
+    mut run: impl FnMut(),
+    warmup: usize,
+    iters: usize,
+    nnz: usize,
+) -> (f64, f64) {
+    for _ in 0..warmup {
+        run();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        run();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, 2.0 * nnz as f64 / best / 1e9)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner();
+    let mut table = Table::new(vec![
+        "dataset",
+        "implementation",
+        "threads",
+        "GFLOP/s",
+        "min time (ms)",
+    ]);
+    for ds in &args.datasets {
+        let prep = prepare::<f32>(ds);
+        let nnz = prep.csr.nnz();
+        let y: Vec<f32> = (0..prep.csr.n_rows())
+            .map(|i| ((i % 17) as f32) * 0.25)
+            .collect();
+        let mut x = vec![0.0f32; prep.csr.n_cols()];
+        // Reference for correctness.
+        let mut x_ref = vec![0.0f32; prep.csr.n_cols()];
+        prep.csc.spmv_transpose_serial(&y, &mut x_ref);
+
+        let cscv_z = CscvExec::new(build(
+            &prep.csc,
+            prep.layout,
+            prep.img,
+            CscvParams::default_z(),
+            Variant::Z,
+        ));
+        let cscv_m = CscvExec::new(build(
+            &prep.csc,
+            prep.layout,
+            prep.img,
+            CscvParams::default_m(),
+            Variant::M,
+        ));
+        let at_csr = CsrExec::new(prep.csr.transpose());
+
+        for &threads in &args.threads {
+            let pool = ThreadPool::new(threads);
+            // Correctness gate per thread count.
+            cscv_m.spmv_transpose(&y, &mut x, &pool);
+            let err = cscv_sparse::dense::max_rel_err(&x, &x_ref);
+            assert!(err < 1e-3, "transpose err {err}");
+
+            let mut record = |name: &str, secs: f64, gflops: f64| {
+                table.add_row(vec![
+                    ds.name.to_string(),
+                    name.to_string(),
+                    threads.to_string(),
+                    f(gflops, 2),
+                    f(secs * 1e3, 3),
+                ]);
+            };
+            let (s, g) = measure::<f32>(
+                || cscv_z.spmv_transpose(&y, &mut x, &pool),
+                args.warmup,
+                args.iters,
+                nnz,
+            );
+            record("CSCV-Z-T", s, g);
+            let (s, g) = measure::<f32>(
+                || cscv_m.spmv_transpose(&y, &mut x, &pool),
+                args.warmup,
+                args.iters,
+                nnz,
+            );
+            record("CSCV-M-T", s, g);
+            let (s, g) = measure::<f32>(
+                || at_csr.spmv(&y, &mut x, &pool),
+                args.warmup,
+                args.iters,
+                nnz,
+            );
+            record("CSR(At) MKL-analog", s, g);
+            let (s, g) = measure::<f32>(
+                || prep.csc.spmv_transpose_serial(&y, &mut x),
+                args.warmup,
+                args.iters,
+                nnz,
+            );
+            record("CSC gather (serial)", s, g);
+        }
+    }
+    emit(
+        "Future-work experiment: back-projection x = Aᵀy",
+        &table,
+        &args.csv,
+    );
+}

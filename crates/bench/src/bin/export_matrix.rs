@@ -1,0 +1,46 @@
+//! Tooling: export a CT system matrix as MatrixMarket (`.mtx`).
+//!
+//! Lets external SpMV implementations (MKL examples, SciPy, SuiteSparse
+//! tooling) run on exactly the matrices this suite benchmarks — and the
+//! reverse path (`cscv_sparse::io::read_matrix_market`) feeds foreign
+//! matrices to the CSCV builder.
+//!
+//! Run: `cargo run --release -p cscv-bench --bin export_matrix --
+//! --dataset ct128 [--out ct128.mtx]`
+
+use cscv_ct::datasets;
+use cscv_ct::system::SystemMatrix;
+use cscv_sparse::io::write_matrix_market;
+
+fn main() {
+    let mut dataset = "ct128".to_string();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dataset" => dataset = args.next().expect("--dataset NAME"),
+            "--out" => out = Some(args.next().expect("--out PATH")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let ds = datasets::default_suite()
+        .into_iter()
+        .chain(datasets::paper_suite())
+        .chain([datasets::tiny(), datasets::recon_dataset()])
+        .find(|d| d.name == dataset)
+        .unwrap_or_else(|| panic!("no dataset named {dataset}"));
+    let out = out.unwrap_or_else(|| format!("{dataset}.mtx"));
+
+    eprintln!("assembling {} ({}x{} image)…", ds.name, ds.img, ds.img);
+    let ct = ds.geometry();
+    let csc = SystemMatrix::assemble_csc::<f64>(&ct);
+    eprintln!(
+        "matrix {} x {}, {} nnz → {}",
+        csc.n_rows(),
+        csc.n_cols(),
+        csc.nnz(),
+        out
+    );
+    write_matrix_market(&out, &csc.to_coo()).expect("write mtx");
+    eprintln!("done");
+}

@@ -1,0 +1,58 @@
+//! E-F10: scalability of all implementations — paper Fig. 10.
+//!
+//! GFLOP/s of every implementation × every dataset × every thread count
+//! × both precisions. Executors are built once per (dataset, impl,
+//! precision) and re-measured at each thread count, like the paper's
+//! per-machine sweeps.
+//!
+//! Run: `cargo run --release -p cscv-bench --bin fig10_scalability --
+//! [--dataset NAME] [--threads 1,2,4] [--iters N] [--csv PATH]`
+
+use cscv_bench::{banner, emit, BenchArgs};
+use cscv_harness::suite::{executor_builders, prepare};
+use cscv_harness::table::{f, Table};
+use cscv_harness::timing::measure_spmv;
+use cscv_simd::MaskExpand;
+use cscv_sparse::{Scalar, ThreadPool};
+
+fn run_precision<T: Scalar + MaskExpand>(args: &BenchArgs, table: &mut Table) {
+    for ds in &args.datasets {
+        let prep = prepare::<T>(ds);
+        let mut y = vec![T::ZERO; prep.csr.n_rows()];
+        for (name, builder) in executor_builders::<T>() {
+            let exec = builder(&prep, args.max_threads());
+            for &threads in &args.threads {
+                let pool = ThreadPool::new(threads);
+                let m = measure_spmv(exec.as_ref(), &prep.x, &mut y, &pool, args.warmup, args.iters);
+                table.add_row(vec![
+                    ds.name.to_string(),
+                    T::NAME.to_string(),
+                    name.to_string(),
+                    threads.to_string(),
+                    f(m.gflops, 3),
+                    f(m.secs_min * 1e3, 3),
+                ]);
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner();
+    let mut table = Table::new(vec![
+        "dataset",
+        "precision",
+        "implementation",
+        "threads",
+        "GFLOP/s",
+        "min time (ms)",
+    ]);
+    run_precision::<f32>(&args, &mut table);
+    run_precision::<f64>(&args, &mut table);
+    emit(
+        "Fig. 10 analog: scalability of SpMV implementations",
+        &table,
+        &args.csv,
+    );
+}

@@ -1,0 +1,77 @@
+//! E-F4: SIMD-efficiency of `y` layouts (paper Fig. 4).
+//!
+//! For the Table I sample block's pixels, computes how many nonzeros an
+//! 8-lane SIMD vector covers under bin-major, view-major (BTB) and
+//! IOBLR-major orderings of `y`. The paper's reading: bin-major ≈ 3,
+//! view-major ≈ 2–6, IOBLR-major ≈ 7–8 of 8 lanes.
+//!
+//! Run: `cargo run --release -p cscv-bench --bin fig4_simd_efficiency`
+
+use cscv_core::ioblr::{min_bin_per_view, RefCurve};
+use cscv_core::layout::{ImageShape, SinoLayout};
+use cscv_core::layout_eff::{column_efficiency, summarize, YLayout};
+use cscv_ct::datasets::table1_sample;
+use cscv_ct::system::SystemMatrix;
+use cscv_harness::table::{f, Table};
+
+fn main() {
+    let ds = table1_sample();
+    let ct = ds.geometry();
+    let csc = SystemMatrix::assemble_csc::<f32>(&ct);
+    let layout = SinoLayout {
+        n_views: ds.n_views,
+        n_bins: ds.n_bins,
+    };
+    let img = ImageShape { nx: 25, ny: 25 };
+
+    // Aggregate over every complete 8-view group of the half circle —
+    // whether a window is "drifting" (trajectory slope steep, where
+    // view-major runs break up) or stationary depends on the pixel's
+    // angular phase, so single-window numbers are not representative.
+    let mut per_layout: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let layouts = [YLayout::BinMajor, YLayout::ViewMajor, YLayout::IoblrMajor];
+    let ref_col = img.col_index(7, 7); // tile-center pixel of tile [5,9]²
+    for g in 0..(ds.n_views / 8) {
+        let views = g * 8..(g + 1) * 8;
+        let curve = RefCurve::from_min_bins(&min_bin_per_view(&csc, &layout, ref_col, &views))
+            .expect("center pixel projects in all views");
+        for iy in 5..=9usize {
+            for ix in 5..=9usize {
+                let col = img.col_index(ix, iy);
+                let (rows, _) = csc.col(col);
+                let entries: Vec<(u32, u32)> = rows
+                    .iter()
+                    .map(|&r| layout.ray_of_row(r as usize))
+                    .filter(|&(v, _)| views.contains(&v))
+                    .map(|(v, b)| ((v - views.start) as u32, b as u32))
+                    .collect();
+                for (k, l) in layouts.iter().enumerate() {
+                    per_layout[k].extend(column_efficiency(&entries, Some(&curve), *l));
+                }
+            }
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "y layout",
+        "min nnz/vector",
+        "max nnz/vector",
+        "mean nnz/vector",
+        "efficiency (of 8 lanes)",
+    ]);
+    for (k, l) in layouts.iter().enumerate() {
+        let (min, max, mean) = summarize(&per_layout[k]);
+        t.add_row(vec![
+            l.to_string(),
+            min.to_string(),
+            max.to_string(),
+            f(mean, 2),
+            format!("{:.0}%", mean / 8.0 * 100.0),
+        ]);
+    }
+    println!(
+        "Fig. 4 analog: SIMD-efficiency of y layouts over the Table I sample tile\n\n{}",
+        t.render()
+    );
+    println!("paper reference (S_VVec = 8): bin-major 3, view-major 2~6, IOBLR-major 7~8");
+}

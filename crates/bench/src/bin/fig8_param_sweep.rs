@@ -1,0 +1,68 @@
+//! E-F8: R_nnzE and memory requirements vs (S_VVec, S_ImgB, S_VxG) —
+//! paper Fig. 8.
+//!
+//! Structure-only sweep (no timing): one CSCV-M build per combination
+//! also yields the CSCV-Z numbers analytically (same layout, padded
+//! value stream), halving the sweep cost.
+//!
+//! Default dataset: ct256 (the scaled analog of the paper's 1024²
+//! single-precision study). `cargo run --release -p cscv-bench --bin
+//! fig8_param_sweep -- --dataset ct128` for a quick pass.
+
+use cscv_bench::{emit, BenchArgs};
+use cscv_core::{build, CscvParams, Variant};
+use cscv_harness::suite::prepare;
+use cscv_harness::table::{f, mib, Table};
+use cscv_sparse::Scalar;
+
+fn main() {
+    let mut args = BenchArgs::parse();
+    if args.datasets.len() > 1 {
+        // Paper's Fig. 8 is a single-matrix study (1024²) — default to
+        // the scaled analog.
+        args.datasets.retain(|d| d.name == "ct256");
+    }
+    let ds = args.datasets[0];
+    println!("dataset: {} (single precision)", ds.name);
+    let prep = prepare::<f32>(&ds);
+    let vec_bytes = (prep.csr.n_rows() + prep.csr.n_cols()) * f32::BYTES;
+
+    let mut table = Table::new(vec![
+        "S_VVec",
+        "S_ImgB",
+        "S_VxG",
+        "R_nnzE",
+        "ioblr-pad",
+        "vxg-pad",
+        "M_Rit Z (MiB)",
+        "M_Rit M (MiB)",
+    ]);
+    for params in CscvParams::sweep_grid() {
+        let m = build(&prep.csc, prep.layout, prep.img, params, Variant::M);
+        let stats = m.stats;
+        // CSCV-M bytes: as stored. CSCV-Z bytes: identical index data but
+        // a fully padded value stream and no masks.
+        let masks: usize = m.blocks.iter().map(|b| b.masks.len()).sum();
+        let m_bytes = m.matrix_bytes();
+        let z_bytes =
+            m_bytes - masks - m.nnz_stored_vals() * f32::BYTES + stats.lane_slots * f32::BYTES;
+        table.add_row(vec![
+            params.s_vvec.to_string(),
+            params.s_imgb.to_string(),
+            params.s_vxg.to_string(),
+            f(stats.r_nnze(), 3),
+            f(stats.ioblr_padding as f64 / stats.nnz_orig as f64, 3),
+            f(stats.vxg_padding as f64 / stats.nnz_orig as f64, 3),
+            mib(z_bytes + vec_bytes),
+            mib(m_bytes + vec_bytes),
+        ]);
+    }
+    emit(
+        &format!(
+            "Fig. 8 analog: R_nnzE and memory requirements over the parameter grid ({})",
+            ds.name
+        ),
+        &table,
+        &args.csv,
+    );
+}

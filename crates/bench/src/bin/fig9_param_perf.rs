@@ -1,0 +1,70 @@
+//! E-F9: best GFLOP/s and best S_VxG per (S_VVec, S_ImgB) — paper
+//! Fig. 9.
+//!
+//! For each variant and thread count, sweeps the parameter grid and
+//! prints a matrix of `GFLOP/s (best S_VxG)` cells like the paper's
+//! heatmaps. Default dataset ct256, single precision (the paper's
+//! setup).
+//!
+//! Run: `cargo run --release -p cscv-bench --bin fig9_param_perf --
+//! [--dataset ct128] [--threads 1,4] [--iters N]`
+
+use cscv_bench::sweep::param_sweep;
+use cscv_bench::{banner, emit, BenchArgs};
+use cscv_core::Variant;
+use cscv_harness::suite::prepare;
+use cscv_harness::table::{f, Table};
+use cscv_sparse::ThreadPool;
+
+const VVECS: [usize; 3] = [4, 8, 16];
+const IMGBS: [usize; 4] = [8, 16, 32, 64];
+const VXGS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn main() {
+    let mut args = BenchArgs::parse();
+    if args.datasets.len() > 1 {
+        args.datasets.retain(|d| d.name == "ct256");
+    }
+    let ds = args.datasets[0];
+    banner();
+    println!("dataset: {} (single precision)", ds.name);
+    let prep = prepare::<f32>(&ds);
+
+    for variant in [Variant::Z, Variant::M] {
+        for &threads in &args.threads {
+            let pool = ThreadPool::new(threads);
+            let cells = param_sweep(
+                &prep,
+                variant,
+                &VVECS,
+                &IMGBS,
+                &VXGS,
+                &pool,
+                args.warmup,
+                args.iters,
+            );
+            let mut t = Table::new(vec![
+                "S_VVec \\ S_ImgB",
+                "8",
+                "16",
+                "32",
+                "64",
+            ]);
+            for (vi, &s_vvec) in VVECS.iter().enumerate() {
+                let mut row = vec![s_vvec.to_string()];
+                for bi in 0..IMGBS.len() {
+                    let c = &cells[vi * IMGBS.len() + bi];
+                    row.push(format!("{} ({})", f(c.gflops, 2), c.best_vxg));
+                }
+                t.add_row(row);
+            }
+            emit(
+                &format!(
+                    "Fig. 9 analog: {variant} best GFLOP/s (best S_VxG), {threads} thread(s)"
+                ),
+                &t,
+                &args.csv,
+            );
+        }
+    }
+}

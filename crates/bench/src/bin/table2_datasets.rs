@@ -1,0 +1,50 @@
+//! E-T2: regenerate the paper's Table II (dataset information).
+//!
+//! Prints, per dataset: geometry parameters, nnz, x/y sizes — plus the
+//! structural sanity columns the paper's properties imply (nnz per
+//! column per view ≈ 2.6; P3 coefficient of variation of column
+//! densities).
+//!
+//! Run: `cargo run --release -p cscv-bench --bin table2_datasets`
+//! (`--paper-scale` regenerates the original sizes — tens of GB).
+
+use cscv_bench::{emit, BenchArgs};
+use cscv_harness::suite::prepare;
+use cscv_harness::table::{f, Table};
+use cscv_sparse::stats::MatrixProfile;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut table = Table::new(vec![
+        "dataset",
+        "img size",
+        "num bin",
+        "num view",
+        "delta angle",
+        "nnz",
+        "x size",
+        "y size",
+        "nnz/col/view",
+        "col-density CV (P3)",
+    ]);
+    for ds in &args.datasets {
+        let prep = prepare::<f32>(ds);
+        let profile = MatrixProfile::from_csr(&prep.csr);
+        table.add_row(vec![
+            ds.name.to_string(),
+            format!("{0}x{0}", ds.img),
+            ds.n_bins.to_string(),
+            ds.n_views.to_string(),
+            format!("{}°", ds.delta_angle_deg),
+            profile.nnz.to_string(),
+            ds.x_size().to_string(),
+            ds.y_size().to_string(),
+            f(
+                profile.nnz as f64 / (ds.x_size() as f64 * ds.n_views as f64),
+                2,
+            ),
+            f(profile.col_stats.cv, 3),
+        ]);
+    }
+    emit("Table II analog: CT matrix datasets", &table, &args.csv);
+}

@@ -1,0 +1,103 @@
+//! E-T3: parameter combinations for the parallel tests — paper Table
+//! III.
+//!
+//! Applies the paper's selection rule ("best single-threaded
+//! performance for CSCV-Z, best multi-threaded performance for CSCV-M")
+//! over the Fig. 9 sweep and prints the chosen combination plus its
+//! R_nnzE for both precisions.
+//!
+//! Run: `cargo run --release -p cscv-bench --bin table3_params --
+//! [--dataset ct256] [--iters N]`
+
+use cscv_bench::sweep::{best_cell, param_sweep};
+use cscv_bench::{banner, emit, BenchArgs};
+use cscv_core::Variant;
+use cscv_harness::suite::{prepare, PreparedDataset};
+use cscv_harness::table::{f, Table};
+use cscv_simd::MaskExpand;
+use cscv_sparse::{Scalar, ThreadPool};
+
+const VVECS: [usize; 3] = [4, 8, 16];
+const IMGBS: [usize; 4] = [8, 16, 32, 64];
+const VXGS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn select<T: Scalar + MaskExpand>(
+    prep: &PreparedDataset<T>,
+    variant: Variant,
+    pool: &ThreadPool,
+    warmup: usize,
+    iters: usize,
+) -> (usize, usize, usize, f64) {
+    let cells = param_sweep(prep, variant, &VVECS, &IMGBS, &VXGS, pool, warmup, iters);
+    let b = best_cell(&cells);
+    (b.s_imgb, b.s_vvec, b.best_vxg, b.r_nnze)
+}
+
+fn main() {
+    let mut args = BenchArgs::parse();
+    if args.datasets.len() > 1 {
+        args.datasets.retain(|d| d.name == "ct256");
+    }
+    let ds = args.datasets[0];
+    banner();
+    println!("dataset: {} — selection per paper §V-D", ds.name);
+    let single = ThreadPool::new(1);
+    let multi = ThreadPool::new(args.max_threads());
+
+    let mut t = Table::new(vec![
+        "implementation",
+        "precision",
+        "S_ImgB",
+        "S_VVec",
+        "S_VxG",
+        "R_nnzE",
+    ]);
+    {
+        let prep = prepare::<f32>(&ds);
+        let (ib, vv, vg, r) = select(&prep, Variant::Z, &single, args.warmup, args.iters);
+        t.add_row(vec![
+            "CSCV-Z".into(),
+            "single".into(),
+            ib.to_string(),
+            vv.to_string(),
+            vg.to_string(),
+            f(r, 3),
+        ]);
+        let (ib, vv, vg, r) = select(&prep, Variant::M, &multi, args.warmup, args.iters);
+        t.add_row(vec![
+            "CSCV-M".into(),
+            "single".into(),
+            ib.to_string(),
+            vv.to_string(),
+            vg.to_string(),
+            f(r, 3),
+        ]);
+    }
+    {
+        let prep = prepare::<f64>(&ds);
+        let (ib, vv, vg, r) = select(&prep, Variant::Z, &single, args.warmup, args.iters);
+        t.add_row(vec![
+            "CSCV-Z".into(),
+            "double".into(),
+            ib.to_string(),
+            vv.to_string(),
+            vg.to_string(),
+            f(r, 3),
+        ]);
+        let (ib, vv, vg, r) = select(&prep, Variant::M, &multi, args.warmup, args.iters);
+        t.add_row(vec![
+            "CSCV-M".into(),
+            "double".into(),
+            ib.to_string(),
+            vv.to_string(),
+            vg.to_string(),
+            f(r, 3),
+        ]);
+    }
+    emit(
+        "Table III analog: selected CSCV parameter combinations",
+        &t,
+        &args.csv,
+    );
+    println!("paper (SKL): Z single/double 16/16/2 (R 0.417); M single 32/8/4 (R 0.365), double 16/16/2");
+}

@@ -1,0 +1,101 @@
+//! Parameter-sweep engine shared by the Fig. 9 and Table III drivers.
+
+use cscv_core::{build, CscvExec, CscvParams, Variant};
+use cscv_harness::suite::PreparedDataset;
+use cscv_harness::timing::measure_spmv;
+use cscv_simd::MaskExpand;
+use cscv_sparse::{Scalar, ThreadPool};
+
+/// One (S_VVec, S_ImgB) cell: the best S_VxG choice and its performance.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    pub s_vvec: usize,
+    pub s_imgb: usize,
+    pub best_vxg: usize,
+    pub gflops: f64,
+    pub r_nnze: f64,
+}
+
+/// Sweep (S_VVec × S_ImgB × S_VxG) for one variant at one thread count;
+/// each cell keeps the best-performing S_VxG (paper Fig. 9's number in
+/// parentheses).
+#[allow(clippy::too_many_arguments)]
+pub fn param_sweep<T: Scalar + MaskExpand>(
+    prep: &PreparedDataset<T>,
+    variant: Variant,
+    vvecs: &[usize],
+    imgbs: &[usize],
+    vxgs: &[usize],
+    pool: &ThreadPool,
+    warmup: usize,
+    iters: usize,
+) -> Vec<SweepCell> {
+    let mut out = Vec::new();
+    let mut y = vec![T::ZERO; prep.csr.n_rows()];
+    for &s_vvec in vvecs {
+        for &s_imgb in imgbs {
+            let mut best: Option<SweepCell> = None;
+            for &s_vxg in vxgs {
+                let params = CscvParams::new(s_imgb, s_vvec, s_vxg);
+                let m = build(&prep.csc, prep.layout, prep.img, params, variant);
+                let r_nnze = m.stats.r_nnze();
+                let exec = CscvExec::new(m);
+                let meas = measure_spmv(&exec, &prep.x, &mut y, pool, warmup, iters);
+                let better = best
+                    .as_ref()
+                    .map(|b| meas.gflops > b.gflops)
+                    .unwrap_or(true);
+                if better {
+                    best = Some(SweepCell {
+                        s_vvec,
+                        s_imgb,
+                        best_vxg: s_vxg,
+                        gflops: meas.gflops,
+                        r_nnze,
+                    });
+                }
+            }
+            out.push(best.expect("at least one vxg option"));
+        }
+    }
+    out
+}
+
+/// Pick the overall best cell of a sweep.
+pub fn best_cell(cells: &[SweepCell]) -> &SweepCell {
+    cells
+        .iter()
+        .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).unwrap())
+        .expect("non-empty sweep")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscv_ct::datasets;
+    use cscv_harness::suite::prepare;
+
+    #[test]
+    fn sweep_runs_and_selects() {
+        let prep = prepare::<f32>(&datasets::tiny());
+        let pool = ThreadPool::new(1);
+        let cells = param_sweep(
+            &prep,
+            Variant::Z,
+            &[4, 8],
+            &[8],
+            &[1, 2],
+            &pool,
+            0,
+            2,
+        );
+        assert_eq!(cells.len(), 2);
+        for c in &cells {
+            assert!(c.gflops > 0.0);
+            assert!(c.best_vxg == 1 || c.best_vxg == 2);
+            assert!(c.r_nnze >= 0.0);
+        }
+        let b = best_cell(&cells);
+        assert!(cells.iter().all(|c| c.gflops <= b.gflops));
+    }
+}

@@ -1,0 +1,181 @@
+//! Quantitative versions of the paper's §III trade-off metrics.
+//!
+//! §III frames vectorized CSC-style SpMV as a tension between two
+//! quantities:
+//!
+//! * **permutation instruction consistency** — how much work each
+//!   gather/scatter of `y` is amortized over ("the same set of
+//!   permutation instructions used for as many columns as possible");
+//! * **zero element access rate** — the fraction of multiplied elements
+//!   that are padding zeros.
+//!
+//! A naive vectorized CSC (paper Alg. 2) permutes per column segment
+//! (consistency ≈ 1 lane block per permutation) with no padding; dense
+//! blocking permutes nothing but pads heavily. CSCV's IOBLR sits in
+//! between: one permutation per *block*, amortized over every column of
+//! the tile, at a bounded padding rate. These metrics quantify exactly
+//! that positioning and feed the ablation driver.
+
+use crate::format::CscvMatrix;
+use cscv_simd::Scalar;
+
+/// Permutation-cost accounting for one SpMV execution scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PermutationCost {
+    /// Elements moved by gather/scatter (`y`-permutation traffic).
+    pub permuted_elements: usize,
+    /// Permuted elements per useful nonzero (lower = more consistent).
+    pub per_nonzero: f64,
+}
+
+/// CSCV's permutation cost: each block gathers/scatters its `ỹ` once
+/// (`2·ytil_len` element moves), amortized over all its nonzeros.
+pub fn cscv_permutation_cost<T: Scalar>(m: &CscvMatrix<T>) -> PermutationCost {
+    let permuted: usize = m.blocks.iter().map(|b| 2 * b.ytil_len()).sum();
+    PermutationCost {
+        permuted_elements: permuted,
+        per_nonzero: if m.stats.nnz_orig == 0 {
+            0.0
+        } else {
+            permuted as f64 / m.stats.nnz_orig as f64
+        },
+    }
+}
+
+/// The naive vectorized-CSC cost model (paper Alg. 2): every
+/// `S_VVec`-long column segment gathers and scatters its own `y` lanes —
+/// 2 moves per stored lane slot, i.e. ≈ 2 per nonzero with no reuse.
+pub fn csc_alg2_permutation_cost(nnz: usize, s_vvec: usize) -> PermutationCost {
+    // Segments of `s_vvec` lanes, each gathered and scattered once.
+    let segments = nnz.div_ceil(s_vvec.max(1));
+    let permuted = 2 * segments * s_vvec;
+    PermutationCost {
+        permuted_elements: permuted,
+        per_nonzero: if nnz == 0 {
+            0.0
+        } else {
+            permuted as f64 / nnz as f64
+        },
+    }
+}
+
+/// Zero element access rate: padding slots / all accessed slots.
+pub fn zero_access_rate<T: Scalar>(m: &CscvMatrix<T>) -> f64 {
+    if m.stats.lane_slots == 0 {
+        return 0.0;
+    }
+    (m.stats.lane_slots - m.stats.nnz_orig) as f64 / m.stats.lane_slots as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use crate::format::Variant;
+    use crate::layout::{ImageShape, SinoLayout};
+    use crate::params::CscvParams;
+    use cscv_sparse::Coo;
+
+    fn ct_like() -> CscvMatrix<f64> {
+        let layout = SinoLayout {
+            n_views: 16,
+            n_bins: 24,
+        };
+        let img = ImageShape { nx: 8, ny: 8 };
+        let mut coo = Coo::new(layout.n_rows(), 64);
+        for col in 0..64usize {
+            for v in 0..16usize {
+                let b = (v + col / 4) % 22;
+                coo.push(layout.row_index(v, b), col, 1.0);
+                coo.push(layout.row_index(v, b + 1), col, 0.5);
+            }
+        }
+        build(
+            &coo.to_csc(),
+            layout,
+            img,
+            CscvParams::new(4, 8, 2),
+            Variant::Z,
+        )
+    }
+
+    #[test]
+    fn cscv_is_far_more_consistent_than_alg2() {
+        let m = ct_like();
+        let cscv = cscv_permutation_cost(&m);
+        let alg2 = csc_alg2_permutation_cost(m.stats.nnz_orig, 8);
+        // Alg. 2 permutes ~2 elements per nonzero; CSCV amortizes the
+        // block map over a whole tile.
+        assert!(alg2.per_nonzero >= 2.0);
+        assert!(
+            cscv.per_nonzero < alg2.per_nonzero,
+            "cscv {} vs alg2 {}",
+            cscv.per_nonzero,
+            alg2.per_nonzero
+        );
+        // With larger tiles the block map amortizes much further.
+        let layout = m.layout;
+        let img = ImageShape { nx: 8, ny: 8 };
+        let mut coo = Coo::new(layout.n_rows(), 64);
+        for col in 0..64usize {
+            for v in 0..16usize {
+                let b = (v + col / 4) % 22;
+                coo.push(layout.row_index(v, b), col, 1.0);
+                coo.push(layout.row_index(v, b + 1), col, 0.5);
+            }
+        }
+        let big = build(
+            &coo.to_csc(),
+            layout,
+            img,
+            CscvParams::new(8, 8, 2),
+            Variant::Z,
+        );
+        let c_big = cscv_permutation_cost(&big).per_nonzero;
+        assert!(
+            c_big < alg2.per_nonzero / 3.0,
+            "8x8 tiles: {c_big} vs alg2 {}",
+            alg2.per_nonzero
+        );
+    }
+
+    #[test]
+    fn zero_access_consistent_with_stats() {
+        let m = ct_like();
+        let z = zero_access_rate(&m);
+        let r = m.stats.r_nnze();
+        // z = r/(1+r) algebraically.
+        assert!((z - r / (1.0 + r)).abs() < 1e-12);
+        assert!((0.0..1.0).contains(&z));
+    }
+
+    #[test]
+    fn trade_off_direction() {
+        // Larger tiles: better consistency (more columns per map), worse
+        // zero access rate — the §III tension, measurably.
+        let layout = SinoLayout {
+            n_views: 8,
+            n_bins: 64,
+        };
+        let img = ImageShape { nx: 16, ny: 16 };
+        let mut coo = Coo::new(layout.n_rows(), 256);
+        for col in 0..256usize {
+            for v in 0..8usize {
+                let b = (2 * v + col % 16) % 63;
+                coo.push(layout.row_index(v, b), col, 1.0);
+            }
+        }
+        let csc = coo.to_csc();
+        let small = build(&csc, layout, img, CscvParams::new(2, 8, 1), Variant::Z);
+        let large = build(&csc, layout, img, CscvParams::new(16, 8, 1), Variant::Z);
+        let c_small = cscv_permutation_cost(&small).per_nonzero;
+        let c_large = cscv_permutation_cost(&large).per_nonzero;
+        assert!(c_large < c_small, "large tiles amortize: {c_large} vs {c_small}");
+        assert!(zero_access_rate(&large) >= zero_access_rate(&small));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(csc_alg2_permutation_cost(0, 8).per_nonzero, 0.0);
+    }
+}

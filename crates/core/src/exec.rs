@@ -1,0 +1,485 @@
+//! CSCV SpMV executors (the `SpmvExecutor` face of the format).
+//!
+//! Two thread-level strategies are provided:
+//!
+//! * [`ParallelStrategy::ViewGroups`] *(default)* — threads own whole
+//!   view groups; their global row ranges are disjoint, so scatters go
+//!   straight into `y` with no reduction. Balanced by per-group nnz
+//!   (near-perfect thanks to paper property P3).
+//! * [`ParallelStrategy::LocalCopies`] — the paper's own scheme: blocks
+//!   are distributed freely, each thread accumulates into a private copy
+//!   of `y`, and copies are reduced in parallel afterwards. Kept for
+//!   fidelity and as the fallback when there are fewer view groups than
+//!   threads.
+
+use crate::format::{CscvMatrix, Variant};
+use crate::kernels::{gather, run_block_m, run_block_m_t, run_block_z, run_block_z_t, scatter_add};
+use cscv_sparse::shared::{reduce_buffers_into, Scratch, SharedSliceMut};
+use cscv_sparse::{partition, SpmvExecutor, ThreadPool};
+use cscv_simd::expand::{select_path, ExpandPath};
+use cscv_simd::{MaskExpand, Scalar};
+
+/// Thread-level parallelization scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelStrategy {
+    /// Row-disjoint view-group ownership (no reduction).
+    #[default]
+    ViewGroups,
+    /// Paper's scheme: private `y` copies + parallel reduction.
+    LocalCopies,
+}
+
+/// Prepared CSCV SpMV executor (Z or M per the matrix's variant).
+pub struct CscvExec<T: Scalar> {
+    m: CscvMatrix<T>,
+    strategy: ParallelStrategy,
+    path: ExpandPath,
+    /// Per-block nnz prefix (LocalCopies balancing).
+    block_prefix: Vec<usize>,
+    /// Blocks grouped by image tile (transpose partitioning: one tile's
+    /// blocks touch a fixed column set, so tiles are the row-disjoint
+    /// axis of `x = Aᵀy`). Parallel order: tiles sorted by nnz prefix.
+    tile_blocks: Vec<Vec<u32>>,
+    tile_prefix: Vec<usize>,
+    ytil_scratch: Scratch<T>,
+    y_scratch: Scratch<T>,
+}
+
+impl<T: Scalar + MaskExpand> CscvExec<T> {
+    pub fn new(m: CscvMatrix<T>) -> Self {
+        Self::with_strategy(m, ParallelStrategy::default())
+    }
+
+    pub fn with_strategy(m: CscvMatrix<T>, strategy: ParallelStrategy) -> Self {
+        let path = match m.params.s_vvec {
+            4 => select_path::<T, 4>(),
+            8 => select_path::<T, 8>(),
+            16 => select_path::<T, 16>(),
+            _ => unreachable!("validated by CscvParams"),
+        };
+        let mut block_prefix = Vec::with_capacity(m.blocks.len() + 1);
+        block_prefix.push(0usize);
+        let mut acc = 0;
+        for b in &m.blocks {
+            acc += b.nnz.max(1);
+            block_prefix.push(acc);
+        }
+        // Group blocks by tile for the transpose kernels.
+        let n_tiles = m
+            .blocks
+            .iter()
+            .map(|b| b.tile as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut tile_blocks: Vec<Vec<u32>> = vec![Vec::new(); n_tiles];
+        for (bi, b) in m.blocks.iter().enumerate() {
+            tile_blocks[b.tile as usize].push(bi as u32);
+        }
+        let mut tile_prefix = Vec::with_capacity(n_tiles + 1);
+        tile_prefix.push(0usize);
+        let mut acc = 0usize;
+        for blocks in &tile_blocks {
+            acc += blocks
+                .iter()
+                .map(|&bi| m.blocks[bi as usize].nnz)
+                .sum::<usize>()
+                .max(1);
+            tile_prefix.push(acc);
+        }
+        CscvExec {
+            m,
+            strategy,
+            path,
+            block_prefix,
+            tile_blocks,
+            tile_prefix,
+            ytil_scratch: Scratch::new(),
+            y_scratch: Scratch::new(),
+        }
+    }
+
+    /// The underlying format object (stats, params).
+    pub fn matrix(&self) -> &CscvMatrix<T> {
+        &self.m
+    }
+
+    /// Which mask-expansion path CSCV-M kernels use on this machine
+    /// (always reported; meaningless for Z).
+    pub fn expand_path(&self) -> ExpandPath {
+        self.path
+    }
+
+    /// Force the expansion path (ablation studies: measure the
+    /// `soft-vexpand` cost on hardware that has `vexpand`).
+    ///
+    /// # Panics
+    /// If `Hardware` is requested but unavailable for this lane width.
+    pub fn force_expand_path(&mut self, path: ExpandPath) {
+        if path == ExpandPath::Hardware {
+            let available = match self.m.params.s_vvec {
+                4 => select_path::<T, 4>(),
+                8 => select_path::<T, 8>(),
+                16 => select_path::<T, 16>(),
+                _ => unreachable!(),
+            };
+            assert_eq!(
+                available,
+                ExpandPath::Hardware,
+                "hardware expand unavailable for W={}",
+                self.m.params.s_vvec
+            );
+        }
+        self.path = path;
+    }
+
+    pub fn strategy(&self) -> ParallelStrategy {
+        self.strategy
+    }
+
+    #[inline(always)]
+    fn run_one_block<const W: usize, const HW: bool>(
+        &self,
+        bi: usize,
+        x: &[T],
+        ytil: &mut [T],
+    ) {
+        let blk = &self.m.blocks[bi];
+        match self.m.variant {
+            Variant::Z => run_block_z::<T, W>(blk, self.m.params.s_vxg, x, ytil),
+            Variant::M => run_block_m::<T, W, HW>(blk, self.m.params.s_vxg, x, ytil),
+        }
+    }
+
+    /// Transpose product `x = Aᵀ y` — the paper's stated future work
+    /// ("we will implement CSCV on x = Aᵀy in CT backward projection"),
+    /// here realized on the same block structure: gather `ỹ` through the
+    /// block map, run the transposed VxG kernels, and accumulate per
+    /// column. Threads own whole image *tiles* (the column-disjoint
+    /// axis), so no reduction is needed.
+    pub fn spmv_transpose(&self, y: &[T], x: &mut [T], pool: &ThreadPool) {
+        assert_eq!(y.len(), self.m.n_rows);
+        assert_eq!(x.len(), self.m.n_cols);
+        let hw = self.path == ExpandPath::Hardware;
+        match (self.m.params.s_vvec, hw) {
+            (4, false) => self.spmv_transpose_impl::<4, false>(y, x, pool),
+            (4, true) => self.spmv_transpose_impl::<4, true>(y, x, pool),
+            (8, false) => self.spmv_transpose_impl::<8, false>(y, x, pool),
+            (8, true) => self.spmv_transpose_impl::<8, true>(y, x, pool),
+            (16, false) => self.spmv_transpose_impl::<16, false>(y, x, pool),
+            (16, true) => self.spmv_transpose_impl::<16, true>(y, x, pool),
+            _ => unreachable!("validated by CscvParams"),
+        }
+    }
+
+    fn spmv_transpose_impl<const W: usize, const HW: bool>(
+        &self,
+        y: &[T],
+        x: &mut [T],
+        pool: &ThreadPool,
+    ) {
+        let n = pool.n_threads();
+        let tile_ranges = partition::split_by_prefix(&self.tile_prefix, n);
+        let mut ytil_bufs = self.ytil_scratch.take(n, self.m.max_ytil);
+        let out = SharedSliceMut::new(x);
+        let bufs = SharedSliceMut::new(&mut ytil_bufs[..]);
+        let zero_ranges = partition::even_chunks(out.len(), n);
+        pool.run(|tid| {
+            // SAFETY: disjoint zero ranges (separate dispatch = barrier).
+            unsafe { out.slice_mut(zero_ranges[tid].clone()) }.fill(T::ZERO);
+        });
+        pool.run(|tid| {
+            // SAFETY: slot `tid` only.
+            let ytil = &mut unsafe { bufs.slice_mut(tid..tid + 1) }[0];
+            // SAFETY contract of the sink: threads own whole tiles, and
+            // tiles have pairwise disjoint column sets.
+            let mut sink = |c: usize, v: T| unsafe { *out.get_raw(c) += v };
+            for ti in tile_ranges[tid].clone() {
+                for &bi in &self.tile_blocks[ti] {
+                    let blk = &self.m.blocks[bi as usize];
+                    gather(blk, y, ytil);
+                    match self.m.variant {
+                        Variant::Z => {
+                            run_block_z_t::<T, W>(blk, self.m.params.s_vxg, ytil, &mut sink)
+                        }
+                        Variant::M => {
+                            run_block_m_t::<T, W, HW>(blk, self.m.params.s_vxg, ytil, &mut sink)
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    fn spmv_impl<const W: usize, const HW: bool>(
+        &self,
+        x: &[T],
+        y: &mut [T],
+        pool: &ThreadPool,
+    ) {
+        let n = pool.n_threads();
+        match self.strategy {
+            ParallelStrategy::ViewGroups => {
+                let weights: Vec<usize> =
+                    self.m.groups.iter().map(|g| g.nnz.max(1)).collect();
+                let ranges = partition::split_by_weights(&weights, n);
+                let mut ytil_bufs = self.ytil_scratch.take(n, self.m.max_ytil);
+                let out = SharedSliceMut::new(y);
+                let bufs = SharedSliceMut::new(&mut ytil_bufs[..]);
+                pool.run(|tid| {
+                    // SAFETY: slot `tid` only.
+                    let ytil = &mut unsafe { bufs.slice_mut(tid..tid + 1) }[0];
+                    for gi in ranges[tid].clone() {
+                        let info = &self.m.groups[gi];
+                        // SAFETY: group row ranges are pairwise disjoint.
+                        let dst = unsafe { out.slice_mut(info.row_range.clone()) };
+                        dst.fill(T::ZERO);
+                        for bi in info.block_range.clone() {
+                            self.run_one_block::<W, HW>(bi, x, ytil);
+                            scatter_add(&self.m.blocks[bi], ytil, dst, info.row_range.start);
+                        }
+                    }
+                });
+            }
+            ParallelStrategy::LocalCopies => {
+                if n == 1 {
+                    let mut ytil_bufs = self.ytil_scratch.take(1, self.m.max_ytil);
+                    y.fill(T::ZERO);
+                    for bi in 0..self.m.blocks.len() {
+                        self.run_one_block::<W, HW>(bi, x, &mut ytil_bufs[0]);
+                        scatter_add(&self.m.blocks[bi], &ytil_bufs[0], y, 0);
+                    }
+                    return;
+                }
+                let ranges = partition::split_by_prefix(&self.block_prefix, n);
+                let mut ytil_bufs = self.ytil_scratch.take(n, self.m.max_ytil);
+                let mut y_bufs = self.y_scratch.take(n, y.len());
+                {
+                    let ytils = SharedSliceMut::new(&mut ytil_bufs[..]);
+                    let ys = SharedSliceMut::new(&mut y_bufs[..]);
+                    pool.run(|tid| {
+                        // SAFETY: slot `tid` only, for both buffers.
+                        let ytil = &mut unsafe { ytils.slice_mut(tid..tid + 1) }[0];
+                        let y_local = &mut unsafe { ys.slice_mut(tid..tid + 1) }[0];
+                        for bi in ranges[tid].clone() {
+                            self.run_one_block::<W, HW>(bi, x, ytil);
+                            scatter_add(&self.m.blocks[bi], ytil, y_local, 0);
+                        }
+                    });
+                }
+                reduce_buffers_into(pool, &y_bufs[..n], y);
+            }
+        }
+    }
+}
+
+impl<T: Scalar + MaskExpand> SpmvExecutor<T> for CscvExec<T> {
+    fn name(&self) -> String {
+        self.m.variant.to_string()
+    }
+    fn n_rows(&self) -> usize {
+        self.m.n_rows
+    }
+    fn n_cols(&self) -> usize {
+        self.m.n_cols
+    }
+    fn nnz_orig(&self) -> usize {
+        self.m.stats.nnz_orig
+    }
+    fn nnz_stored(&self) -> usize {
+        // Format-level padding rate: lane slots (identical for Z and M —
+        // the paper's R_nnzE is a property of the layout, not storage).
+        self.m.stats.lane_slots
+    }
+    fn matrix_bytes(&self) -> usize {
+        self.m.matrix_bytes()
+    }
+
+    fn spmv(&self, x: &[T], y: &mut [T], pool: &ThreadPool) {
+        assert_eq!(x.len(), self.m.n_cols);
+        assert_eq!(y.len(), self.m.n_rows);
+        let hw = self.path == ExpandPath::Hardware;
+        match (self.m.params.s_vvec, hw) {
+            (4, false) => self.spmv_impl::<4, false>(x, y, pool),
+            (4, true) => self.spmv_impl::<4, true>(x, y, pool),
+            (8, false) => self.spmv_impl::<8, false>(x, y, pool),
+            (8, true) => self.spmv_impl::<8, true>(x, y, pool),
+            (16, false) => self.spmv_impl::<16, false>(x, y, pool),
+            (16, true) => self.spmv_impl::<16, true>(x, y, pool),
+            _ => unreachable!("validated by CscvParams"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use crate::layout::{ImageShape, SinoLayout};
+    use crate::params::CscvParams;
+    use cscv_sparse::dense::assert_vec_close;
+    use cscv_sparse::{Coo, Csc};
+
+    fn ct_like(n_views: usize, n_bins: usize, nx: usize, ny: usize) -> (Csc<f64>, SinoLayout, ImageShape) {
+        let layout = SinoLayout { n_views, n_bins };
+        let img = ImageShape { nx, ny };
+        let mut coo = Coo::new(layout.n_rows(), img.n_pixels());
+        for col in 0..img.n_pixels() {
+            let (ix, iy) = img.pixel_of_col(col);
+            for v in 0..n_views {
+                // Sinusoid-ish trajectory.
+                let phase = (v as f64 * 0.4 + ix as f64 * 0.3 - iy as f64 * 0.2).sin();
+                let base = ((phase + 1.2) * (n_bins as f64 - 4.0) / 2.4) as usize;
+                coo.push(layout.row_index(v, base), col, 1.0 + (col % 7) as f64 * 0.1);
+                coo.push(layout.row_index(v, base + 1), col, 0.7);
+                if (v + col) % 3 == 0 {
+                    coo.push(layout.row_index(v, base + 2), col, 0.2);
+                }
+            }
+        }
+        (coo.to_csc(), layout, img)
+    }
+
+    fn check_all(variant: Variant, strategy: ParallelStrategy) {
+        let (csc, layout, img) = ct_like(13, 24, 8, 6);
+        let x: Vec<f64> = (0..csc.n_cols()).map(|i| (i as f64 * 0.21).cos()).collect();
+        let mut y_ref = vec![0.0; csc.n_rows()];
+        csc.spmv_serial(&x, &mut y_ref);
+        for params in [
+            CscvParams::new(4, 4, 2),
+            CscvParams::new(8, 8, 3),
+            CscvParams::new(3, 16, 1),
+        ] {
+            let m = build(&csc, layout, img, params, variant);
+            m.validate();
+            let exec = CscvExec::with_strategy(m, strategy);
+            for threads in [1, 2, 4, 7] {
+                let pool = ThreadPool::new(threads);
+                let mut y = vec![f64::NAN; csc.n_rows()];
+                exec.spmv(&x, &mut y, &pool);
+                assert_vec_close(&y, &y_ref, 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn z_view_groups_matches_reference() {
+        check_all(Variant::Z, ParallelStrategy::ViewGroups);
+    }
+
+    #[test]
+    fn z_local_copies_matches_reference() {
+        check_all(Variant::Z, ParallelStrategy::LocalCopies);
+    }
+
+    #[test]
+    fn m_view_groups_matches_reference() {
+        check_all(Variant::M, ParallelStrategy::ViewGroups);
+    }
+
+    #[test]
+    fn m_local_copies_matches_reference() {
+        check_all(Variant::M, ParallelStrategy::LocalCopies);
+    }
+
+    #[test]
+    fn strategies_agree_exactly() {
+        let (csc, layout, img) = ct_like(8, 20, 6, 6);
+        let params = CscvParams::new(4, 8, 2);
+        let m = build(&csc, layout, img, params, Variant::Z);
+        let e1 = CscvExec::with_strategy(m.clone(), ParallelStrategy::ViewGroups);
+        let e2 = CscvExec::with_strategy(m, ParallelStrategy::LocalCopies);
+        let x: Vec<f64> = (0..csc.n_cols()).map(|i| i as f64).collect();
+        let pool = ThreadPool::new(3);
+        let mut y1 = vec![0.0; csc.n_rows()];
+        let mut y2 = vec![0.0; csc.n_rows()];
+        e1.spmv(&x, &mut y1, &pool);
+        e2.spmv(&x, &mut y2, &pool);
+        assert_vec_close(&y1, &y2, 1e-12);
+    }
+
+    #[test]
+    fn transpose_matches_csc_transpose_reference() {
+        let (csc, layout, img) = ct_like(13, 24, 8, 6);
+        let y: Vec<f64> = (0..csc.n_rows()).map(|i| (i as f64 * 0.11).sin()).collect();
+        let mut x_ref = vec![0.0; csc.n_cols()];
+        csc.spmv_transpose_serial(&y, &mut x_ref);
+        for variant in [Variant::Z, Variant::M] {
+            for params in [
+                CscvParams::new(4, 4, 2),
+                CscvParams::new(8, 8, 3),
+                CscvParams::new(3, 16, 1),
+            ] {
+                let exec = CscvExec::new(build(&csc, layout, img, params, variant));
+                for threads in [1, 2, 5] {
+                    let pool = ThreadPool::new(threads);
+                    let mut x = vec![f64::NAN; csc.n_cols()];
+                    exec.spmv_transpose(&y, &mut x, &pool);
+                    assert_vec_close(&x, &x_ref, 1e-11);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_transpose_adjoint_identity() {
+        let (csc, layout, img) = ct_like(10, 20, 5, 5);
+        let exec = CscvExec::new(build(
+            &csc,
+            layout,
+            img,
+            CscvParams::new(4, 8, 2),
+            Variant::M,
+        ));
+        let pool = ThreadPool::new(2);
+        let x: Vec<f64> = (0..csc.n_cols()).map(|i| (i % 9) as f64 - 4.0).collect();
+        let y: Vec<f64> = (0..csc.n_rows()).map(|i| (i % 5) as f64 * 0.3).collect();
+        let mut ax = vec![0.0; csc.n_rows()];
+        exec.spmv(&x, &mut ax, &pool);
+        let mut aty = vec![0.0; csc.n_cols()];
+        exec.spmv_transpose(&y, &mut aty, &pool);
+        let lhs: f64 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() / lhs.abs().max(1.0) < 1e-12);
+    }
+
+    #[test]
+    fn metadata_and_names() {
+        let (csc, layout, img) = ct_like(8, 20, 4, 4);
+        let nnz = csc.nnz();
+        let z = CscvExec::new(build(&csc, layout, img, CscvParams::new(4, 8, 2), Variant::Z));
+        let m = CscvExec::new(build(&csc, layout, img, CscvParams::new(4, 8, 2), Variant::M));
+        assert_eq!(z.name(), "CSCV-Z");
+        assert_eq!(m.name(), "CSCV-M");
+        assert_eq!(z.nnz_orig(), nnz);
+        assert_eq!(z.nnz_stored(), m.nnz_stored(), "R_nnzE is format-level");
+        assert!(z.r_nnze() > 0.0);
+        // M stores fewer value bytes than Z (padding removed).
+        assert!(m.matrix_bytes() < z.matrix_bytes());
+    }
+
+    #[test]
+    fn f32_also_exact_within_tolerance() {
+        let layout = SinoLayout {
+            n_views: 8,
+            n_bins: 16,
+        };
+        let img = ImageShape { nx: 4, ny: 4 };
+        let mut coo: Coo<f32> = Coo::new(layout.n_rows(), 16);
+        for col in 0..16 {
+            for v in 0..8 {
+                coo.push(layout.row_index(v, (v + col) % 15), col, 0.25 + col as f32 * 0.01);
+            }
+        }
+        let csc = coo.to_csc();
+        let x: Vec<f32> = (0..16).map(|i| i as f32 * 0.5).collect();
+        let mut y_ref = vec![0.0f32; csc.n_rows()];
+        csc.spmv_serial(&x, &mut y_ref);
+        for variant in [Variant::Z, Variant::M] {
+            let exec = CscvExec::new(build(&csc, layout, img, CscvParams::new(2, 8, 2), variant));
+            let pool = ThreadPool::new(2);
+            let mut y = vec![f32::NAN; csc.n_rows()];
+            exec.spmv(&x, &mut y, &pool);
+            assert_vec_close(&y, &y_ref, 1e-5);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Closed-form ray–pixel chord lengths (the column-driven generator).
+//!
+//! For a zero-width ray at angle `θ` and perpendicular offset `d` from a
+//! pixel center, the intersection length with the `h × h` square is a
+//! trapezoid profile in `d`:
+//!
+//! * support half-width `W = h(|cosθ| + |sinθ|)/2`;
+//! * plateau half-width `P = h·| |cosθ| − |sinθ| |/2`;
+//! * plateau height `L = h / max(|cosθ|, |sinθ|)`;
+//! * linear fall-off between `P` and `W`.
+//!
+//! The profile integrates to `h²` (the pixel's area) for every angle — a
+//! property the tests verify — and evaluating it at bin centers yields
+//! exactly the same matrix entries as Siddon ray tracing, which is what
+//! makes the column-driven and row-driven system-matrix builders agree
+//! bit-for-bit in structure.
+
+/// Trapezoid footprint of a square pixel at view angle `theta` (radians).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelFootprint {
+    /// Support half-width `W` (chord is 0 for `|d| ≥ W`).
+    pub half_support: f64,
+    /// Plateau half-width `P` (chord is maximal for `|d| ≤ P`).
+    pub half_plateau: f64,
+    /// Plateau chord length `L = h / max(|cos|, |sin|)`.
+    pub max_chord: f64,
+}
+
+impl PixelFootprint {
+    /// Footprint of an `h`-sided square at angle `theta`.
+    pub fn new(theta: f64, h: f64) -> Self {
+        let u = theta.cos().abs();
+        let w = theta.sin().abs();
+        let m = u.max(w);
+        PixelFootprint {
+            half_support: h * (u + w) / 2.0,
+            half_plateau: h * (u - w).abs() / 2.0,
+            max_chord: h / m,
+        }
+    }
+
+    /// Chord length at perpendicular offset `d` from the pixel center.
+    #[inline]
+    pub fn chord(&self, d: f64) -> f64 {
+        let d = d.abs();
+        if d >= self.half_support {
+            0.0
+        } else if d <= self.half_plateau {
+            self.max_chord
+        } else {
+            // Linear fall-off; denominator is nonzero here because
+            // d > half_plateau implies half_support > half_plateau.
+            self.max_chord * (self.half_support - d) / (self.half_support - self.half_plateau)
+        }
+    }
+
+    /// Antiderivative of the chord profile from 0 to `d ≥ 0`
+    /// (odd-extended for negative `d`).
+    fn chord_cumulative(&self, d: f64) -> f64 {
+        let sign = if d < 0.0 { -1.0 } else { 1.0 };
+        let d = d.abs().min(self.half_support);
+        let p = self.half_plateau;
+        let w = self.half_support;
+        let l = self.max_chord;
+        let val = if d <= p {
+            l * d
+        } else {
+            // Plateau part + ramp part: chord(t) = L(W−t)/(W−P) on [P, d].
+            let ramp = l * (w * (d - p) - (d * d - p * p) / 2.0) / (w - p);
+            l * p + ramp
+        };
+        sign * val
+    }
+
+    /// Exact integral of the chord profile over `[d0, d1]` — the **strip
+    /// model** weight: the area the pixel contributes to a detector cell
+    /// covering that offset interval (divide by the cell width to get the
+    /// average chord). This is the standard discretization for iterative
+    /// CT and what reproduces the paper's nnz density (each footprint
+    /// covers `(2W + Δs)/Δs ≈ 2.3` bins instead of `2W/Δs ≈ 1.3`).
+    pub fn chord_integral(&self, d0: f64, d1: f64) -> f64 {
+        debug_assert!(d0 <= d1);
+        self.chord_cumulative(d1) - self.chord_cumulative(d0)
+    }
+}
+
+/// Chord length of the ray `{(x,y): x·cosθ + y·sinθ = s}` through the
+/// `h`-sided square centered at `(cx, cy)`.
+pub fn ray_square_chord(theta: f64, s: f64, cx: f64, cy: f64, h: f64) -> f64 {
+    let fp = PixelFootprint::new(theta, h);
+    let s_center = cx * theta.cos() + cy * theta.sin();
+    fp.chord(s - s_center)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn axis_aligned_is_box_profile() {
+        // θ = 0: ray is vertical line x = s; chord = h for |d| < h/2.
+        let fp = PixelFootprint::new(0.0, 2.0);
+        assert!((fp.max_chord - 2.0).abs() < 1e-12);
+        assert!((fp.half_support - 1.0).abs() < 1e-12);
+        assert!((fp.half_plateau - 1.0).abs() < 1e-12);
+        assert_eq!(fp.chord(0.0), 2.0);
+        assert_eq!(fp.chord(0.999), 2.0);
+        assert_eq!(fp.chord(1.0), 0.0);
+        assert_eq!(fp.chord(5.0), 0.0);
+    }
+
+    #[test]
+    fn diagonal_is_triangle_profile() {
+        // θ = 45°: plateau collapses to a point, max chord = h√2.
+        let h = 1.0;
+        let fp = PixelFootprint::new(FRAC_PI_4, h);
+        assert!((fp.max_chord - 2.0f64.sqrt()).abs() < 1e-12);
+        assert!(fp.half_plateau < 1e-12);
+        assert!((fp.half_support - 2.0f64.sqrt() / 2.0 * h).abs() < 1e-12);
+        // Halfway down the triangle.
+        let mid = fp.half_support / 2.0;
+        assert!((fp.chord(mid) - fp.max_chord / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_integrates_to_pixel_area() {
+        // ∫ chord(d) dd = h² for any angle (exact for the trapezoid).
+        let h = 1.7;
+        for k in 0..36 {
+            let theta = k as f64 * PI / 36.0;
+            let fp = PixelFootprint::new(theta, h);
+            // Exact trapezoid area: L·(P + W).
+            let area = fp.max_chord * (fp.half_plateau + fp.half_support);
+            assert!(
+                (area - h * h).abs() < 1e-10,
+                "area {area} != {} at theta {theta}",
+                h * h
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry_in_angle() {
+        let h = 1.0;
+        for k in 1..8 {
+            let theta = k as f64 * 0.2;
+            let a = PixelFootprint::new(theta, h);
+            let b = PixelFootprint::new(theta + FRAC_PI_2, h);
+            let c = PixelFootprint::new(-theta, h);
+            // 90° rotation and reflection leave the square's profile
+            // unchanged.
+            assert!((a.half_support - b.half_support).abs() < 1e-12);
+            assert!((a.max_chord - c.max_chord).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn off_center_square() {
+        // Square centered at (3, 4), θ = 0 ⇒ ray x = s hits for s ∈ (2.5, 3.5).
+        assert_eq!(ray_square_chord(0.0, 3.0, 3.0, 4.0, 1.0), 1.0);
+        assert_eq!(ray_square_chord(0.0, 3.4, 3.0, 4.0, 1.0), 1.0);
+        assert_eq!(ray_square_chord(0.0, 3.6, 3.0, 4.0, 1.0), 0.0);
+        // θ = 90°: ray y = s.
+        assert_eq!(ray_square_chord(FRAC_PI_2, 4.0, 3.0, 4.0, 1.0), 1.0);
+        assert_eq!(ray_square_chord(FRAC_PI_2, 3.0, 3.0, 4.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn chord_integral_matches_quadrature() {
+        // Analytic strip integral vs midpoint quadrature of the profile.
+        for theta in [0.0, 0.2, FRAC_PI_4, 1.0, 1.4] {
+            let fp = PixelFootprint::new(theta, 1.3);
+            for (d0, d1) in [(-2.0, 2.0), (-0.3, 0.4), (0.1, 0.9), (-1.1, -0.2)] {
+                let n = 20_000;
+                let dd = (d1 - d0) / n as f64;
+                let quad: f64 = (0..n)
+                    .map(|i| fp.chord(d0 + (i as f64 + 0.5) * dd) * dd)
+                    .sum();
+                let exact = fp.chord_integral(d0, d1);
+                assert!(
+                    (quad - exact).abs() < 1e-5,
+                    "theta {theta} [{d0},{d1}]: {quad} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chord_integral_full_support_is_area() {
+        for theta in [0.0, 0.4, FRAC_PI_4, 1.2] {
+            let h = 0.8;
+            let fp = PixelFootprint::new(theta, h);
+            let full = fp.chord_integral(-fp.half_support, fp.half_support);
+            assert!((full - h * h).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chord_integral_odd_symmetry() {
+        let fp = PixelFootprint::new(0.7, 1.0);
+        let a = fp.chord_integral(-0.5, -0.1);
+        let b = fp.chord_integral(0.1, 0.5);
+        assert!((a - b).abs() < 1e-14);
+    }
+
+    #[test]
+    fn chord_monotone_decreasing_in_offset() {
+        let fp = PixelFootprint::new(0.3, 1.0);
+        let mut prev = f64::INFINITY;
+        let mut d = 0.0;
+        while d < fp.half_support + 0.1 {
+            let c = fp.chord(d);
+            assert!(c <= prev + 1e-15);
+            prev = c;
+            d += 0.01;
+        }
+    }
+}

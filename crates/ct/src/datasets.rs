@@ -1,0 +1,224 @@
+//! The evaluation matrix family (paper Table II) at two scales.
+//!
+//! The paper's matrices reach 1.75·10⁹ nonzeros (tens of GB); the default
+//! suite reproduces the same geometry family at ¼ linear scale so every
+//! experiment runs on a laptop-class machine, while `paper_suite()` keeps
+//! the original parameters for hardware that can hold them. Scaling
+//! preserves every structural property CSCV exploits (P1–P3 are
+//! scale-invariant), including the Table II ratios `n_bins ≈ 1.4258·n`
+//! and the limited-angle trick of the largest matrix.
+
+use crate::geometry::CtGeometry;
+
+/// One dataset row of Table II (or its scaled analog).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtDataset {
+    pub name: &'static str,
+    /// Reconstructed image is `img × img`.
+    pub img: usize,
+    pub n_bins: usize,
+    pub n_views: usize,
+    pub delta_angle_deg: f64,
+}
+
+impl CtDataset {
+    /// Build the acquisition geometry for this dataset.
+    pub fn geometry(&self) -> CtGeometry {
+        CtGeometry::standard(self.img, self.n_bins, self.n_views, 0.0, self.delta_angle_deg)
+    }
+
+    /// Total angular coverage in degrees.
+    pub fn angular_span_deg(&self) -> f64 {
+        self.n_views as f64 * self.delta_angle_deg
+    }
+
+    /// Sinogram length (`y` size).
+    pub fn y_size(&self) -> usize {
+        self.n_bins * self.n_views
+    }
+
+    /// Image length (`x` size).
+    pub fn x_size(&self) -> usize {
+        self.img * self.img
+    }
+}
+
+/// Default (¼ linear scale) suite — used by tests and benchmarks.
+///
+/// Scaling rule: image side and view count shrink 4×, but each row keeps
+/// its paper Δangle (view *density*), because IOBLR's zero-padding rate
+/// depends on the angular span of one `S_VVec` view group — preserving
+/// Δangle preserves the paper's R_nnzE regime. The price is partial
+/// angular coverage (45° instead of 180°), which changes nothing for
+/// SpMV structure (blocks are per view group); the reconstruction
+/// examples use [`recon_dataset`] with full coverage instead.
+pub fn default_suite() -> Vec<CtDataset> {
+    vec![
+        CtDataset {
+            name: "ct128",
+            img: 128,
+            n_bins: 184,
+            n_views: 60,
+            delta_angle_deg: 0.75,
+        },
+        CtDataset {
+            name: "ct192",
+            img: 192,
+            n_bins: 274,
+            n_views: 120,
+            delta_angle_deg: 0.375,
+        },
+        CtDataset {
+            name: "ct256",
+            img: 256,
+            n_bins: 366,
+            n_views: 120,
+            delta_angle_deg: 0.375,
+        },
+        // Limited-angle large image, mirroring the paper's 2048² row.
+        CtDataset {
+            name: "ct512la",
+            img: 512,
+            n_bins: 730,
+            n_views: 40,
+            delta_angle_deg: 0.1875,
+        },
+    ]
+}
+
+/// Full-coverage dataset for iterative reconstruction examples
+/// (SpMV benchmarks don't need 180°, but image reconstruction does).
+pub fn recon_dataset() -> CtDataset {
+    CtDataset {
+        name: "recon128",
+        img: 128,
+        n_bins: 184,
+        n_views: 180,
+        delta_angle_deg: 1.0,
+    }
+}
+
+/// The original Table II parameters (paper scale; tens of GB of matrix).
+pub fn paper_suite() -> Vec<CtDataset> {
+    vec![
+        CtDataset {
+            name: "512x512",
+            img: 512,
+            n_bins: 730,
+            n_views: 240,
+            delta_angle_deg: 0.75,
+        },
+        CtDataset {
+            name: "768x768",
+            img: 768,
+            n_bins: 1096,
+            n_views: 480,
+            delta_angle_deg: 0.375,
+        },
+        CtDataset {
+            name: "1024x1024",
+            img: 1024,
+            n_bins: 1460,
+            n_views: 480,
+            delta_angle_deg: 0.375,
+        },
+        CtDataset {
+            name: "2048x2048",
+            img: 2048,
+            n_bins: 2920,
+            n_views: 160,
+            delta_angle_deg: 0.1875,
+        },
+    ]
+}
+
+/// A tiny dataset for unit tests (sub-second everything).
+pub fn tiny() -> CtDataset {
+    CtDataset {
+        name: "tiny32",
+        img: 32,
+        n_bins: 46,
+        n_views: 24,
+        delta_angle_deg: 7.5,
+    }
+}
+
+/// The paper's Table I sample block setup (used by Fig. 3–6 experiments):
+/// a 25×25 image with 38 bins and 4° steps.
+pub fn table1_sample() -> CtDataset {
+    CtDataset {
+        name: "table1",
+        img: 25,
+        n_bins: 38,
+        n_views: 45,
+        delta_angle_deg: 4.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_suite_covers_paper_ratios() {
+        for d in default_suite() {
+            let ratio = d.n_bins as f64 / d.img as f64;
+            assert!(
+                (ratio - 1.4258).abs() < 0.02,
+                "{}: bins/img {ratio}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn paper_suite_matches_table2() {
+        let p = paper_suite();
+        assert_eq!(p[0].y_size(), 175_200);
+        assert_eq!(p[1].y_size(), 526_080);
+        assert_eq!(p[2].y_size(), 700_800);
+        assert_eq!(p[3].y_size(), 467_200);
+        assert_eq!(p[2].x_size(), 1_048_576);
+        assert_eq!(p[3].x_size(), 4_194_304);
+    }
+
+    #[test]
+    fn angular_spans() {
+        let d = default_suite();
+        // Scaled suite keeps paper view density: 45° partial coverage.
+        assert!((d[0].angular_span_deg() - 45.0).abs() < 1e-12);
+        assert!((d[1].angular_span_deg() - 45.0).abs() < 1e-12);
+        assert!((d[3].angular_span_deg() - 7.5).abs() < 1e-12);
+        // Paper-scale rows keep the original coverage.
+        let p = paper_suite();
+        assert!((p[0].angular_span_deg() - 180.0).abs() < 1e-12);
+        assert!((p[3].angular_span_deg() - 30.0).abs() < 1e-12);
+        // Reconstruction dataset covers the full half-circle.
+        assert!((recon_dataset().angular_span_deg() - 180.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn view_density_matches_paper_rows() {
+        let d = default_suite();
+        let p = paper_suite();
+        assert_eq!(d[0].delta_angle_deg, p[0].delta_angle_deg);
+        assert_eq!(d[2].delta_angle_deg, p[2].delta_angle_deg);
+        assert_eq!(d[3].delta_angle_deg, p[3].delta_angle_deg);
+    }
+
+    #[test]
+    fn geometry_has_right_shape() {
+        let d = tiny();
+        let ct = d.geometry();
+        assert_eq!(ct.n_cols(), 1024);
+        assert_eq!(ct.n_rows(), 46 * 24);
+    }
+
+    #[test]
+    fn table1_sample_matches_paper() {
+        let t = table1_sample();
+        assert_eq!(t.img, 25);
+        assert_eq!(t.n_bins, 38);
+        assert_eq!(t.delta_angle_deg, 4.0);
+    }
+}

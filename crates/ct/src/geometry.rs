@@ -1,0 +1,261 @@
+//! Image grid, detector geometry and index conventions.
+//!
+//! Conventions (fixed across the whole suite):
+//!
+//! * Image: `nx × ny` square pixels of side `pixel_size`, centered at the
+//!   origin. Pixel `(ix, iy)` has center
+//!   `x = (ix − (nx−1)/2)·h`, `y = (iy − (ny−1)/2)·h`.
+//!   Column index `col = iy·nx + ix`.
+//! * View `v`: angle `θ_v = start_angle + v·delta_angle` (degrees).
+//!   The detector axis direction is `(cosθ, sinθ)`; rays travel along
+//!   `(−sinθ, cosθ)`. A point `(x, y)` projects to detector coordinate
+//!   `s = x·cosθ + y·sinθ`.
+//! * Bin `b`: detector cell center `s_b = (b − (n_bins−1)/2)·bin_spacing`.
+//!   Row index `row = v·n_bins + b` (bin varies fastest — the sinogram's
+//!   "bin-major" layout in the paper's Fig. 4).
+
+/// Square pixel grid centered at the origin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageGrid {
+    pub nx: usize,
+    pub ny: usize,
+    /// Pixel side length `h`.
+    pub pixel_size: f64,
+}
+
+impl ImageGrid {
+    pub fn square(n: usize, pixel_size: f64) -> Self {
+        ImageGrid {
+            nx: n,
+            ny: n,
+            pixel_size,
+        }
+    }
+
+    /// Number of pixels = matrix columns.
+    pub fn n_pixels(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Center coordinates of pixel `(ix, iy)`.
+    #[inline]
+    pub fn pixel_center(&self, ix: usize, iy: usize) -> (f64, f64) {
+        let h = self.pixel_size;
+        (
+            (ix as f64 - (self.nx as f64 - 1.0) / 2.0) * h,
+            (iy as f64 - (self.ny as f64 - 1.0) / 2.0) * h,
+        )
+    }
+
+    /// Column index of pixel `(ix, iy)`.
+    #[inline]
+    pub fn col_index(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        iy * self.nx + ix
+    }
+
+    /// Inverse of [`col_index`](Self::col_index).
+    #[inline]
+    pub fn pixel_of_col(&self, col: usize) -> (usize, usize) {
+        debug_assert!(col < self.n_pixels());
+        (col % self.nx, col / self.nx)
+    }
+
+    /// x-coordinate of the grid's left edge (min corner).
+    pub fn x_min(&self) -> f64 {
+        -(self.nx as f64) * self.pixel_size / 2.0
+    }
+
+    /// y-coordinate of the grid's bottom edge.
+    pub fn y_min(&self) -> f64 {
+        -(self.ny as f64) * self.pixel_size / 2.0
+    }
+}
+
+/// Parallel-beam acquisition geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelGeometry {
+    pub n_bins: usize,
+    pub n_views: usize,
+    pub start_angle_deg: f64,
+    pub delta_angle_deg: f64,
+    /// Detector cell width `Δs`.
+    pub bin_spacing: f64,
+}
+
+impl ParallelGeometry {
+    /// Sinogram length = matrix rows.
+    pub fn n_rays(&self) -> usize {
+        self.n_bins * self.n_views
+    }
+
+    /// View angle in radians.
+    #[inline]
+    pub fn view_angle(&self, v: usize) -> f64 {
+        (self.start_angle_deg + v as f64 * self.delta_angle_deg).to_radians()
+    }
+
+    /// Detector coordinate of bin center `b`.
+    #[inline]
+    pub fn bin_center(&self, b: usize) -> f64 {
+        (b as f64 - (self.n_bins as f64 - 1.0) / 2.0) * self.bin_spacing
+    }
+
+    /// Continuous detector coordinate → fractional bin index.
+    #[inline]
+    pub fn s_to_bin(&self, s: f64) -> f64 {
+        s / self.bin_spacing + (self.n_bins as f64 - 1.0) / 2.0
+    }
+
+    /// Row index of ray `(view, bin)`.
+    #[inline]
+    pub fn row_index(&self, view: usize, bin: usize) -> usize {
+        debug_assert!(view < self.n_views && bin < self.n_bins);
+        view * self.n_bins + bin
+    }
+
+    /// Inverse of [`row_index`](Self::row_index): `(view, bin)`.
+    #[inline]
+    pub fn ray_of_row(&self, row: usize) -> (usize, usize) {
+        debug_assert!(row < self.n_rays());
+        (row / self.n_bins, row % self.n_bins)
+    }
+}
+
+/// A complete imaging setup: grid + detector. This is the object that
+/// generates system matrices (see [`crate::system`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtGeometry {
+    pub grid: ImageGrid,
+    pub proj: ParallelGeometry,
+}
+
+impl CtGeometry {
+    /// Standard setup: square image of `n` pixels with unit pixel size and
+    /// a detector whose cells span the image diagonal (the paper's Table
+    /// II ratio `n_bins ≈ 1.4258·n`).
+    pub fn standard(
+        n: usize,
+        n_bins: usize,
+        n_views: usize,
+        start_angle_deg: f64,
+        delta_angle_deg: f64,
+    ) -> Self {
+        let grid = ImageGrid::square(n, 1.0);
+        let diag = (n as f64) * 2.0f64.sqrt();
+        CtGeometry {
+            grid,
+            proj: ParallelGeometry {
+                n_bins,
+                n_views,
+                start_angle_deg,
+                delta_angle_deg,
+                bin_spacing: diag / n_bins as f64,
+            },
+        }
+    }
+
+    /// Matrix rows (`sinogram size`).
+    pub fn n_rows(&self) -> usize {
+        self.proj.n_rays()
+    }
+
+    /// Matrix columns (`image size`).
+    pub fn n_cols(&self) -> usize {
+        self.grid.n_pixels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel_centers_symmetric() {
+        let g = ImageGrid::square(4, 1.0);
+        assert_eq!(g.pixel_center(0, 0), (-1.5, -1.5));
+        assert_eq!(g.pixel_center(3, 3), (1.5, 1.5));
+        // Odd grid: middle pixel at origin.
+        let g5 = ImageGrid::square(5, 2.0);
+        assert_eq!(g5.pixel_center(2, 2), (0.0, 0.0));
+    }
+
+    #[test]
+    fn col_index_roundtrip() {
+        let g = ImageGrid {
+            nx: 7,
+            ny: 3,
+            pixel_size: 1.0,
+        };
+        for iy in 0..3 {
+            for ix in 0..7 {
+                let col = g.col_index(ix, iy);
+                assert_eq!(g.pixel_of_col(col), (ix, iy));
+            }
+        }
+        assert_eq!(g.n_pixels(), 21);
+    }
+
+    #[test]
+    fn grid_edges() {
+        let g = ImageGrid::square(4, 0.5);
+        assert_eq!(g.x_min(), -1.0);
+        assert_eq!(g.y_min(), -1.0);
+    }
+
+    #[test]
+    fn bin_centers_symmetric() {
+        let p = ParallelGeometry {
+            n_bins: 5,
+            n_views: 10,
+            start_angle_deg: 0.0,
+            delta_angle_deg: 18.0,
+            bin_spacing: 2.0,
+        };
+        assert_eq!(p.bin_center(2), 0.0);
+        assert_eq!(p.bin_center(0), -4.0);
+        assert_eq!(p.bin_center(4), 4.0);
+        assert_eq!(p.s_to_bin(0.0), 2.0);
+        assert_eq!(p.s_to_bin(-4.0), 0.0);
+    }
+
+    #[test]
+    fn row_index_roundtrip_bin_fastest() {
+        let p = ParallelGeometry {
+            n_bins: 6,
+            n_views: 4,
+            start_angle_deg: 0.0,
+            delta_angle_deg: 45.0,
+            bin_spacing: 1.0,
+        };
+        assert_eq!(p.row_index(0, 5), 5);
+        assert_eq!(p.row_index(1, 0), 6);
+        for row in 0..p.n_rays() {
+            let (v, b) = p.ray_of_row(row);
+            assert_eq!(p.row_index(v, b), row);
+        }
+    }
+
+    #[test]
+    fn view_angles_in_radians() {
+        let p = ParallelGeometry {
+            n_bins: 1,
+            n_views: 4,
+            start_angle_deg: 90.0,
+            delta_angle_deg: 45.0,
+            bin_spacing: 1.0,
+        };
+        assert!((p.view_angle(0) - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert!((p.view_angle(2) - std::f64::consts::PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn standard_geometry_covers_diagonal() {
+        let ct = CtGeometry::standard(64, 92, 30, 0.0, 6.0);
+        let detector_span = ct.proj.bin_spacing * 92.0;
+        let diag = 64.0 * 2.0f64.sqrt();
+        assert!((detector_span - diag).abs() < 1e-9);
+        assert_eq!(ct.n_rows(), 92 * 30);
+        assert_eq!(ct.n_cols(), 64 * 64);
+    }
+}

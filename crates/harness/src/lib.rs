@@ -1,0 +1,22 @@
+//! Measurement harness for the CSCV experiment suite.
+//!
+//! Implements the paper's measurement methodology (§V-C): performance is
+//! the **minimum** SpMV execution time over ≥ 100 iterations (immune to
+//! fork-join and allocation noise), reported as
+//! `F = 2·nnz(A)/T` GFLOP/s, alongside the memory-requirement model
+//! `M_Rit = M(A)+M(x)+M(y)` and the effective-bandwidth ratio
+//! `R_EM = M_Rit/(T·M_PBw)` where `M_PBw` comes from the built-in
+//! STREAM-style bandwidth meter ([`membw`], the Intel MLC substitute).
+//!
+//! [`suite`] wires datasets to executor fields so every experiment
+//! driver in `cscv-bench` is a short loop; [`table`] renders aligned
+//! text tables and CSV.
+
+pub mod membw;
+pub mod plotting;
+pub mod suite;
+pub mod table;
+pub mod timing;
+
+pub use suite::{executor_field, prepare, PreparedDataset};
+pub use timing::{measure_spmv, SpmvMeasurement};

@@ -1,0 +1,120 @@
+//! STREAM-style memory bandwidth meter — the Intel MLC substitute.
+//!
+//! The paper normalizes effective bandwidth against the machine's peak
+//! *read-only* bandwidth measured with Intel MLC. MLC is proprietary, so
+//! the suite measures the same quantity with a multi-threaded strided
+//! read sweep over a buffer far larger than the last-level cache.
+
+use cscv_sparse::shared::SharedSliceMut;
+use cscv_sparse::{partition, ThreadPool};
+use std::time::Instant;
+
+/// Measured peak bandwidths in bytes/second.
+#[derive(Debug, Clone, Copy)]
+pub struct Bandwidth {
+    /// Read-only sweep (the paper's `M_PBw`).
+    pub read_bytes_per_sec: f64,
+    /// Triad (`a[i] = b[i] + s·c[i]`) for context.
+    pub triad_bytes_per_sec: f64,
+}
+
+impl Bandwidth {
+    pub fn read_gbs(&self) -> f64 {
+        self.read_bytes_per_sec / 1e9
+    }
+
+    pub fn triad_gbs(&self) -> f64 {
+        self.triad_bytes_per_sec / 1e9
+    }
+}
+
+/// Sum a slice with 8 independent accumulators (keeps the sweep
+/// bandwidth-bound rather than add-latency-bound).
+#[inline]
+fn sum_slice(data: &[u64]) -> u64 {
+    let mut acc = [0u64; 8];
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        for l in 0..8 {
+            acc[l] = acc[l].wrapping_add(c[l]);
+        }
+    }
+    let mut tail = 0u64;
+    for &v in chunks.remainder() {
+        tail = tail.wrapping_add(v);
+    }
+    acc.iter().fold(tail, |a, &b| a.wrapping_add(b))
+}
+
+/// Measure peak bandwidths using `pool` threads over a buffer of
+/// `buf_bytes` (clamped to ≥ 8 MiB), best of `reps` sweeps.
+pub fn measure(pool: &ThreadPool, buf_bytes: usize, reps: usize) -> Bandwidth {
+    let words = (buf_bytes.max(8 << 20)) / 8;
+    let data: Vec<u64> = (0..words as u64).collect();
+    let ranges = partition::even_chunks(words, pool.n_threads());
+
+    // Read-only sweep.
+    let mut best_read = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        pool.run(|tid| {
+            let s = sum_slice(&data[ranges[tid].clone()]);
+            std::hint::black_box(s);
+        });
+        best_read = best_read.min(t0.elapsed().as_secs_f64());
+    }
+
+    // Triad sweep: a = b + s*c over f64 buffers (3 streams).
+    let tw = words / 4;
+    let b: Vec<f64> = (0..tw).map(|i| i as f64).collect();
+    let c: Vec<f64> = (0..tw).map(|i| (i % 7) as f64).collect();
+    let mut a = vec![0.0f64; tw];
+    let tranges = partition::even_chunks(tw, pool.n_threads());
+    let mut best_triad = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let out = SharedSliceMut::new(&mut a);
+        let t0 = Instant::now();
+        pool.run(|tid| {
+            let r = tranges[tid].clone();
+            // SAFETY: disjoint ranges.
+            let dst = unsafe { out.slice_mut(r.clone()) };
+            for ((av, bv), cv) in dst.iter_mut().zip(&b[r.clone()]).zip(&c[r]) {
+                *av = bv + 3.0 * cv;
+            }
+        });
+        best_triad = best_triad.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(&a[..]);
+    }
+
+    Bandwidth {
+        read_bytes_per_sec: (words * 8) as f64 / best_read,
+        triad_bytes_per_sec: (tw * 8 * 3) as f64 / best_triad,
+    }
+}
+
+/// Convenience: default measurement (256 MiB, 3 reps).
+pub fn measure_default(pool: &ThreadPool) -> Bandwidth {
+    measure(pool, 256 << 20, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_slice_matches_naive() {
+        let v: Vec<u64> = (0..37).collect();
+        let naive: u64 = v.iter().sum();
+        assert_eq!(sum_slice(&v), naive);
+    }
+
+    #[test]
+    fn bandwidth_positive_and_plausible() {
+        let pool = ThreadPool::new(1);
+        // Small buffer keeps the test fast; numbers just need sanity.
+        let bw = measure(&pool, 8 << 20, 1);
+        assert!(bw.read_gbs() > 0.1, "read {}", bw.read_gbs());
+        assert!(bw.read_gbs() < 10_000.0);
+        assert!(bw.triad_gbs() > 0.05);
+    }
+}

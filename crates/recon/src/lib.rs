@@ -1,0 +1,34 @@
+//! Iterative CT image reconstruction on top of the CSCV SpMV suite.
+//!
+//! The paper's motivating application: model-based iterative
+//! reconstruction executes `y = Ax` (forward projection) and `x = Aᵀy`
+//! (back projection) hundreds of times per image, so SpMV throughput is
+//! the reconstruction wall-clock. This crate provides the algorithms the
+//! CT literature actually runs:
+//!
+//! * [`sirt`] — Simultaneous Iterative Reconstruction Technique
+//!   (row/column-normalized Landweber; robust default);
+//! * [`art`] — ART/Kaczmarz row-action sweeps (the classic; row-driven,
+//!   which is why CSC/CSCV matter for its coordinate-descent duals);
+//! * [`cgls`] — Conjugate Gradient on the normal equations (fastest
+//!   convergence per iteration);
+//! * [`landweber`] — plain gradient descent with a power-method step
+//!   size (baseline and building block);
+//! * [`operators`] — the forward/transpose operator abstraction that
+//!   plugs any `SpmvExecutor` pair (CSCV, CSR, …) into the solvers;
+//! * [`metrics`] — RMSE / PSNR / relative error image quality metrics.
+
+pub mod art;
+pub mod cgls;
+pub mod landweber;
+pub mod metrics;
+pub mod operators;
+pub mod os_sart;
+pub mod sirt;
+
+pub use cgls::cgls;
+pub use landweber::landweber;
+pub use operators::{LinearOperator, SpmvOperator};
+pub use sirt::sirt;
+
+pub use operators::CscvOperator;

@@ -1,0 +1,92 @@
+//! Image quality metrics for reconstruction experiments.
+
+use cscv_sparse::Scalar;
+
+/// Root-mean-square error between two images.
+pub fn rmse<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x.to_f64() - y.to_f64();
+            d * d
+        })
+        .sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Relative L2 error `‖a − b‖ / ‖b‖` (0 when `b` is all-zero and `a == b`).
+pub fn rel_l2<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let num: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x.to_f64() - y.to_f64();
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = b.iter().map(|y| y.to_f64() * y.to_f64()).sum::<f64>().sqrt();
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / den
+    }
+}
+
+/// Peak signal-to-noise ratio in dB, with the peak taken from the
+/// reference image's dynamic range.
+pub fn psnr<T: Scalar>(img: &[T], reference: &[T]) -> f64 {
+    let peak = reference
+        .iter()
+        .map(|v| v.to_f64())
+        .fold(f64::NEG_INFINITY, f64::max)
+        - reference
+            .iter()
+            .map(|v| v.to_f64())
+            .fold(f64::INFINITY, f64::min);
+    let e = rmse(img, reference);
+    if e == 0.0 {
+        f64::INFINITY
+    } else {
+        20.0 * (peak / e).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_basics() {
+        assert_eq!(rmse::<f64>(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse::<f64>(&[1.0, 3.0], &[1.0, 1.0]) - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(rmse::<f64>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn rel_l2_basics() {
+        assert_eq!(rel_l2::<f32>(&[2.0, 0.0], &[2.0, 0.0]), 0.0);
+        assert!((rel_l2::<f32>(&[0.0, 0.0], &[3.0, 4.0]) - 1.0).abs() < 1e-6);
+        assert_eq!(rel_l2::<f32>(&[0.0], &[0.0]), 0.0);
+        assert_eq!(rel_l2::<f32>(&[1.0], &[0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_ordering() {
+        let reference = vec![0.0f64, 1.0, 2.0, 1.0];
+        let good = vec![0.01, 1.0, 2.0, 1.0];
+        let bad = vec![0.5, 0.5, 1.0, 0.0];
+        assert!(psnr(&good, &reference) > psnr(&bad, &reference));
+        assert_eq!(psnr(&reference, &reference), f64::INFINITY);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the SIMD layer (separate module so the main
+//! modules stay lean; compiled only under test).
+#![cfg(test)]
+
+use crate::expand::{compress_into, expand_soft, expand_with, select_path, ExpandPath};
+use crate::lanes::{axpy, dot, hsum};
+use crate::MaskExpand;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hsum_matches_sum_f64(v in proptest::collection::vec(-1e6f64..1e6, 8)) {
+        let arr: [f64; 8] = v.clone().try_into().unwrap();
+        let naive: f64 = v.iter().sum();
+        prop_assert!((hsum(&arr) - naive).abs() <= 1e-6 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn dot_is_bilinear(
+        x in proptest::collection::vec(-100f64..100.0, 1..40),
+        alpha in -10f64..10.0,
+    ) {
+        let y: Vec<f64> = x.iter().map(|v| v * 0.5 + 1.0).collect();
+        let scaled: Vec<f64> = x.iter().map(|v| v * alpha).collect();
+        let d1 = dot(&scaled, &y);
+        let d2 = alpha * dot(&x, &y);
+        prop_assert!((d1 - d2).abs() <= 1e-7 * d2.abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy_matches_scalar_loop(
+        x in proptest::collection::vec(-50f32..50.0, 0..64),
+        a in -4f32..4.0,
+    ) {
+        let mut y: Vec<f32> = x.iter().map(|v| v + 1.0).collect();
+        let mut y_ref = y.clone();
+        axpy(a, &x, &mut y);
+        for (yr, xv) in y_ref.iter_mut().zip(&x) {
+            *yr = a.mul_add(*xv, *yr);
+        }
+        prop_assert_eq!(y, y_ref);
+    }
+
+    #[test]
+    fn expand_compress_inverse_f64x8(
+        lanes in proptest::collection::vec(prop_oneof![Just(0.0f64), -5f64..5.0], 8),
+    ) {
+        let block: [f64; 8] = lanes.try_into().unwrap();
+        let mut packed = Vec::new();
+        let mask = compress_into(&block, &mut packed);
+        let back: [f64; 8] = expand_soft(mask, &packed);
+        // Inverse wherever lanes were nonzero; zeros stay zero (a -0.0
+        // lane compresses as nonzero and round-trips exactly too).
+        prop_assert_eq!(back, block);
+    }
+
+    #[test]
+    fn hw_and_soft_expand_agree_random_masks(
+        mask in 0u32..=0xFFFF,
+        vals in proptest::collection::vec(-9f32..9.0, 16),
+    ) {
+        if <f32 as MaskExpand>::hw_available::<16>() {
+            let need = mask.count_ones() as usize;
+            let soft: [f32; 16] = expand_soft(mask, &vals[..need]);
+            let hard: [f32; 16] = expand_with(ExpandPath::Hardware, mask, &vals[..need]);
+            prop_assert_eq!(soft, hard);
+        } else {
+            prop_assert_eq!(select_path::<f32, 16>(), ExpandPath::Software);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Dense reference kernel and comparison utilities.
+//!
+//! Only used by tests, validators and tiny illustrative examples — all
+//! hot paths are sparse. Lives in the library (not `#[cfg(test)]`) because
+//! integration tests and examples across crates share it.
+
+use cscv_simd::Scalar;
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense<T> {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Dense<T> {
+    /// Zero matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Dense {
+            n_rows,
+            n_cols,
+            data: vec![T::ZERO; n_rows * n_cols],
+        }
+    }
+
+    /// Wrap an existing row-major buffer.
+    pub fn from_vec(n_rows: usize, n_cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), n_rows * n_cols);
+        Dense {
+            n_rows,
+            n_cols,
+            data,
+        }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        self.data[r * self.n_cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        self.data[r * self.n_cols + c] = v;
+    }
+
+    /// `y = A x`.
+    pub fn spmv(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.n_cols);
+        assert_eq!(y.len(), self.n_rows);
+        for r in 0..self.n_rows {
+            let row = &self.data[r * self.n_cols..(r + 1) * self.n_cols];
+            y[r] = cscv_simd::lanes::dot(row, x);
+        }
+    }
+}
+
+/// Maximum relative error between two vectors:
+/// `max_i |a_i - b_i| / max(1, |b_i|)` computed in `f64`.
+pub fn max_rel_err<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let mut worst = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        let denom = y.to_f64().abs().max(1.0);
+        let err = (x.to_f64() - y.to_f64()).abs() / denom;
+        if err > worst {
+            worst = err;
+        }
+    }
+    worst
+}
+
+/// Assert two vectors agree within `tol` relative error (panics with the
+/// first offending index for debuggability).
+pub fn assert_vec_close<T: Scalar>(a: &[T], b: &[T], tol: f64) {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let denom = y.to_f64().abs().max(1.0);
+        let err = (x.to_f64() - y.to_f64()).abs() / denom;
+        assert!(
+            err <= tol,
+            "vectors differ at {i}: {x} vs {y} (rel err {err:.3e} > tol {tol:.3e})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    #[test]
+    fn dense_spmv() {
+        let d = Dense::from_vec(2, 3, vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = vec![0.0; 2];
+        d.spmv(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn dense_agrees_with_coo() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 2.0f64);
+        coo.push(2, 2, -1.0);
+        let dense = Dense::from_vec(3, 3, coo.to_dense());
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        dense.spmv(&x, &mut y1);
+        coo.spmv_reference(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn rel_err_measures() {
+        let a = vec![1.0f32, 2.0];
+        let b = vec![1.0f32, 2.0002];
+        let e = max_rel_err(&a, &b);
+        assert!(e > 0.0 && e < 1.5e-4);
+        assert_vec_close(&a, &b, 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn assert_close_fires() {
+        assert_vec_close(&[1.0f32], &[2.0f32], 1e-6);
+    }
+
+    #[test]
+    fn get_set() {
+        let mut d: Dense<f32> = Dense::zeros(2, 2);
+        d.set(1, 0, 5.0);
+        assert_eq!(d.get(1, 0), 5.0);
+        assert_eq!(d.get(0, 0), 0.0);
+    }
+}

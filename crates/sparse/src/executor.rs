@@ -1,0 +1,158 @@
+//! The execution abstraction every SpMV implementation plugs into.
+//!
+//! The paper's experiment tables sweep {CSCV-Z, CSCV-M, MKL-CSR, MKL-CSC,
+//! Merge, CSR5, ESB, SPC5, CVR} × {matrices} × {precisions} × {threads}.
+//! [`SpmvExecutor`] is the uniform surface that makes those sweeps one
+//! loop: compute `y = A x`, and report the metadata the paper's
+//! performance model needs (`nnz` for GFLOP/s, stored bytes for `M_Rit`).
+
+use crate::pool::ThreadPool;
+use cscv_simd::Scalar;
+
+/// A prepared SpMV implementation for one fixed matrix.
+pub trait SpmvExecutor<T: Scalar>: Send + Sync {
+    /// Implementation name as it appears in report tables
+    /// (e.g. `"CSCV-M"`, `"MKL-CSR(analog)"`).
+    fn name(&self) -> String;
+
+    fn n_rows(&self) -> usize;
+
+    fn n_cols(&self) -> usize;
+
+    /// Nonzeros of the *original* matrix; the paper's performance metric
+    /// is `F = 2·nnz(A)/T` regardless of format padding.
+    fn nnz_orig(&self) -> usize;
+
+    /// Values physically stored (≥ `nnz_orig` for padded formats).
+    /// `R_nnzE = nnz_stored/nnz_orig − 1` is the paper's zero-padding rate.
+    fn nnz_stored(&self) -> usize {
+        self.nnz_orig()
+    }
+
+    /// Bytes of matrix data read per SpMV iteration — `M(A)` in the
+    /// paper's memory-requirement model.
+    fn matrix_bytes(&self) -> usize;
+
+    /// Compute `y = A x`, overwriting `y`, using up to
+    /// `pool.n_threads()` threads.
+    ///
+    /// # Panics
+    /// If `x.len() != n_cols` or `y.len() != n_rows`.
+    fn spmv(&self, x: &[T], y: &mut [T], pool: &ThreadPool);
+
+    /// Useful floating-point operations per SpMV (paper's definition).
+    fn flops(&self) -> f64 {
+        2.0 * self.nnz_orig() as f64
+    }
+
+    /// Zero-padding rate `R_nnzE` of the storage format.
+    fn r_nnze(&self) -> f64 {
+        if self.nnz_orig() == 0 {
+            0.0
+        } else {
+            self.nnz_stored() as f64 / self.nnz_orig() as f64 - 1.0
+        }
+    }
+
+    /// `M_Rit = M(A) + M(x) + M(y)`: minimum bytes read/written per
+    /// iteration of `y = A x`.
+    fn memory_requirement(&self) -> usize {
+        self.matrix_bytes() + (self.n_cols() + self.n_rows()) * T::BYTES
+    }
+}
+
+/// Validate an executor against a reference output.
+///
+/// Runs the executor on the given `x` (with a poisoned `y` to catch
+/// missing overwrites) and compares against `y_ref` within `tol`.
+pub fn validate_against<T: Scalar>(
+    exec: &dyn SpmvExecutor<T>,
+    x: &[T],
+    y_ref: &[T],
+    pool: &ThreadPool,
+    tol: f64,
+) {
+    let mut y = vec![T::from_f64(f64::NAN); exec.n_rows()];
+    exec.spmv(x, &mut y, pool);
+    crate::dense::assert_vec_close(&y, y_ref, tol);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::csr::Csr;
+
+    /// Minimal executor used to test the trait's derived quantities.
+    struct TrivialExec {
+        csr: Csr<f64>,
+        padded: usize,
+    }
+
+    impl SpmvExecutor<f64> for TrivialExec {
+        fn name(&self) -> String {
+            "trivial".into()
+        }
+        fn n_rows(&self) -> usize {
+            self.csr.n_rows()
+        }
+        fn n_cols(&self) -> usize {
+            self.csr.n_cols()
+        }
+        fn nnz_orig(&self) -> usize {
+            self.csr.nnz()
+        }
+        fn nnz_stored(&self) -> usize {
+            self.csr.nnz() + self.padded
+        }
+        fn matrix_bytes(&self) -> usize {
+            self.csr.matrix_bytes()
+        }
+        fn spmv(&self, x: &[f64], y: &mut [f64], _pool: &ThreadPool) {
+            self.csr.spmv_serial(x, y);
+        }
+    }
+
+    fn make() -> TrivialExec {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 3.0);
+        TrivialExec {
+            csr: coo.to_csr(),
+            padded: 1,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let e = make();
+        assert_eq!(e.flops(), 4.0);
+        assert!((e.r_nnze() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            e.memory_requirement(),
+            e.matrix_bytes() + 4 * f64::BYTES
+        );
+    }
+
+    #[test]
+    fn validate_passes_and_catches() {
+        let e = make();
+        let pool = ThreadPool::new(1);
+        validate_against(&e, &[1.0, 1.0], &[2.0, 3.0], &pool, 1e-12);
+        let bad = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            validate_against(&e, &[1.0, 1.0], &[2.0, 4.0], &pool, 1e-12);
+        }));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn empty_matrix_metrics() {
+        let coo: Coo<f64> = Coo::new(0, 0);
+        let e = TrivialExec {
+            csr: coo.to_csr(),
+            padded: 0,
+        };
+        assert_eq!(e.r_nnze(), 0.0);
+        assert_eq!(e.flops(), 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! ELLPACK (ELL) — the paper's "category one" reference format.
+//!
+//! §II cites ELL (Bell & Garland) as the classic format that exploits a
+//! regular sparsity pattern: every row is padded to the longest row's
+//! width, making the column loop branch-free and vectorizable. On CT
+//! matrices rows are near-uniform (property P3), so ELL's padding is
+//! moderate — a useful lower-bound baseline for the padded-format
+//! family that CSCV and SELL-C-σ refine.
+//!
+//! Storage is slice-column-major over chunks of [`C`] rows (the CPU
+//! adaptation: a `C`-row chunk advances one ELL column per step with one
+//! contiguous `C`-wide load), with a **global** width — the difference
+//! from SELL-C-σ, which uses per-chunk widths after sorting.
+
+use crate::csr::Csr;
+use crate::executor::SpmvExecutor;
+use crate::formats::util::SharedSliceMut;
+use crate::partition::even_chunks;
+use crate::pool::ThreadPool;
+use cscv_simd::Scalar;
+
+/// Rows per SIMD chunk.
+const C: usize = 8;
+
+/// ELL executor with global row width.
+pub struct EllExec<T> {
+    n_rows: usize,
+    n_cols: usize,
+    nnz: usize,
+    /// Global ELL width (max row length).
+    width: usize,
+    /// Column-major per chunk: entry (chunk, j, lane) at
+    /// `chunk·width·C + j·C + lane`.
+    cols: Vec<u32>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> EllExec<T> {
+    pub fn new(csr: &Csr<T>) -> Self {
+        let n_rows = csr.n_rows();
+        let width = csr.row_lengths().into_iter().max().unwrap_or(0);
+        let n_chunks = n_rows.div_ceil(C);
+        let mut cols = vec![0u32; n_chunks * width * C];
+        let mut vals = vec![T::ZERO; n_chunks * width * C];
+        for r in 0..n_rows {
+            let (chunk, lane) = (r / C, r % C);
+            let (rcols, rvals) = csr.row(r);
+            for (j, (&cc, &vv)) in rcols.iter().zip(rvals).enumerate() {
+                let at = chunk * width * C + j * C + lane;
+                cols[at] = cc;
+                vals[at] = vv;
+            }
+        }
+        EllExec {
+            n_rows,
+            n_cols: csr.n_cols(),
+            nnz: csr.nnz(),
+            width,
+            cols,
+            vals,
+        }
+    }
+
+    /// The global padded width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl<T: Scalar> SpmvExecutor<T> for EllExec<T> {
+    fn name(&self) -> String {
+        "ELL".into()
+    }
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+    fn nnz_orig(&self) -> usize {
+        self.nnz
+    }
+    fn nnz_stored(&self) -> usize {
+        self.vals.len()
+    }
+    fn matrix_bytes(&self) -> usize {
+        self.cols.len() * 4 + self.vals.len() * T::BYTES
+    }
+
+    fn spmv(&self, x: &[T], y: &mut [T], pool: &ThreadPool) {
+        assert_eq!(x.len(), self.n_cols);
+        assert_eq!(y.len(), self.n_rows);
+        let n_chunks = self.n_rows.div_ceil(C);
+        let ranges = even_chunks(n_chunks, pool.n_threads());
+        let out = SharedSliceMut::new(y);
+        pool.run(|tid| {
+            for chunk in ranges[tid].clone() {
+                let base = chunk * self.width * C;
+                let mut acc = [T::ZERO; C];
+                for j in 0..self.width {
+                    let cs = &self.cols[base + j * C..base + j * C + C];
+                    let vs = &self.vals[base + j * C..base + j * C + C];
+                    for l in 0..C {
+                        acc[l] = vs[l].mul_add(x[cs[l] as usize], acc[l]);
+                    }
+                }
+                let r0 = chunk * C;
+                let r1 = (r0 + C).min(self.n_rows);
+                // SAFETY: chunk row ranges are disjoint across threads.
+                let dst = unsafe { out.slice_mut(r0..r1) };
+                dst.copy_from_slice(&acc[..r1 - r0]);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::dense::assert_vec_close;
+
+    fn near_uniform(n: usize) -> Csr<f64> {
+        let mut coo = Coo::new(n, n);
+        for r in 0..n {
+            for k in 0..3 + (r % 2) {
+                coo.push(r, (r * 5 + k * 3) % n, 0.5 + k as f64);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn matches_reference() {
+        let csr = near_uniform(100);
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.17).sin()).collect();
+        let mut y_ref = vec![0.0; 100];
+        csr.spmv_serial(&x, &mut y_ref);
+        let exec = EllExec::new(&csr);
+        for threads in [1, 3] {
+            let pool = ThreadPool::new(threads);
+            let mut y = vec![f64::NAN; 100];
+            exec.spmv(&x, &mut y, &pool);
+            assert_vec_close(&y, &y_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn width_and_padding() {
+        let csr = near_uniform(64);
+        let exec = EllExec::new(&csr);
+        assert_eq!(exec.width(), 4);
+        assert_eq!(exec.nnz_stored(), 64 * 4);
+        assert!(exec.r_nnze() > 0.0);
+    }
+
+    #[test]
+    fn pathological_single_long_row() {
+        // One dense row forces a huge global width — ELL's known failure
+        // mode, which SELL-C-σ fixes; correctness must still hold.
+        let mut coo = Coo::new(16, 32);
+        for c in 0..32 {
+            coo.push(0, c, 1.0);
+        }
+        coo.push(7, 3, 2.0);
+        let csr = coo.to_csr();
+        let exec = EllExec::new(&csr);
+        assert_eq!(exec.width(), 32);
+        let pool = ThreadPool::new(2);
+        let mut y = vec![f64::NAN; 16];
+        exec.spmv(&vec![1.0; 32], &mut y, &pool);
+        assert_eq!(y[0], 32.0);
+        assert_eq!(y[7], 2.0);
+        assert!(y[1..7].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr: Csr<f32> = Coo::new(5, 5).to_csr();
+        let exec = EllExec::new(&csr);
+        assert_eq!(exec.width(), 0);
+        let pool = ThreadPool::new(1);
+        let mut y = vec![f32::NAN; 5];
+        exec.spmv(&[0.0; 5], &mut y, &pool);
+        assert!(y.iter().all(|&v| v == 0.0));
+    }
+}

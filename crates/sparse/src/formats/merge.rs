@@ -1,0 +1,237 @@
+//! Merge-path CSR SpMV — the "Merge" baseline (Merrill & Garland, SC'16).
+//!
+//! The classic fix for CSR's load imbalance: view SpMV as a merge of two
+//! sorted lists — the `n_rows` row boundaries (`row_ptr[1..]`) and the
+//! `nnz` nonzero indices — and give every thread an equal share of
+//! `n_rows + nnz` *merge items*, located by a binary search along the
+//! merge-path diagonal. Rows split across threads are stitched with
+//! per-thread carry-outs in a serial fixup (cost `O(threads)`).
+
+use crate::csr::Csr;
+use crate::executor::SpmvExecutor;
+use crate::formats::util::SharedSliceMut;
+use crate::pool::ThreadPool;
+use cscv_simd::Scalar;
+
+/// Merge-path partitioned CSR SpMV.
+pub struct MergeCsrExec<T> {
+    csr: Csr<T>,
+}
+
+/// Coordinate on the merge path: `row` rows and `idx` nonzeros consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MergeCoord {
+    row: usize,
+    idx: usize,
+}
+
+impl<T: Scalar> MergeCsrExec<T> {
+    pub fn new(csr: Csr<T>) -> Self {
+        MergeCsrExec { csr }
+    }
+
+    /// Locate the merge coordinate at a given diagonal (total item count)
+    /// by binary search: find the split where consuming `row` row-ends and
+    /// `diag - row` nonzeros is consistent with `row_ptr`.
+    fn diagonal_search(row_ptr: &[usize], diag: usize) -> MergeCoord {
+        let n_rows = row_ptr.len() - 1;
+        let nnz = row_ptr[n_rows];
+        // row ∈ [max(0, diag-nnz), min(diag, n_rows)]
+        let mut lo = diag.saturating_sub(nnz);
+        let mut hi = diag.min(n_rows);
+        // Invariant: consume row-end of row r before nonzeros of row r+1.
+        // We want the largest `row` such that row_ptr[row] + row <= diag
+        // ... choosing: row-end item for row r sits after its nnz items.
+        while lo < hi {
+            let mid = (lo + hi + 1) / 2;
+            // Items consumed if we have fully finished `mid` rows:
+            // mid row-ends + row_ptr[mid] nonzeros.
+            if row_ptr[mid] + mid <= diag {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        MergeCoord {
+            row: lo,
+            idx: diag - lo,
+        }
+    }
+}
+
+impl<T: Scalar> SpmvExecutor<T> for MergeCsrExec<T> {
+    fn name(&self) -> String {
+        "Merge(analog)".into()
+    }
+    fn n_rows(&self) -> usize {
+        self.csr.n_rows()
+    }
+    fn n_cols(&self) -> usize {
+        self.csr.n_cols()
+    }
+    fn nnz_orig(&self) -> usize {
+        self.csr.nnz()
+    }
+    fn matrix_bytes(&self) -> usize {
+        self.csr.matrix_bytes()
+    }
+
+    fn spmv(&self, x: &[T], y: &mut [T], pool: &ThreadPool) {
+        assert_eq!(x.len(), self.csr.n_cols());
+        assert_eq!(y.len(), self.csr.n_rows());
+        let n_rows = self.csr.n_rows();
+        let nnz = self.csr.nnz();
+        let n = pool.n_threads();
+        let total = n_rows + nnz;
+        let row_ptr = self.csr.row_ptr();
+        let col_idx = self.csr.col_idx();
+        let vals = self.csr.vals();
+
+        // Per-thread carry-out: the partial sum of the (possibly shared)
+        // row the thread's range ends inside.
+        let mut carry_row = vec![usize::MAX; n];
+        let mut carry_val = vec![T::ZERO; n];
+        {
+            let out = SharedSliceMut::new(y);
+            let carry_row_s = SharedSliceMut::new(&mut carry_row);
+            let carry_val_s = SharedSliceMut::new(&mut carry_val);
+            pool.run(|tid| {
+                let d0 = total * tid / n;
+                let d1 = total * (tid + 1) / n;
+                let start = Self::diagonal_search(row_ptr, d0);
+                let end = Self::diagonal_search(row_ptr, d1);
+                let mut row = start.row;
+                let mut idx = start.idx;
+                let mut acc = T::ZERO;
+                // Walk the merge path: consume nonzeros of `row` up to its
+                // end, emit the row, move on — but never past `end`.
+                while row < end.row {
+                    let stop = row_ptr[row + 1];
+                    while idx < stop {
+                        acc = vals[idx].mul_add(x[col_idx[idx] as usize], acc);
+                        idx += 1;
+                    }
+                    // Row-end item: this thread owns the write for `row`.
+                    // SAFETY: each row-end belongs to exactly one thread.
+                    unsafe { out.slice_mut(row..row + 1)[0] = acc };
+                    acc = T::ZERO;
+                    row += 1;
+                }
+                // Trailing nonzeros of the (shared) row `end.row`.
+                while idx < end.idx {
+                    acc = vals[idx].mul_add(x[col_idx[idx] as usize], acc);
+                    idx += 1;
+                }
+                // SAFETY: slot `tid` only.
+                unsafe {
+                    carry_row_s.slice_mut(tid..tid + 1)[0] =
+                        if row < n_rows { row } else { usize::MAX };
+                    carry_val_s.slice_mut(tid..tid + 1)[0] = acc;
+                }
+            });
+        }
+        // Serial fixup: add carries into the rows they belong to.
+        for t in 0..n {
+            if carry_row[t] != usize::MAX {
+                y[carry_row[t]] += carry_val[t];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::dense::assert_vec_close;
+
+    #[test]
+    fn diagonal_search_walks_the_path() {
+        // 3 rows with 2, 0, 3 nnz. row_ptr = [0,2,2,5], total items = 8.
+        let row_ptr = [0usize, 2, 2, 5];
+        assert_eq!(
+            MergeCsrExec::<f64>::diagonal_search(&row_ptr, 0),
+            MergeCoord { row: 0, idx: 0 }
+        );
+        // After 3 items: 2 nnz + row0's end consumed.
+        assert_eq!(
+            MergeCsrExec::<f64>::diagonal_search(&row_ptr, 3),
+            MergeCoord { row: 1, idx: 2 }
+        );
+        // After 4 items: row1 (empty) also ends.
+        assert_eq!(
+            MergeCsrExec::<f64>::diagonal_search(&row_ptr, 4),
+            MergeCoord { row: 2, idx: 2 }
+        );
+        // All items.
+        assert_eq!(
+            MergeCsrExec::<f64>::diagonal_search(&row_ptr, 8),
+            MergeCoord { row: 3, idx: 5 }
+        );
+    }
+
+    fn skewed_matrix(n: usize) -> Csr<f64> {
+        // Row 0 is enormous; the rest are tiny — the case merge-path exists
+        // for.
+        let mut coo = Coo::new(n, n);
+        for c in 0..n {
+            coo.push(0, c, (c as f64 + 1.0) * 0.01);
+        }
+        for r in 1..n {
+            coo.push(r, r, 1.0);
+            if r % 3 == 0 {
+                coo.push(r, (r + 5) % n, -0.5);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn matches_reference_on_skewed_matrix() {
+        let csr = skewed_matrix(200);
+        let x: Vec<f64> = (0..200).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let mut y_ref = vec![0.0; 200];
+        csr.spmv_serial(&x, &mut y_ref);
+        let exec = MergeCsrExec::new(csr);
+        for threads in [1, 2, 3, 4, 7, 16] {
+            let pool = ThreadPool::new(threads);
+            let mut y = vec![f64::NAN; 200];
+            exec.spmv(&x, &mut y, &pool);
+            assert_vec_close(&y, &y_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_giant_row_split_across_all_threads() {
+        let mut coo = Coo::new(1, 1000);
+        for c in 0..1000 {
+            coo.push(0, c, 1.0);
+        }
+        let exec = MergeCsrExec::new(coo.to_csr());
+        let pool = ThreadPool::new(8);
+        let mut y = vec![f64::NAN; 1];
+        exec.spmv(&vec![1.0; 1000], &mut y, &pool);
+        assert!((y[0] - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_empty_rows() {
+        let coo: Coo<f32> = Coo::new(16, 16);
+        let exec = MergeCsrExec::new(coo.to_csr());
+        let pool = ThreadPool::new(4);
+        let mut y = vec![f32::NAN; 16];
+        exec.spmv(&[1.0; 16], &mut y, &pool);
+        assert!(y.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let mut coo: Coo<f64> = Coo::new(2, 2);
+        coo.push(1, 0, 3.0);
+        let exec = MergeCsrExec::new(coo.to_csr());
+        let pool = ThreadPool::new(16);
+        let mut y = vec![f64::NAN; 2];
+        exec.spmv(&[2.0, 1.0], &mut y, &pool);
+        assert_eq!(y, vec![0.0, 6.0]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Baseline SpMV implementations — the paper's competitor field.
+//!
+//! Each submodule re-implements the published algorithm of one baseline
+//! the paper benchmarks CSCV against (see DESIGN.md for the mapping):
+//!
+//! | module | paper baseline | idea |
+//! |--------|----------------|------|
+//! | [`csr_exec`] | MKL-CSR | row-parallel CSR, unrolled dot-product rows |
+//! | [`csc_exec`] | MKL-CSC | column-parallel CSC with private `y` copies |
+//! | [`merge`] | Merge | merge-path work partitioning (Merrill & Garland) |
+//! | [`csr5`] | CSR5 | σ×ω transposed tiles + flag-based segmented sum |
+//! | [`sell`] | ESB | SELL-C-σ sorted sliced ELLPACK |
+//! | [`spc5`] | SPC5 | mask-compressed row blocks + vexpand |
+//! | [`cvr`] | CVR | lane-striped row streaming with flush records |
+//!
+//! | [`ell`] | (taxonomy §II) | global-width ELLPACK, the padded-format ancestor |
+//! | [`bcsr`] | (taxonomy §II) | dense sub-matrix blocks with zero fill |
+//!
+//! VHCC is deliberately not reproduced (Knights-Corner-specific; see
+//! DESIGN.md).
+
+pub mod bcsr;
+pub mod csc_exec;
+pub mod csr5;
+pub mod csr_exec;
+pub mod cvr;
+pub mod ell;
+pub mod merge;
+pub mod sell;
+pub mod spc5;
+pub(crate) mod util;
+
+pub use bcsr::BcsrExec;
+pub use csc_exec::{CscParallelExec, CscSerialExec};
+pub use csr5::Csr5Exec;
+pub use csr_exec::{CsrExec, CsrSerialExec};
+pub use cvr::CvrExec;
+pub use ell::EllExec;
+pub use merge::MergeCsrExec;
+pub use sell::SellCSigmaExec;
+pub use spc5::Spc5Exec;
+
+use crate::csr::Csr;
+use crate::executor::SpmvExecutor;
+use cscv_simd::{MaskExpand, Scalar};
+
+/// Build the full baseline field for a matrix (every competitor the suite
+/// reproduces). `n_threads_hint` shapes the thread-count-dependent builds
+/// (CVR); executors still run correctly on pools of any size.
+pub fn baseline_field<T: Scalar + MaskExpand>(
+    csr: &Csr<T>,
+    n_threads_hint: usize,
+) -> Vec<Box<dyn SpmvExecutor<T>>> {
+    vec![
+        Box::new(CsrExec::new(csr.clone())),
+        Box::new(CscParallelExec::new(csr.to_csc())),
+        Box::new(MergeCsrExec::new(csr.clone())),
+        Box::new(Csr5Exec::new(csr)),
+        Box::new(SellCSigmaExec::new(csr)),
+        Box::new(Spc5Exec::<T, 8>::new(csr)),
+        Box::new(CvrExec::new(csr, n_threads_hint)),
+        Box::new(EllExec::new(csr)),
+        Box::new(BcsrExec::new(csr)),
+    ]
+}

@@ -1,0 +1,4 @@
+//! Internal alias of the shared parallel plumbing (kept so the format
+//! modules' imports stay short; the canonical home is [`crate::shared`]).
+
+pub(crate) use crate::shared::{reduce_buffers_into, Scratch, SharedSliceMut};

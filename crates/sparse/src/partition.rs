@@ -1,0 +1,161 @@
+//! Work partitioning helpers.
+//!
+//! Thread-level SpMV parallelism in the suite is contiguous-range based:
+//! rows (or columns, or CSCV view-groups) are split into one range per
+//! thread, balanced by nonzero count. The paper's property P3 (integral
+//! operators give near-uniform column densities) makes contiguous
+//! partitions near-optimal, but the helpers balance by exact weight anyway
+//! so general matrices stay fair.
+
+use std::ops::Range;
+
+/// Split `0..n` into `k` contiguous ranges of near-equal length.
+/// Always returns exactly `k` ranges; trailing ones may be empty.
+pub fn even_chunks(n: usize, k: usize) -> Vec<Range<usize>> {
+    assert!(k >= 1);
+    let base = n / k;
+    let rem = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Split `0..prefix.len()-1` items into `k` contiguous ranges with
+/// near-equal weight, where `prefix` is the cumulative weight array
+/// (e.g. a CSR `row_ptr`): item `i` weighs `prefix[i+1] - prefix[i]`.
+///
+/// Returns exactly `k` ranges covering all items in order.
+pub fn split_by_prefix(prefix: &[usize], k: usize) -> Vec<Range<usize>> {
+    assert!(k >= 1);
+    assert!(!prefix.is_empty(), "prefix must have at least one element");
+    let n = prefix.len() - 1;
+    let total = prefix[n] - prefix[0];
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for t in 1..=k {
+        let target = prefix[0] + (total as u128 * t as u128 / k as u128) as usize;
+        // First boundary with cumulative weight >= target, not before start.
+        let mut end = prefix.partition_point(|&w| w < target);
+        end = end.clamp(start, n);
+        if t == k {
+            end = n;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Convenience: balanced split of explicit per-item weights.
+pub fn split_by_weights(weights: &[usize], k: usize) -> Vec<Range<usize>> {
+    let mut prefix = Vec::with_capacity(weights.len() + 1);
+    prefix.push(0usize);
+    let mut acc = 0usize;
+    for &w in weights {
+        acc += w;
+        prefix.push(acc);
+    }
+    split_by_prefix(&prefix, k)
+}
+
+/// Total weight of a range under a prefix array.
+pub fn range_weight(prefix: &[usize], r: &Range<usize>) -> usize {
+    prefix[r.end] - prefix[r.start]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_covers(ranges: &[Range<usize>], n: usize) {
+        let mut next = 0;
+        for r in ranges {
+            assert_eq!(r.start, next, "ranges must be contiguous");
+            assert!(r.end >= r.start);
+            next = r.end;
+        }
+        assert_eq!(next, n, "ranges must cover all items");
+    }
+
+    #[test]
+    fn even_chunks_cover_and_balance() {
+        for n in [0usize, 1, 7, 16, 100] {
+            for k in [1usize, 2, 3, 8] {
+                let r = even_chunks(n, k);
+                assert_eq!(r.len(), k);
+                assert_covers(&r, n);
+                let max = r.iter().map(|r| r.len()).max().unwrap();
+                let min = r.iter().map(|r| r.len()).min().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_split_balances_skewed_weights() {
+        // One heavy item among light ones.
+        let weights = [1usize, 1, 1, 100, 1, 1, 1, 1];
+        let ranges = split_by_weights(&weights, 4);
+        assert_eq!(ranges.len(), 4);
+        assert_covers(&ranges, weights.len());
+        // The heavy item must sit alone-ish: no range except its own should
+        // exceed ~total/4 + heaviest bound.
+        let total: usize = weights.iter().sum();
+        for r in &ranges {
+            let w: usize = weights[r.start..r.end].iter().sum();
+            assert!(w <= total / 4 + 100);
+        }
+    }
+
+    #[test]
+    fn prefix_split_uniform_matches_even() {
+        let weights = vec![3usize; 12];
+        let ranges = split_by_weights(&weights, 4);
+        assert_eq!(
+            ranges,
+            vec![0..3, 3..6, 6..9, 9..12],
+            "uniform weights give even chunks"
+        );
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let weights = [5usize, 5];
+        let ranges = split_by_weights(&weights, 5);
+        assert_eq!(ranges.len(), 5);
+        assert_covers(&ranges, 2);
+        let nonempty = ranges.iter().filter(|r| !r.is_empty()).count();
+        assert!(nonempty <= 2);
+    }
+
+    #[test]
+    fn empty_items() {
+        let ranges = split_by_prefix(&[0], 3);
+        assert_eq!(ranges.len(), 3);
+        assert_covers(&ranges, 0);
+    }
+
+    #[test]
+    fn zero_weight_items_allowed() {
+        let weights = [0usize, 0, 4, 0, 4, 0];
+        let ranges = split_by_weights(&weights, 2);
+        assert_covers(&ranges, 6);
+        let w0: usize = weights[ranges[0].clone()].iter().sum();
+        let w1: usize = weights[ranges[1].clone()].iter().sum();
+        assert_eq!(w0 + w1, 8);
+        assert_eq!(w0, 4);
+    }
+
+    #[test]
+    fn range_weight_reads_prefix() {
+        let prefix = [0usize, 2, 5, 9];
+        assert_eq!(range_weight(&prefix, &(0..3)), 9);
+        assert_eq!(range_weight(&prefix, &(1..2)), 3);
+        assert_eq!(range_weight(&prefix, &(2..2)), 0);
+    }
+}

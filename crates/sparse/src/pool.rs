@@ -1,0 +1,244 @@
+//! A persistent worker pool — the suite's OpenMP analog.
+//!
+//! The paper measures SpMV at the millisecond scale where per-call thread
+//! spawning would distort minima, so workers are created once and parked on
+//! a channel. [`ThreadPool::run`] hands every worker the same borrowed
+//! closure (lifetime-erased behind a completion barrier) and blocks until
+//! all workers acknowledge — the closure is therefore never observed after
+//! `run` returns, which is what makes the erasure sound.
+//!
+//! A pool of one thread executes inline, so `threads = 1` measurements are
+//! genuinely serial (no pool overhead), matching how the paper reports
+//! single-thread numbers.
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// Borrowed task pointer smuggled to workers. Soundness argument: `run`
+/// keeps the referent alive on its stack and does not return until every
+/// worker has acknowledged completion of this exact job.
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+// SAFETY: the referent is Sync (shared &-calls from many threads are fine)
+// and outlives all uses per the barrier protocol above.
+unsafe impl Send for TaskPtr {}
+
+struct Job {
+    task: TaskPtr,
+    thread_idx: usize,
+}
+
+type Ack = std::thread::Result<()>;
+
+/// Fixed-size persistent thread pool.
+pub struct ThreadPool {
+    n_threads: usize,
+    /// One injection channel per worker (jobs are per-thread, not stolen).
+    job_txs: Vec<Sender<Job>>,
+    ack_rx: Receiver<Ack>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes `run` calls; the ack channel carries one generation at a time.
+    dispatch: Mutex<()>,
+}
+
+impl ThreadPool {
+    /// Create a pool with `n_threads` execution slots (minimum 1).
+    ///
+    /// `n_threads == 1` creates no OS threads; `run` executes inline.
+    pub fn new(n_threads: usize) -> Self {
+        let n_threads = n_threads.max(1);
+        let (ack_tx, ack_rx) = unbounded::<Ack>();
+        let mut job_txs = Vec::new();
+        let mut handles = Vec::new();
+        if n_threads > 1 {
+            for w in 0..n_threads {
+                let (tx, rx) = unbounded::<Job>();
+                let ack = ack_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("cscv-worker-{w}"))
+                    .spawn(move || {
+                        for job in rx.iter() {
+                            let res = catch_unwind(AssertUnwindSafe(|| {
+                                // SAFETY: see TaskPtr protocol.
+                                let f = unsafe { &*job.task.0 };
+                                f(job.thread_idx);
+                            }));
+                            // Receiver gone ⇒ pool dropped mid-run; just exit.
+                            if ack.send(res).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker");
+                job_txs.push(tx);
+                handles.push(handle);
+            }
+        }
+        ThreadPool {
+            n_threads,
+            job_txs,
+            ack_rx,
+            handles,
+            dispatch: Mutex::new(()),
+        }
+    }
+
+    /// Number of execution slots.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Hardware parallelism of the machine (≥ 1).
+    pub fn max_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Run `f(thread_idx)` once on every slot; blocks until all complete.
+    ///
+    /// Panics in any slot are re-raised here (after all slots finished, so
+    /// the borrow of `f` never escapes).
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.n_threads == 1 {
+            f(0);
+            return;
+        }
+        // A panic propagated out of a previous `run` poisons the lock but
+        // leaves the pool protocol consistent (all acks were drained), so
+        // poisoning is recoverable here.
+        let _guard = self
+            .dispatch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let obj: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: erase the lifetime; workers only touch the pointer
+        // before acking, and `run` does not return before all acks.
+        let raw: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(obj)
+        };
+        for (idx, tx) in self.job_txs.iter().enumerate() {
+            tx.send(Job {
+                task: TaskPtr(raw),
+                thread_idx: idx,
+            })
+            .expect("worker alive");
+        }
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for _ in 0..self.n_threads {
+            match self.ack_rx.recv().expect("worker alive") {
+                Ok(()) => {}
+                Err(p) => panic = Some(p),
+            }
+        }
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.job_txs.clear(); // close channels; workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("n_threads", &self.n_threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let tid = std::thread::current().id();
+        pool.run(|i| {
+            assert_eq!(i, 0);
+            assert_eq!(std::thread::current().id(), tid);
+        });
+    }
+
+    #[test]
+    fn all_slots_execute_once() {
+        let pool = ThreadPool::new(4);
+        let hits = AtomicUsize::new(0);
+        let mask = AtomicUsize::new(0);
+        pool.run(|i| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            mask.fetch_or(1 << i, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+        assert_eq!(mask.load(Ordering::SeqCst), 0b1111);
+    }
+
+    #[test]
+    fn pool_is_reusable() {
+        let pool = ThreadPool::new(3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 150);
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_and_mutable_via_indices() {
+        let pool = ThreadPool::new(4);
+        let mut out = vec![0usize; 4];
+        // Give each worker a disjoint &mut cell via raw-slice partitioning.
+        let ptr = out.as_mut_ptr() as usize;
+        pool.run(|i| {
+            // SAFETY: disjoint indices per worker.
+            unsafe { *(ptr as *mut usize).add(i) = i * 10 };
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|i| {
+                if i == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool still usable afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.n_threads(), 1);
+        pool.run(|i| assert_eq!(i, 0));
+    }
+
+    #[test]
+    fn max_parallelism_positive() {
+        assert!(ThreadPool::max_parallelism() >= 1);
+    }
+}

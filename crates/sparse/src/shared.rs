@@ -1,0 +1,173 @@
+//! Shared plumbing for parallel executors (used by this crate's baseline
+//! formats and by the CSCV executors in `cscv-core`).
+
+use crate::pool::ThreadPool;
+use cscv_simd::Scalar;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// A `&mut [T]` that can be sliced disjointly from several pool workers.
+///
+/// Soundness contract: callers hand each worker a range, and ranges given
+/// out concurrently must be pairwise disjoint. All executors in the suite
+/// derive the ranges from a partition of `0..len`, which guarantees that.
+pub struct SharedSliceMut<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for SharedSliceMut<T> {}
+unsafe impl<T: Send> Sync for SharedSliceMut<T> {}
+
+impl<T> SharedSliceMut<T> {
+    pub fn new(slice: &mut [T]) -> Self {
+        SharedSliceMut {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Get a mutable sub-slice.
+    ///
+    /// # Safety
+    /// `range` must be in bounds and must not overlap any other range
+    /// handed out while both are alive.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [T] {
+        debug_assert!(range.end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
+    }
+
+    /// Raw pointer to one element, for executors whose per-thread write
+    /// sets are disjoint but not contiguous (CSR5 segment flushes).
+    ///
+    /// # Safety
+    /// `idx` must be in bounds; the caller's protocol must ensure no two
+    /// threads access the same index concurrently.
+    pub unsafe fn get_raw(&self, idx: usize) -> *mut T {
+        debug_assert!(idx < self.len);
+        self.ptr.add(idx)
+    }
+}
+
+/// Lazily sized per-thread scratch buffers, cached across SpMV calls so
+/// the measured kernels do not pay allocation on every iteration.
+pub struct Scratch<T> {
+    bufs: Mutex<Vec<Vec<T>>>,
+}
+
+impl<T: Scalar> Default for Scratch<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> Scratch<T> {
+    pub fn new() -> Self {
+        Scratch {
+            bufs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Get `n_bufs` zeroed buffers of `len` elements each. The guard keeps
+    /// the buffers exclusively borrowed for the duration of the SpMV call.
+    pub fn take(&self, n_bufs: usize, len: usize) -> std::sync::MutexGuard<'_, Vec<Vec<T>>> {
+        let mut g = self.bufs.lock().unwrap_or_else(|p| p.into_inner());
+        if g.len() < n_bufs {
+            g.resize_with(n_bufs, Vec::new);
+        }
+        for b in g.iter_mut().take(n_bufs) {
+            if b.len() != len {
+                b.clear();
+                b.resize(len, T::ZERO);
+            } else {
+                b.fill(T::ZERO);
+            }
+        }
+        g
+    }
+}
+
+/// Reduce per-thread buffers into `y` in parallel: each thread sums one
+/// disjoint row range across all buffers. This is the paper's "each
+/// thread has its own local copy of vector y … summed up globally with
+/// multi-threads".
+pub fn reduce_buffers_into<T: Scalar>(pool: &ThreadPool, bufs: &[Vec<T>], y: &mut [T]) {
+    let n = pool.n_threads();
+    let ranges = crate::partition::even_chunks(y.len(), n);
+    let out = SharedSliceMut::new(y);
+    pool.run(|tid| {
+        let range = ranges[tid].clone();
+        // SAFETY: ranges are disjoint per thread.
+        let dst = unsafe { out.slice_mut(range.clone()) };
+        dst.fill(T::ZERO);
+        for buf in bufs {
+            cscv_simd::lanes::add_assign_slice(dst, &buf[range.clone()]);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_slice_disjoint_writes() {
+        let mut data = vec![0u32; 10];
+        let shared = SharedSliceMut::new(&mut data);
+        assert_eq!(shared.len(), 10);
+        assert!(!shared.is_empty());
+        let pool = ThreadPool::new(2);
+        let ranges = [0..5, 5..10];
+        pool.run(|tid| {
+            let s = unsafe { shared.slice_mut(ranges[tid].clone()) };
+            for v in s {
+                *v = tid as u32 + 1;
+            }
+        });
+        assert_eq!(&data[..5], &[1; 5]);
+        assert_eq!(&data[5..], &[2; 5]);
+    }
+
+    #[test]
+    fn scratch_resizes_and_zeroes() {
+        let scratch: Scratch<f64> = Scratch::new();
+        {
+            let mut g = scratch.take(2, 4);
+            g[0][1] = 5.0;
+            g[1][3] = 7.0;
+        }
+        let g = scratch.take(3, 4);
+        for b in g.iter().take(3) {
+            assert_eq!(b.len(), 4);
+            assert!(b.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn reduce_buffers_sums_all() {
+        let pool = ThreadPool::new(3);
+        let bufs = vec![vec![1.0f32; 7], vec![2.0; 7], vec![3.0; 7]];
+        let mut y = vec![99.0f32; 7];
+        reduce_buffers_into(&pool, &bufs, &mut y);
+        assert_eq!(y, vec![6.0; 7]);
+    }
+
+    #[test]
+    fn get_raw_pointer_access() {
+        let mut data = vec![1.0f64; 4];
+        let shared = SharedSliceMut::new(&mut data);
+        unsafe {
+            *shared.get_raw(2) += 5.0;
+        }
+        assert_eq!(data, vec![1.0, 1.0, 6.0, 1.0]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Parameter tuning walkthrough: how S_ImgB / S_VVec / S_VxG trade
+//! padding against locality and pipelining (the paper's §V-D analysis,
+//! interactively).
+//!
+//! Run: `cargo run --release --example parameter_tuning`
+
+use cscv_repro::harness::timing::measure_spmv;
+use cscv_repro::prelude::*;
+
+fn main() {
+    let ds = cscv_repro::ct::datasets::default_suite()[0]; // ct128
+    let geom = ds.geometry();
+    let a: Csc<f32> = SystemMatrix::assemble_csc(&geom);
+    let layout = SinoLayout {
+        n_views: ds.n_views,
+        n_bins: ds.n_bins,
+    };
+    let img = ImageShape {
+        nx: ds.img,
+        ny: ds.img,
+    };
+    let x: Vec<f32> = Phantom::shepp_logan()
+        .rasterize(&geom.grid)
+        .into_iter()
+        .map(|v| v as f32)
+        .collect();
+    let pool = ThreadPool::new(1);
+    let mut y = vec![0.0f32; a.n_rows()];
+
+    println!("dataset {}: {} nnz\n", ds.name, a.nnz());
+    println!("effect of each parameter on CSCV-M (single thread):\n");
+    println!(
+        "{:<26} {:>8} {:>10} {:>12}",
+        "parameters", "R_nnzE", "GFLOP/s", "matrix MiB"
+    );
+
+    let mut show = |imgb: usize, vvec: usize, vxg: usize| {
+        let params = CscvParams::new(imgb, vvec, vxg);
+        let m = build(&a, layout, img, params, Variant::M);
+        let r = m.stats.r_nnze();
+        let exec = CscvExec::new(m);
+        let meas = measure_spmv(&exec, &x, &mut y, &pool, 2, 10);
+        println!(
+            "{:<26} {:>8.3} {:>10.2} {:>12.1}",
+            params.to_string(),
+            r,
+            meas.gflops,
+            exec.matrix_bytes() as f64 / (1 << 20) as f64
+        );
+    };
+
+    println!("-- tile size (S_ImgB): larger tiles amortize x/ỹ but pad more");
+    for imgb in [8, 16, 32, 64] {
+        show(imgb, 8, 2);
+    }
+    println!("\n-- lane count (S_VVec): wider SIMD vs more padding");
+    for vvec in [4, 8, 16] {
+        show(16, vvec, 2);
+    }
+    println!("\n-- VxG depth (S_VxG): deeper inner loop + fewer indices vs alignment padding");
+    for vxg in [1, 2, 4, 8] {
+        show(16, 8, vxg);
+    }
+    println!("\npaper defaults: Z = (16,16,2), M = (32,8,4); the best cell above should be nearby.");
+}

@@ -1,0 +1,24 @@
+#!/bin/bash
+# Regenerate every paper table/figure (see DESIGN.md per-experiment index).
+# Writes text outputs to bench_results/. Tuned for a single-core machine:
+# --iters trades precision for wall clock; use --iters 100 for
+# paper-strength minima.
+set -u
+cd "$(dirname "$0")"
+OUT=bench_results
+R="cargo run --release -q -p cscv-bench --bin"
+run() { echo "== $1 =="; shift; local t0=$SECONDS; "$@"; echo "[elapsed $((SECONDS-t0))s]"; }
+
+run table1  $R table1_sample_block                          > $OUT/table1.txt 2>&1
+run table2  $R table2_datasets                              > $OUT/table2.txt 2>&1
+run fig4    $R fig4_simd_efficiency                         > $OUT/fig4.txt   2>&1
+run fig5    $R fig5_padding_dist                            > $OUT/fig5.txt   2>&1
+run fig8    $R fig8_param_sweep    -- --dataset ct256       > $OUT/fig8.txt   2>&1
+run fig9    $R fig9_param_perf     -- --dataset ct256 --threads 1,4 --iters 6  > $OUT/fig9.txt 2>&1
+run table3  $R table3_params       -- --dataset ct256 --threads 4 --iters 6    > $OUT/table3.txt 2>&1
+run fig10   $R fig10_scalability   -- --threads 1,2,4 --iters 12               > $OUT/fig10.txt 2>&1
+run fig11   $R fig11_membw         -- --dataset ct256 --threads 4 --iters 12   > $OUT/fig11.txt 2>&1
+run table4  $R table4_best_perf    -- --threads 1,4 --iters 12                 > $OUT/table4.txt 2>&1
+run ablation $R ablation           -- --dataset ct256 --threads 1,4 --iters 10 > $OUT/ablation.txt 2>&1
+run backproj $R backprojection     -- --threads 1,4 --iters 10                 > $OUT/backprojection.txt 2>&1
+echo ALL_DONE

@@ -1,0 +1,129 @@
+//! API contract tests: dimension checks, misuse panics, and cross-type
+//! consistency — the failure-injection side of the suite.
+
+use cscv_repro::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn tiny_cscv() -> (Csc<f32>, CscvExec<f32>) {
+    let ds = cscv_repro::ct::datasets::tiny();
+    let geom = ds.geometry();
+    let csc: Csc<f32> = SystemMatrix::assemble_csc(&geom);
+    let exec = CscvExec::new(build(
+        &csc,
+        SinoLayout {
+            n_views: ds.n_views,
+            n_bins: ds.n_bins,
+        },
+        ImageShape {
+            nx: ds.img,
+            ny: ds.img,
+        },
+        CscvParams::new(8, 8, 2),
+        Variant::Z,
+    ));
+    (csc, exec)
+}
+
+#[test]
+fn spmv_rejects_wrong_dimensions() {
+    let (csc, exec) = tiny_cscv();
+    let pool = ThreadPool::new(1);
+    let mut y = vec![0.0f32; csc.n_rows()];
+    let bad_x = vec![0.0f32; csc.n_cols() + 1];
+    assert!(catch_unwind(AssertUnwindSafe(|| exec.spmv(&bad_x, &mut y, &pool))).is_err());
+    let x = vec![0.0f32; csc.n_cols()];
+    let mut bad_y = vec![0.0f32; csc.n_rows() - 1];
+    assert!(catch_unwind(AssertUnwindSafe(|| exec.spmv(&x, &mut bad_y, &pool))).is_err());
+    // Transpose direction too.
+    let mut xt = vec![0.0f32; csc.n_cols()];
+    let bad_yt = vec![0.0f32; csc.n_rows() + 5];
+    assert!(
+        catch_unwind(AssertUnwindSafe(|| exec.spmv_transpose(&bad_yt, &mut xt, &pool))).is_err()
+    );
+}
+
+#[test]
+fn builder_rejects_shape_mismatches() {
+    let (csc, _) = tiny_cscv();
+    let bad_layout = SinoLayout {
+        n_views: 3,
+        n_bins: 7,
+    };
+    let img = ImageShape { nx: 32, ny: 32 };
+    assert!(catch_unwind(AssertUnwindSafe(|| {
+        build(&csc, bad_layout, img, CscvParams::new(8, 8, 2), Variant::Z)
+    }))
+    .is_err());
+    let good_layout = SinoLayout {
+        n_views: 24,
+        n_bins: 46,
+    };
+    let bad_img = ImageShape { nx: 16, ny: 16 };
+    assert!(catch_unwind(AssertUnwindSafe(|| {
+        build(&csc, good_layout, bad_img, CscvParams::new(8, 8, 2), Variant::Z)
+    }))
+    .is_err());
+}
+
+#[test]
+fn nan_inputs_propagate_not_corrupt() {
+    // A NaN in x must surface as NaN in the touched outputs, not panic
+    // or poison unrelated rows.
+    let (csc, exec) = tiny_cscv();
+    let pool = ThreadPool::new(2);
+    let mut x = vec![1.0f32; csc.n_cols()];
+    x[10] = f32::NAN;
+    let mut y = vec![0.0f32; csc.n_rows()];
+    exec.spmv(&x, &mut y, &pool);
+    let nan_rows = y.iter().filter(|v| v.is_nan()).count();
+    assert!(nan_rows > 0, "NaN must propagate to touched rows");
+    assert!(
+        nan_rows < csc.n_rows() / 2,
+        "NaN must not smear across unrelated rows ({nan_rows})"
+    );
+}
+
+#[test]
+fn f32_and_f64_agree_within_precision() {
+    let ds = cscv_repro::ct::datasets::tiny();
+    let geom = ds.geometry();
+    let a32: Csc<f32> = SystemMatrix::assemble_csc(&geom);
+    let a64: Csc<f64> = SystemMatrix::assemble_csc(&geom);
+    let layout = SinoLayout {
+        n_views: ds.n_views,
+        n_bins: ds.n_bins,
+    };
+    let img = ImageShape {
+        nx: ds.img,
+        ny: ds.img,
+    };
+    let e32 = CscvExec::new(build(&a32, layout, img, CscvParams::new(8, 8, 2), Variant::M));
+    let e64 = CscvExec::new(build(&a64, layout, img, CscvParams::new(8, 8, 2), Variant::M));
+    let pool = ThreadPool::new(1);
+    let x32: Vec<f32> = (0..a32.n_cols()).map(|i| (i % 11) as f32 * 0.3).collect();
+    let x64: Vec<f64> = x32.iter().map(|&v| v as f64).collect();
+    let mut y32 = vec![0.0f32; a32.n_rows()];
+    let mut y64 = vec![0.0f64; a64.n_rows()];
+    e32.spmv(&x32, &mut y32, &pool);
+    e64.spmv(&x64, &mut y64, &pool);
+    for (a, b) in y32.iter().zip(&y64) {
+        let err = (*a as f64 - b).abs() / b.abs().max(1.0);
+        assert!(err < 1e-4, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn executors_overwrite_stale_output() {
+    // The SpmvExecutor contract: y is overwritten, never accumulated.
+    let prep = cscv_repro::harness::suite::prepare::<f32>(&cscv_repro::ct::datasets::tiny());
+    let pool = ThreadPool::new(2);
+    for (name, builder) in cscv_repro::harness::suite::executor_builders::<f32>() {
+        let exec = builder(&prep, 2);
+        let mut y1 = vec![0.0f32; prep.csr.n_rows()];
+        exec.spmv(&prep.x, &mut y1, &pool);
+        let mut y2 = vec![1e9f32; prep.csr.n_rows()];
+        exec.spmv(&prep.x, &mut y2, &pool);
+        cscv_repro::sparse::dense::assert_vec_close(&y2, &y1, 1e-6);
+        let _ = name;
+    }
+}

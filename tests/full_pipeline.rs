@@ -1,0 +1,118 @@
+//! Cross-crate integration: the full pipeline from geometry to
+//! reconstructed image, with every SpMV implementation interchangeable.
+
+use cscv_repro::harness::suite::{executor_builders, prepare};
+use cscv_repro::prelude::*;
+use cscv_repro::recon::metrics::rel_l2;
+use cscv_repro::recon::operators::SpmvOperator;
+use cscv_repro::recon::{cgls, sirt};
+
+fn tiny_prep() -> cscv_repro::harness::suite::PreparedDataset<f32> {
+    prepare::<f32>(&cscv_repro::ct::datasets::tiny())
+}
+
+#[test]
+fn all_executors_agree_on_phantom_projection() {
+    let prep = tiny_prep();
+    let mut y_ref = vec![0.0f32; prep.csr.n_rows()];
+    prep.csr.spmv_serial(&prep.x, &mut y_ref);
+    for threads in [1, 2, 4] {
+        let pool = ThreadPool::new(threads);
+        for (name, builder) in executor_builders::<f32>() {
+            let exec = builder(&prep, threads);
+            let mut y = vec![f32::NAN; prep.csr.n_rows()];
+            exec.spmv(&prep.x, &mut y, &pool);
+            let err = cscv_repro::sparse::dense::max_rel_err(&y, &y_ref);
+            assert!(err < 5e-3, "{name} at {threads} threads: err {err}");
+        }
+    }
+}
+
+#[test]
+fn reconstruction_through_cscv_recovers_disks() {
+    // Small full-angle setup with the disk phantom.
+    let ds = CtDataset {
+        name: "t",
+        img: 48,
+        n_bins: 70,
+        n_views: 60,
+        delta_angle_deg: 3.0,
+    };
+    let geom = ds.geometry();
+    let truth: Vec<f32> = Phantom::disks()
+        .rasterize(&geom.grid)
+        .into_iter()
+        .map(|v| v as f32)
+        .collect();
+    let a: Csc<f32> = SystemMatrix::assemble_csc(&geom);
+    let csr = a.to_csr();
+    let mut sino = vec![0.0f32; a.n_rows()];
+    csr.spmv_serial(&truth, &mut sino);
+
+    let layout = SinoLayout {
+        n_views: ds.n_views,
+        n_bins: ds.n_bins,
+    };
+    let img = ImageShape {
+        nx: ds.img,
+        ny: ds.img,
+    };
+    let forward = CscvExec::new(build(&a, layout, img, CscvParams::new(8, 8, 2), Variant::M));
+    let back = cscv_repro::sparse::formats::CsrExec::new(csr.transpose());
+    let op = SpmvOperator::new(Box::new(forward), Box::new(back), &csr);
+    let pool = ThreadPool::new(2);
+
+    let res = cgls(&op, &sino, 30, 1e-10, &pool);
+    let err = rel_l2(&res.x, &truth);
+    assert!(err < 0.2, "CGLS through CSCV rel err {err}");
+
+    let res2 = sirt(&op, &sino, 40, 1.0, &pool);
+    assert!(
+        res2.residual_history.last().unwrap() < &(res2.residual_history[0] * 0.2),
+        "SIRT reduces residual"
+    );
+}
+
+#[test]
+fn cscv_and_csr_backends_reconstruct_identically() {
+    // Swapping the forward SpMV implementation must not change the math.
+    let prep = tiny_prep();
+    let mut sino = vec![0.0f32; prep.csr.n_rows()];
+    prep.csr.spmv_serial(&prep.x, &mut sino);
+    let pool = ThreadPool::new(2);
+
+    let op_csr = SpmvOperator::csr_pair(&prep.csr);
+    let forward = CscvExec::new(build(
+        &prep.csc,
+        prep.layout,
+        prep.img,
+        CscvParams::new(8, 8, 2),
+        Variant::Z,
+    ));
+    let back = cscv_repro::sparse::formats::CsrExec::new(prep.csr.transpose());
+    let op_cscv = SpmvOperator::new(Box::new(forward), Box::new(back), &prep.csr);
+
+    let r1 = sirt(&op_csr, &sino, 10, 1.0, &pool);
+    let r2 = sirt(&op_cscv, &sino, 10, 1.0, &pool);
+    cscv_repro::sparse::dense::assert_vec_close(&r1.x, &r2.x, 1e-3);
+}
+
+#[test]
+fn measurement_pipeline_works_end_to_end() {
+    let prep = tiny_prep();
+    let pool = ThreadPool::new(2);
+    let mut y = vec![0.0f32; prep.csr.n_rows()];
+    for (_, builder) in executor_builders::<f32>().into_iter().take(3) {
+        let exec = builder(&prep, 2);
+        let m = cscv_repro::harness::timing::measure_spmv(
+            exec.as_ref(),
+            &prep.x,
+            &mut y,
+            &pool,
+            1,
+            3,
+        );
+        assert!(m.gflops > 0.0);
+        assert!(m.mem_requirement > 0);
+    }
+}

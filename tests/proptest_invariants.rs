@@ -1,0 +1,169 @@
+//! Property-based tests over the whole suite's core invariants.
+//!
+//! Random *general* sparse matrices (not just CT ones) exercise the
+//! baseline formats; random *trajectory-like* matrices (sinusoid bands
+//! with noise) exercise CSCV, whose builder must be correct — if not
+//! compact — on any sinogram-shaped operator.
+
+use cscv_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Random general sparse matrix via triplets (duplicates get summed).
+fn arb_coo(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Coo<f64>> {
+    (1..max_rows, 1..max_cols).prop_flat_map(|(n_rows, n_cols)| {
+        proptest::collection::vec(
+            (0..n_rows as u32, 0..n_cols as u32, -5.0f64..5.0),
+            0..200,
+        )
+        .prop_map(move |entries| {
+            let mut coo = Coo::new(n_rows, n_cols);
+            for (r, c, v) in entries {
+                coo.push(r as usize, c as usize, v);
+            }
+            coo
+        })
+    })
+}
+
+/// Random CT-like matrix: columns follow noisy sinusoid trajectories.
+fn arb_ct_like() -> impl Strategy<Value = (Csc<f64>, SinoLayout, ImageShape)> {
+    (2usize..5, 2usize..5, 1usize..3, 8usize..20, 0u64..1000).prop_map(
+        |(nx, ny, groups, n_bins, seed)| {
+            let n_views = groups * 8;
+            let layout = SinoLayout { n_views, n_bins };
+            let img = ImageShape { nx, ny };
+            let mut coo = Coo::new(layout.n_rows(), img.n_pixels());
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1) | 1;
+            let mut rnd = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for col in 0..img.n_pixels() {
+                for v in 0..n_views {
+                    // Noisy sinusoid trajectory; occasional missing views.
+                    if rnd() % 7 == 0 {
+                        continue;
+                    }
+                    let phase = (v as f64 * 0.3 + col as f64).sin();
+                    let base =
+                        ((phase + 1.1) / 2.2 * (n_bins as f64 - 2.0)) as usize % (n_bins - 1);
+                    coo.push(
+                        layout.row_index(v, base),
+                        col,
+                        1.0 + (rnd() % 100) as f64 * 0.01,
+                    );
+                    if rnd() % 3 == 0 {
+                        coo.push(layout.row_index(v, base + 1), col, 0.5);
+                    }
+                }
+            }
+            (coo.to_csc(), layout, img)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn coo_csr_csc_roundtrips(coo in arb_coo(40, 40)) {
+        let csr = coo.to_csr();
+        let csc = coo.to_csc();
+        // All three representations produce the same dense image.
+        let mut dedup = coo.clone();
+        dedup.sum_duplicates();
+        prop_assert_eq!(csr.to_coo().to_dense(), dedup.to_dense());
+        prop_assert_eq!(csc.to_coo().to_dense(), dedup.to_dense());
+        // Round-trips are lossless.
+        prop_assert_eq!(csr.to_csc().to_csr(), csr.clone());
+        // Transpose is an involution.
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn baseline_executors_match_reference(coo in arb_coo(60, 40), threads in 1usize..5) {
+        let csr = coo.to_csr();
+        let x: Vec<f64> = (0..csr.n_cols()).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let mut y_ref = vec![0.0; csr.n_rows()];
+        coo.spmv_reference(&x, &mut y_ref);
+        let pool = ThreadPool::new(threads);
+        for exec in cscv_repro::sparse::formats::baseline_field(&csr, threads) {
+            let mut y = vec![f64::NAN; csr.n_rows()];
+            exec.spmv(&x, &mut y, &pool);
+            let err = cscv_repro::sparse::dense::max_rel_err(&y, &y_ref);
+            prop_assert!(err < 1e-10, "{} err {}", exec.name(), err);
+        }
+    }
+
+    #[test]
+    fn cscv_matches_reference_on_trajectory_matrices(
+        (csc, layout, img) in arb_ct_like(),
+        s_imgb in 1usize..4,
+        s_vxg in 1usize..5,
+        wi in 0usize..3,
+        threads in 1usize..4,
+    ) {
+        let w = [4usize, 8, 16][wi];
+        let params = CscvParams::new(s_imgb, w, s_vxg);
+        let x: Vec<f64> = (0..csc.n_cols()).map(|i| (i as f64 * 0.37).cos()).collect();
+        let mut y_ref = vec![0.0; csc.n_rows()];
+        csc.spmv_serial(&x, &mut y_ref);
+        let pool = ThreadPool::new(threads);
+        for variant in [Variant::Z, Variant::M] {
+            let m = build(&csc, layout, img, params, variant);
+            m.validate();
+            // Stored padding accounting is exact.
+            prop_assert_eq!(
+                m.stats.lane_slots,
+                m.stats.nnz_orig + m.stats.ioblr_padding + m.stats.vxg_padding
+            );
+            let exec = CscvExec::new(m);
+            let mut y = vec![f64::NAN; csc.n_rows()];
+            exec.spmv(&x, &mut y, &pool);
+            let err = cscv_repro::sparse::dense::max_rel_err(&y, &y_ref);
+            prop_assert!(err < 1e-10, "{variant} {params} err {err}");
+        }
+    }
+
+    #[test]
+    fn mask_expand_roundtrip(lanes in proptest::collection::vec(-10.0f32..10.0, 16)) {
+        use cscv_repro::simd::expand::{compress_into, expand_soft};
+        let block: [f32; 16] = lanes.clone().try_into().unwrap();
+        let mut packed = Vec::new();
+        let mask = compress_into(&block, &mut packed);
+        prop_assert_eq!(mask.count_ones() as usize, packed.len());
+        let out: [f32; 16] = expand_soft(mask, &packed);
+        // Round-trip exact for nonzero lanes; zeros stay zero.
+        for l in 0..16 {
+            if block[l] != 0.0 {
+                prop_assert_eq!(out[l], block[l]);
+            } else {
+                prop_assert_eq!(out[l], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_and_balance(
+        weights in proptest::collection::vec(0usize..50, 0..100),
+        k in 1usize..9,
+    ) {
+        let ranges = cscv_repro::sparse::partition::split_by_weights(&weights, k);
+        prop_assert_eq!(ranges.len(), k);
+        let mut next = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+        }
+        prop_assert_eq!(next, weights.len());
+        // No range exceeds total/k + max single weight (balance bound).
+        let total: usize = weights.iter().sum();
+        let wmax = weights.iter().copied().max().unwrap_or(0);
+        for r in &ranges {
+            let w: usize = weights[r.start..r.end].iter().sum();
+            prop_assert!(w <= total / k + wmax + 1);
+        }
+    }
+}
