@@ -1,0 +1,23 @@
+#!/bin/bash
+# Offline CI gate: formatting, lints, release build, tests.
+# Requires no network access — the workspace has zero external crates in
+# its default feature set (see DESIGN.md "Dependencies").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { echo; echo "== $* =="; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+step "cargo build --release"
+cargo build --release --workspace
+
+step "cargo test -q"
+cargo test -q --workspace
+
+echo
+echo "CI_OK"

@@ -36,7 +36,13 @@ fn main() {
     let pool_n = ThreadPool::new(args.max_threads());
 
     // 1. VxG depth.
-    let mut t1 = Table::new(vec!["variant", "S_VxG", "R_nnzE", "GFLOP/s (1T)", "index MiB"]);
+    let mut t1 = Table::new(vec![
+        "variant",
+        "S_VxG",
+        "R_nnzE",
+        "GFLOP/s (1T)",
+        "index MiB",
+    ]);
     for variant in [Variant::Z, Variant::M] {
         for s_vxg in [1usize, 2, 4, 8] {
             let params = CscvParams::new(16, 8, s_vxg);
@@ -55,7 +61,11 @@ fn main() {
             ]);
         }
     }
-    emit("Ablation 1: VxG depth (S_ImgB=16, S_VVec=8)", &t1, &args.csv);
+    emit(
+        "Ablation 1: VxG depth (S_ImgB=16, S_VVec=8)",
+        &t1,
+        &args.csv,
+    );
 
     // 2. Expand path (only meaningful where hardware expand exists).
     let mut t2 = Table::new(vec!["expand path", "GFLOP/s (1T)", "GFLOP/s (NT)"]);

@@ -16,16 +16,11 @@ use cscv_core::{build, CscvExec, CscvParams, Variant};
 use cscv_harness::suite::prepare;
 use cscv_harness::table::{f, Table};
 use cscv_sparse::formats::CsrExec;
-use cscv_sparse::{Scalar, SpmvExecutor, ThreadPool};
+use cscv_sparse::{SpmvExecutor, ThreadPool};
 use std::time::Instant;
 
 /// Measure a transpose-product closure: min time over `iters`.
-fn measure<T: Scalar>(
-    mut run: impl FnMut(),
-    warmup: usize,
-    iters: usize,
-    nnz: usize,
-) -> (f64, f64) {
+fn measure(mut run: impl FnMut(), warmup: usize, iters: usize, nnz: usize) -> (f64, f64) {
     for _ in 0..warmup {
         run();
     }
@@ -91,28 +86,28 @@ fn main() {
                     f(secs * 1e3, 3),
                 ]);
             };
-            let (s, g) = measure::<f32>(
+            let (s, g) = measure(
                 || cscv_z.spmv_transpose(&y, &mut x, &pool),
                 args.warmup,
                 args.iters,
                 nnz,
             );
             record("CSCV-Z-T", s, g);
-            let (s, g) = measure::<f32>(
+            let (s, g) = measure(
                 || cscv_m.spmv_transpose(&y, &mut x, &pool),
                 args.warmup,
                 args.iters,
                 nnz,
             );
             record("CSCV-M-T", s, g);
-            let (s, g) = measure::<f32>(
+            let (s, g) = measure(
                 || at_csr.spmv(&y, &mut x, &pool),
                 args.warmup,
                 args.iters,
                 nnz,
             );
             record("CSR(At) MKL-analog", s, g);
-            let (s, g) = measure::<f32>(
+            let (s, g) = measure(
                 || prep.csc.spmv_transpose_serial(&y, &mut x),
                 args.warmup,
                 args.iters,

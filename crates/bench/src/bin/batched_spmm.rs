@@ -1,0 +1,138 @@
+//! E-X3: batched multi-RHS SpMM — amortizing matrix traffic across
+//! right-hand sides.
+//!
+//! Multi-slice reconstruction applies one system matrix to a stack of
+//! sinograms/images; `spmv_multi` streams the matrix once per
+//! register-tile chunk instead of once per RHS. This driver sweeps the
+//! batch width `k` for the batched implementations (CSCV-Z, CSCV-M and
+//! the tuned CSR/CSC baselines) and reports, per `(dataset, precision,
+//! executor, k)`:
+//!
+//! * GFLOP/s of the batched product (`2·k·nnz/T`);
+//! * measured speedup over `k` independent single-RHS SpMVs;
+//! * the memory-model prediction `k·M_Rit(1)/M_Rit(k)` — the
+//!   bandwidth-bound ceiling of the amortization.
+//!
+//! Run: `cargo run --release -p cscv-bench --bin batched_spmm --
+//! [--dataset NAME] [--threads a,b,c] [--iters N] [--k a,b,c] [--csv PATH]`
+
+use cscv_bench::{banner, emit, BenchArgs};
+use cscv_harness::suite::{executor_builders, prepare, PreparedDataset};
+use cscv_harness::table::{f, Table};
+use cscv_harness::timing::{measure_spmm, measure_spmv, modeled_batch_speedup};
+use cscv_simd::MaskExpand;
+use cscv_sparse::{Scalar, SpmvExecutor, ThreadPool};
+
+/// Implementations with a tuned `spmv_multi` (the rest fall back to the
+/// loop-of-singles default and would only measure noise).
+const BATCHED: &[&str] = &["CSCV-Z", "CSCV-M", "MKL-CSR(analog)", "MKL-CSC(analog)"];
+
+fn batch_input<T: Scalar>(prep: &PreparedDataset<T>, k: usize) -> Vec<T> {
+    // RHS 0 is the phantom; the rest are deterministic reshuffles of it
+    // so every slice has the same value distribution but distinct data.
+    let n = prep.x.len();
+    let mut x = vec![T::ZERO; k * n];
+    for kk in 0..k {
+        for j in 0..n {
+            x[kk * n + j] = prep.x[(j + kk * 257) % n];
+        }
+    }
+    x
+}
+
+fn run_precision<T: Scalar + MaskExpand>(args: &BenchArgs, ks: &[usize], table: &mut Table) {
+    for ds in &args.datasets {
+        let prep = prepare::<T>(ds);
+        for &threads in &args.threads {
+            let pool = ThreadPool::new(threads);
+            for (name, builder) in executor_builders::<T>() {
+                if !BATCHED.contains(&name) {
+                    continue;
+                }
+                let exec = builder(&prep, threads);
+                let exec: &dyn SpmvExecutor<T> = exec.as_ref();
+                let mut y1 = vec![T::ZERO; exec.n_rows()];
+                let mut single = f64::INFINITY;
+                // Interleave the k sweep over several rounds, keeping the
+                // per-k minimum across rounds: slow drift on a shared
+                // machine (CPU steal) then hits every batch width alike
+                // instead of whichever k was being timed at that moment.
+                let rounds = 4usize;
+                let iters = args.iters.div_ceil(rounds).max(5);
+                let mut best: Vec<f64> = vec![f64::INFINITY; ks.len()];
+                let xs_packed: Vec<Vec<T>> = ks.iter().map(|&k| batch_input(&prep, k)).collect();
+                let mut ys: Vec<Vec<T>> = ks
+                    .iter()
+                    .map(|&k| vec![T::ZERO; k * exec.n_rows()])
+                    .collect();
+                for round in 0..rounds {
+                    let warmup = if round == 0 { args.warmup } else { 0 };
+                    let s = measure_spmv(exec, &prep.x, &mut y1, &pool, warmup, iters);
+                    single = single.min(s.secs_min);
+                    for (ki, &k) in ks.iter().enumerate() {
+                        let m = measure_spmm(
+                            exec,
+                            &xs_packed[ki],
+                            k,
+                            &mut ys[ki],
+                            &pool,
+                            warmup,
+                            iters,
+                        );
+                        best[ki] = best[ki].min(m.secs_min);
+                    }
+                }
+                for (ki, &k) in ks.iter().enumerate() {
+                    let gflops = k as f64 * exec.flops() / best[ki] / 1e9;
+                    table.add_row(vec![
+                        ds.name.to_string(),
+                        T::NAME.to_string(),
+                        name.to_string(),
+                        threads.to_string(),
+                        k.to_string(),
+                        f(gflops, 3),
+                        f(k as f64 * single / best[ki], 2),
+                        f(modeled_batch_speedup(exec, k), 2),
+                    ]);
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut args_iter: Vec<String> = std::env::args().skip(1).collect();
+    // Local flag: --k a,b,c (batch widths), default 1,2,4,8,16.
+    let mut ks: Vec<usize> = vec![1, 2, 4, 8, 16];
+    if let Some(pos) = args_iter.iter().position(|a| a == "--k") {
+        let spec = args_iter.get(pos + 1).expect("--k a,b,c").clone();
+        ks = spec
+            .split(',')
+            .map(|s| s.parse().expect("batch width"))
+            .collect();
+        args_iter.drain(pos..pos + 2);
+    }
+    let mut args = BenchArgs::from_iter(args_iter);
+    args.datasets
+        .retain(|d| d.name == "ct128" || d.name == "ct256");
+    banner();
+    println!("batch widths: {ks:?}");
+
+    let mut table = Table::new(vec![
+        "dataset",
+        "precision",
+        "implementation",
+        "threads",
+        "k",
+        "GFLOP/s",
+        "speedup vs k singles",
+        "modeled (mem model)",
+    ]);
+    run_precision::<f32>(&args, &ks, &mut table);
+    run_precision::<f64>(&args, &ks, &mut table);
+    emit(
+        "E-X3: batched multi-RHS SpMM — measured vs memory-model speedup",
+        &table,
+        &args.csv,
+    );
+}

@@ -23,7 +23,14 @@ fn run_precision<T: Scalar + MaskExpand>(args: &BenchArgs, table: &mut Table) {
             let exec = builder(&prep, args.max_threads());
             for &threads in &args.threads {
                 let pool = ThreadPool::new(threads);
-                let m = measure_spmv(exec.as_ref(), &prep.x, &mut y, &pool, args.warmup, args.iters);
+                let m = measure_spmv(
+                    exec.as_ref(),
+                    &prep.x,
+                    &mut y,
+                    &pool,
+                    args.warmup,
+                    args.iters,
+                );
                 table.add_row(vec![
                     ds.name.to_string(),
                     T::NAME.to_string(),

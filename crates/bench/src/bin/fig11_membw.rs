@@ -29,7 +29,14 @@ fn run_precision<T: Scalar + MaskExpand>(
     let mut y = vec![T::ZERO; prep.csr.n_rows()];
     for (name, builder) in executor_builders::<T>() {
         let exec = builder(&prep, pool.n_threads());
-        let m = measure_spmv(exec.as_ref(), &prep.x, &mut y, pool, args.warmup, args.iters);
+        let m = measure_spmv(
+            exec.as_ref(),
+            &prep.x,
+            &mut y,
+            pool,
+            args.warmup,
+            args.iters,
+        );
         table.add_row(vec![
             T::NAME.to_string(),
             name.to_string(),

@@ -48,9 +48,8 @@ fn main() {
     for ry in 0..5usize {
         for rx in 0..5usize {
             let ref_col = img.col_index(5 + rx, 5 + ry);
-            let curve =
-                RefCurve::from_min_bins(&min_bin_per_view(&csc, &layout, ref_col, &views))
-                    .expect("sample pixels project in all views");
+            let curve = RefCurve::from_min_bins(&min_bin_per_view(&csc, &layout, ref_col, &views))
+                .expect("sample pixels project in all views");
             let st = block_stats_for_curve(&cols_entries, &curve, w);
             grid_pad[ry][rx] = st.padding();
             grid_cscve[ry][rx] = st.n_cscve;
@@ -66,9 +65,10 @@ fn main() {
         }
         println!();
     };
-    dump("zero-padding count per reference pixel (5x5 grid, image rows 5..9)", &|ry, rx| {
-        grid_pad[ry][rx].to_string()
-    });
+    dump(
+        "zero-padding count per reference pixel (5x5 grid, image rows 5..9)",
+        &|ry, rx| grid_pad[ry][rx].to_string(),
+    );
     dump("CSCVE count per reference pixel", &|ry, rx| {
         grid_cscve[ry][rx].to_string()
     });

@@ -43,13 +43,7 @@ fn main() {
                 args.warmup,
                 args.iters,
             );
-            let mut t = Table::new(vec![
-                "S_VVec \\ S_ImgB",
-                "8",
-                "16",
-                "32",
-                "64",
-            ]);
+            let mut t = Table::new(vec!["S_VVec \\ S_ImgB", "8", "16", "32", "64"]);
             for (vi, &s_vvec) in VVECS.iter().enumerate() {
                 let mut row = vec![s_vvec.to_string()];
                 for bi in 0..IMGBS.len() {
@@ -59,9 +53,7 @@ fn main() {
                 t.add_row(row);
             }
             emit(
-                &format!(
-                    "Fig. 9 analog: {variant} best GFLOP/s (best S_VxG), {threads} thread(s)"
-                ),
+                &format!("Fig. 9 analog: {variant} best GFLOP/s (best S_VxG), {threads} thread(s)"),
                 &t,
                 &args.csv,
             );

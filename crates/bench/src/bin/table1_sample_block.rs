@@ -47,16 +47,8 @@ fn main() {
     let info = &m.groups[group];
     // Blocks in a group appear in tile order, but empty tiles are
     // skipped; count non-empty tiles before ours.
-    let mut seen = 0usize;
-    let mut found = None;
-    for bi in info.block_range.clone() {
-        // All tiles of this geometry are non-empty, so index directly.
-        if seen == tile_idx {
-            found = Some(bi);
-            break;
-        }
-        seen += 1;
-    }
+    // All tiles of this geometry are non-empty, so index directly.
+    let found = info.block_range.clone().nth(tile_idx);
     let blk = &m.blocks[found.expect("block exists")];
 
     println!("\nBlock structure:");
@@ -80,7 +72,10 @@ fn main() {
             format!("{},{}", cols[0], cols[1]),
         ]);
     }
-    println!("\nVxG list (sorted by count, as in Fig. 6b):\n{}", t.render());
+    println!(
+        "\nVxG list (sorted by count, as in Fig. 6b):\n{}",
+        t.render()
+    );
 
     println!("whole-matrix stats at these parameters:");
     println!("  R_nnzE            : {:.3}", m.stats.r_nnze());

@@ -99,5 +99,7 @@ fn main() {
         &t,
         &args.csv,
     );
-    println!("paper (SKL): Z single/double 16/16/2 (R 0.417); M single 32/8/4 (R 0.365), double 16/16/2");
+    println!(
+        "paper (SKL): Z single/double 16/16/2 (R 0.417); M single 32/8/4 (R 0.365), double 16/16/2"
+    );
 }

@@ -29,7 +29,14 @@ fn run_precision<T: Scalar + MaskExpand>(
         let mut y = vec![T::ZERO; prep.csr.n_rows()];
         for (k, (_, builder)) in executor_builders::<T>().into_iter().enumerate() {
             let exec = builder(&prep, pool.n_threads());
-            let m = measure_spmv(exec.as_ref(), &prep.x, &mut y, pool, args.warmup, args.iters);
+            let m = measure_spmv(
+                exec.as_ref(),
+                &prep.x,
+                &mut y,
+                pool,
+                args.warmup,
+                args.iters,
+            );
             perf[k].push(m.gflops);
         }
     }
@@ -63,10 +70,8 @@ fn speedup_summary(rows: &[(String, f64, f64)], precision: &str) {
     let (Some(m), Some(csr)) = (get("CSCV-M"), get("MKL-CSR(analog)")) else {
         return;
     };
-    let mut others: Vec<&(String, f64, f64)> = rows
-        .iter()
-        .filter(|r| !r.0.starts_with("CSCV"))
-        .collect();
+    let mut others: Vec<&(String, f64, f64)> =
+        rows.iter().filter(|r| !r.0.starts_with("CSCV")).collect();
     others.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     if let Some(second) = others.first() {
         println!(
@@ -89,7 +94,12 @@ fn main() {
         args.iters
     );
 
-    let mut table = Table::new(vec!["precision", "implementation", "avg GFLOP/s", "max GFLOP/s"]);
+    let mut table = Table::new(vec![
+        "precision",
+        "implementation",
+        "avg GFLOP/s",
+        "max GFLOP/s",
+    ]);
     let rows32 = run_precision::<f32>(&args, &pool, &mut table);
     let rows64 = run_precision::<f64>(&args, &pool, &mut table);
     emit(
@@ -99,5 +109,7 @@ fn main() {
     );
     speedup_summary(&rows32, "single");
     speedup_summary(&rows64, "double");
-    println!("paper (SKL single): CSCV-M 85.5 avg / 88.0 max; second SPC5 61.5 avg; MKL-CSR 31.2 avg");
+    println!(
+        "paper (SKL single): CSCV-M 85.5 avg / 88.0 max; second SPC5 61.5 avg; MKL-CSR 31.2 avg"
+    );
 }

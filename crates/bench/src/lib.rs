@@ -34,6 +34,7 @@ impl BenchArgs {
         Self::from_iter(std::env::args().skip(1))
     }
 
+    #[allow(clippy::should_implement_trait)] // CLI flag parser, not an iterator ctor
     pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> BenchArgs {
         let mut paper_scale = false;
         let mut dataset: Option<String> = None;

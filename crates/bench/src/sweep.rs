@@ -79,16 +79,7 @@ mod tests {
     fn sweep_runs_and_selects() {
         let prep = prepare::<f32>(&datasets::tiny());
         let pool = ThreadPool::new(1);
-        let cells = param_sweep(
-            &prep,
-            Variant::Z,
-            &[4, 8],
-            &[8],
-            &[1, 2],
-            &pool,
-            0,
-            2,
-        );
+        let cells = param_sweep(&prep, Variant::Z, &[4, 8], &[8], &[1, 2], &pool, 0, 2);
         assert_eq!(cells.len(), 2);
         for c in &cells {
             assert!(c.gflops > 0.0);

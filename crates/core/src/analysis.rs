@@ -170,7 +170,10 @@ mod tests {
         let large = build(&csc, layout, img, CscvParams::new(16, 8, 1), Variant::Z);
         let c_small = cscv_permutation_cost(&small).per_nonzero;
         let c_large = cscv_permutation_cost(&large).per_nonzero;
-        assert!(c_large < c_small, "large tiles amortize: {c_large} vs {c_small}");
+        assert!(
+            c_large < c_small,
+            "large tiles amortize: {c_large} vs {c_small}"
+        );
         assert!(zero_access_rate(&large) >= zero_access_rate(&small));
     }
 

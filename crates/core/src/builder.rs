@@ -100,8 +100,8 @@ pub fn build_with_curves<T: Scalar>(
         let mut group_nnz = 0usize;
         for (ti, tile) in tile_list.iter().enumerate() {
             if let Some(block) = build_block(
-                csc, &layout, &img, tile, views, gi as u32, ti as u32, params, variant,
-                curves, &mut stats,
+                csc, &layout, &img, tile, views, gi as u32, ti as u32, params, variant, curves,
+                &mut stats,
             ) {
                 group_nnz += block.nnz;
                 max_ytil = max_ytil.max(block.ytil_len());
@@ -160,6 +160,9 @@ fn col_block_entries<T: Scalar>(
         .collect()
 }
 
+/// Per-column raw entries of one block: `(global col, [(view, bin, val)])`.
+type RawColumns<T> = Vec<(u32, Vec<(u32, u32, T)>)>;
+
 #[allow(clippy::too_many_arguments)]
 fn build_block<T: Scalar>(
     csc: &Csc<T>,
@@ -179,7 +182,7 @@ fn build_block<T: Scalar>(
     let cols = tile.cols(img);
 
     // 1. Extract per-column entries.
-    let mut raw: Vec<(u32, Vec<(u32, u32, T)>)> = Vec::with_capacity(cols.len());
+    let mut raw: RawColumns<T> = Vec::with_capacity(cols.len());
     let mut block_nnz = 0usize;
     for &col in &cols {
         let entries = col_block_entries(csc, layout, col, views);
@@ -357,7 +360,12 @@ mod tests {
 
     /// A small synthetic "integral operator": column (pixel) j projects
     /// to bins around `ref(v) + j mod 3` — perfectly CT-like structure.
-    fn synthetic(n_views: usize, n_bins: usize, nx: usize, ny: usize) -> (Csc<f64>, SinoLayout, ImageShape) {
+    fn synthetic(
+        n_views: usize,
+        n_bins: usize,
+        nx: usize,
+        ny: usize,
+    ) -> (Csc<f64>, SinoLayout, ImageShape) {
         let layout = SinoLayout { n_views, n_bins };
         let img = ImageShape { nx, ny };
         let mut coo = Coo::new(layout.n_rows(), img.n_pixels());
@@ -432,12 +440,24 @@ mod tests {
         let mut ytil = vec![0.0; m.max_ytil];
         for blk in &m.blocks {
             match (m.variant, params.s_vvec) {
-                (Variant::Z, 4) => crate::kernels::run_block_z::<f64, 4>(blk, params.s_vxg, &x, &mut ytil),
-                (Variant::Z, 8) => crate::kernels::run_block_z::<f64, 8>(blk, params.s_vxg, &x, &mut ytil),
-                (Variant::Z, 16) => crate::kernels::run_block_z::<f64, 16>(blk, params.s_vxg, &x, &mut ytil),
-                (Variant::M, 4) => crate::kernels::run_block_m::<f64, 4, false>(blk, params.s_vxg, &x, &mut ytil),
-                (Variant::M, 8) => crate::kernels::run_block_m::<f64, 8, false>(blk, params.s_vxg, &x, &mut ytil),
-                (Variant::M, 16) => crate::kernels::run_block_m::<f64, 16, false>(blk, params.s_vxg, &x, &mut ytil),
+                (Variant::Z, 4) => {
+                    crate::kernels::run_block_z::<f64, 4>(blk, params.s_vxg, &x, &mut ytil)
+                }
+                (Variant::Z, 8) => {
+                    crate::kernels::run_block_z::<f64, 8>(blk, params.s_vxg, &x, &mut ytil)
+                }
+                (Variant::Z, 16) => {
+                    crate::kernels::run_block_z::<f64, 16>(blk, params.s_vxg, &x, &mut ytil)
+                }
+                (Variant::M, 4) => {
+                    crate::kernels::run_block_m::<f64, 4, false>(blk, params.s_vxg, &x, &mut ytil)
+                }
+                (Variant::M, 8) => {
+                    crate::kernels::run_block_m::<f64, 8, false>(blk, params.s_vxg, &x, &mut ytil)
+                }
+                (Variant::M, 16) => {
+                    crate::kernels::run_block_m::<f64, 16, false>(blk, params.s_vxg, &x, &mut ytil)
+                }
                 _ => unreachable!(),
             }
             crate::kernels::scatter_add(blk, &ytil, &mut y, 0);
@@ -494,13 +514,7 @@ mod tests {
             }
         }
         let csc = coo.to_csc();
-        let m = build(
-            &csc,
-            layout,
-            img,
-            CscvParams::new(4, 4, 4),
-            Variant::Z,
-        );
+        let m = build(&csc, layout, img, CscvParams::new(4, 4, 4), Variant::Z);
         assert_eq!(m.stats.ioblr_padding, 0);
         // Columns share no VxG alignment padding either (offsets 0..3
         // with span 1 each → common range forces padding).

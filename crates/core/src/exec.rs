@@ -13,11 +13,14 @@
 //!   threads.
 
 use crate::format::{CscvMatrix, Variant};
-use crate::kernels::{gather, run_block_m, run_block_m_t, run_block_z, run_block_z_t, scatter_add};
-use cscv_sparse::shared::{reduce_buffers_into, Scratch, SharedSliceMut};
-use cscv_sparse::{partition, SpmvExecutor, ThreadPool};
+use crate::kernels::{
+    gather, gather_multi, run_block_m, run_block_m_multi, run_block_m_t, run_block_m_t_multi,
+    run_block_z, run_block_z_multi, run_block_z_t, run_block_z_t_multi, scatter_add,
+};
 use cscv_simd::expand::{select_path, ExpandPath};
 use cscv_simd::{MaskExpand, Scalar};
+use cscv_sparse::shared::{reduce_buffers_into, Scratch, SharedSliceMut};
+use cscv_sparse::{partition, SpmvExecutor, ThreadPool};
 
 /// Thread-level parallelization scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -137,12 +140,7 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
     }
 
     #[inline(always)]
-    fn run_one_block<const W: usize, const HW: bool>(
-        &self,
-        bi: usize,
-        x: &[T],
-        ytil: &mut [T],
-    ) {
+    fn run_one_block<const W: usize, const HW: bool>(&self, bi: usize, x: &[T], ytil: &mut [T]) {
         let blk = &self.m.blocks[bi];
         match self.m.variant {
             Variant::Z => run_block_z::<T, W>(blk, self.m.params.s_vxg, x, ytil),
@@ -210,17 +208,192 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
         });
     }
 
-    fn spmv_impl<const W: usize, const HW: bool>(
+    /// Batched transpose product `X = Aᵀ Y` over `k` column-major
+    /// right-hand sides (`y[i·n_rows..]` → `x[i·n_cols..]`): the matrix
+    /// stream — and for CSCV-M every mask expansion — is traversed once
+    /// per register-tile chunk instead of once per RHS.
+    pub fn spmv_transpose_multi(&self, y: &[T], k: usize, x: &mut [T], pool: &ThreadPool) {
+        assert!(k > 0, "batch width must be positive");
+        assert_eq!(y.len(), k * self.m.n_rows);
+        assert_eq!(x.len(), k * self.m.n_cols);
+        let hw = self.path == ExpandPath::Hardware;
+        match (self.m.params.s_vvec, hw) {
+            (4, false) => self.spmv_transpose_multi_impl::<4, false>(y, k, x, pool),
+            (4, true) => self.spmv_transpose_multi_impl::<4, true>(y, k, x, pool),
+            (8, false) => self.spmv_transpose_multi_impl::<8, false>(y, k, x, pool),
+            (8, true) => self.spmv_transpose_multi_impl::<8, true>(y, k, x, pool),
+            (16, false) => self.spmv_transpose_multi_impl::<16, false>(y, k, x, pool),
+            (16, true) => self.spmv_transpose_multi_impl::<16, true>(y, k, x, pool),
+            _ => unreachable!("validated by CscvParams"),
+        }
+    }
+
+    fn spmv_multi_impl<const W: usize, const HW: bool>(
+        &self,
+        x: &[T],
+        k: usize,
+        y: &mut [T],
+        pool: &ThreadPool,
+    ) {
+        let (n_cols, n_rows) = (self.m.n_cols, self.m.n_rows);
+        let mut done = 0usize;
+        for chunk in partition::batch_chunks(k, &[8, 4, 2, 1]) {
+            let xs = &x[done * n_cols..(done + chunk) * n_cols];
+            let ys = &mut y[done * n_rows..(done + chunk) * n_rows];
+            match chunk {
+                8 => self.spmm_chunk::<W, HW, 8>(xs, ys, pool),
+                4 => self.spmm_chunk::<W, HW, 4>(xs, ys, pool),
+                2 => self.spmm_chunk::<W, HW, 2>(xs, ys, pool),
+                _ => self.spmv_impl::<W, HW>(xs, ys, pool),
+            }
+            done += chunk;
+        }
+    }
+
+    /// One compiled-width chunk of the batched forward product. Threads
+    /// own whole view groups (row-disjoint, as in the single-RHS
+    /// ViewGroups strategy); each thread's ỹ scratch holds the `K`
+    /// interleaved segments.
+    fn spmm_chunk<const W: usize, const HW: bool, const K: usize>(
         &self,
         x: &[T],
         y: &mut [T],
         pool: &ThreadPool,
     ) {
         let n = pool.n_threads();
+        let (n_cols, n_rows) = (self.m.n_cols, self.m.n_rows);
+        let weights: Vec<usize> = self.m.groups.iter().map(|g| g.nnz.max(1)).collect();
+        let ranges = partition::split_by_weights(&weights, n);
+        let mut ytil_bufs = self.ytil_scratch.take(n, self.m.max_ytil * K);
+        let out = SharedSliceMut::new(y);
+        let bufs = SharedSliceMut::new(&mut ytil_bufs[..]);
+        pool.run(|tid| {
+            // SAFETY: slot `tid` only.
+            let ytil = &mut unsafe { bufs.slice_mut(tid..tid + 1) }[0];
+            for gi in ranges[tid].clone() {
+                let info = &self.m.groups[gi];
+                let rr = info.row_range.clone();
+                for kk in 0..K {
+                    // SAFETY: group row ranges are pairwise disjoint, so
+                    // each per-RHS copy of them is too.
+                    unsafe { out.slice_mut(kk * n_rows + rr.start..kk * n_rows + rr.end) }
+                        .fill(T::ZERO);
+                }
+                for bi in info.block_range.clone() {
+                    let blk = &self.m.blocks[bi];
+                    match self.m.variant {
+                        Variant::Z => {
+                            run_block_z_multi::<T, W, K>(blk, self.m.params.s_vxg, x, n_cols, ytil)
+                        }
+                        Variant::M => run_block_m_multi::<T, W, HW, K>(
+                            blk,
+                            self.m.params.s_vxg,
+                            x,
+                            n_cols,
+                            ytil,
+                        ),
+                    }
+                    // Scatter the K interleaved segments straight into
+                    // the K column-major copies of this group's rows.
+                    for (slot, &row) in blk.map.iter().enumerate() {
+                        if row >= 0 {
+                            let base = (slot / W) * W * K + slot % W;
+                            for kk in 0..K {
+                                // SAFETY: rows of this group belong to
+                                // this thread alone (see fill above).
+                                unsafe {
+                                    *out.get_raw(kk * n_rows + row as usize) += ytil[base + kk * W];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    fn spmv_transpose_multi_impl<const W: usize, const HW: bool>(
+        &self,
+        y: &[T],
+        k: usize,
+        x: &mut [T],
+        pool: &ThreadPool,
+    ) {
+        let (n_cols, n_rows) = (self.m.n_cols, self.m.n_rows);
+        let mut done = 0usize;
+        // The transpose caps its tile at 4: the per-VxG accumulator is
+        // `S_VxG·K·W` lanes wide, and at K = 8 the register spill traffic
+        // would undo the amortization being bought.
+        for chunk in partition::batch_chunks(k, &[4, 2, 1]) {
+            let ys = &y[done * n_rows..(done + chunk) * n_rows];
+            let xs = &mut x[done * n_cols..(done + chunk) * n_cols];
+            match chunk {
+                4 => self.spmm_t_chunk::<W, HW, 4>(ys, xs, pool),
+                2 => self.spmm_t_chunk::<W, HW, 2>(ys, xs, pool),
+                _ => self.spmv_transpose_impl::<W, HW>(ys, xs, pool),
+            }
+            done += chunk;
+        }
+    }
+
+    /// One compiled-width chunk of the batched transpose. Threads own
+    /// whole image tiles (column-disjoint); the sink lands each member
+    /// column's `K` partial sums in the `K` column-major `x` copies.
+    fn spmm_t_chunk<const W: usize, const HW: bool, const K: usize>(
+        &self,
+        y: &[T],
+        x: &mut [T],
+        pool: &ThreadPool,
+    ) {
+        let n = pool.n_threads();
+        let (n_cols, n_rows) = (self.m.n_cols, self.m.n_rows);
+        let tile_ranges = partition::split_by_prefix(&self.tile_prefix, n);
+        let mut ytil_bufs = self.ytil_scratch.take(n, self.m.max_ytil * K);
+        let out = SharedSliceMut::new(x);
+        let bufs = SharedSliceMut::new(&mut ytil_bufs[..]);
+        let zero_ranges = partition::even_chunks(out.len(), n);
+        pool.run(|tid| {
+            // SAFETY: disjoint zero ranges (separate dispatch = barrier).
+            unsafe { out.slice_mut(zero_ranges[tid].clone()) }.fill(T::ZERO);
+        });
+        pool.run(|tid| {
+            // SAFETY: slot `tid` only.
+            let ytil = &mut unsafe { bufs.slice_mut(tid..tid + 1) }[0];
+            // SAFETY contract of the sink: threads own whole tiles, and
+            // tiles have pairwise disjoint column sets — per RHS copy too.
+            let mut sink = |c: usize, sums: &[T; K]| {
+                for (kk, &v) in sums.iter().enumerate() {
+                    unsafe { *out.get_raw(kk * n_cols + c) += v };
+                }
+            };
+            for ti in tile_ranges[tid].clone() {
+                for &bi in &self.tile_blocks[ti] {
+                    let blk = &self.m.blocks[bi as usize];
+                    gather_multi::<T, W, K>(blk, y, n_rows, ytil);
+                    match self.m.variant {
+                        Variant::Z => run_block_z_t_multi::<T, W, K>(
+                            blk,
+                            self.m.params.s_vxg,
+                            ytil,
+                            &mut sink,
+                        ),
+                        Variant::M => run_block_m_t_multi::<T, W, HW, K>(
+                            blk,
+                            self.m.params.s_vxg,
+                            ytil,
+                            &mut sink,
+                        ),
+                    }
+                }
+            }
+        });
+    }
+
+    fn spmv_impl<const W: usize, const HW: bool>(&self, x: &[T], y: &mut [T], pool: &ThreadPool) {
+        let n = pool.n_threads();
         match self.strategy {
             ParallelStrategy::ViewGroups => {
-                let weights: Vec<usize> =
-                    self.m.groups.iter().map(|g| g.nnz.max(1)).collect();
+                let weights: Vec<usize> = self.m.groups.iter().map(|g| g.nnz.max(1)).collect();
                 let ranges = partition::split_by_weights(&weights, n);
                 let mut ytil_bufs = self.ytil_scratch.take(n, self.m.max_ytil);
                 let out = SharedSliceMut::new(y);
@@ -308,6 +481,27 @@ impl<T: Scalar + MaskExpand> SpmvExecutor<T> for CscvExec<T> {
             _ => unreachable!("validated by CscvParams"),
         }
     }
+
+    /// True batched SpMM: one matrix-stream pass per register-tile chunk
+    /// (k split into {8, 4, 2, 1}), view-group partitioned. See the
+    /// module docs — the batch dimension rides in the accumulator tile,
+    /// so matrix (and CSCV-M mask-expansion) traffic is paid once per
+    /// chunk rather than once per RHS.
+    fn spmv_multi(&self, x: &[T], k: usize, y: &mut [T], pool: &ThreadPool) {
+        assert!(k > 0, "batch width must be positive");
+        assert_eq!(x.len(), k * self.m.n_cols);
+        assert_eq!(y.len(), k * self.m.n_rows);
+        let hw = self.path == ExpandPath::Hardware;
+        match (self.m.params.s_vvec, hw) {
+            (4, false) => self.spmv_multi_impl::<4, false>(x, k, y, pool),
+            (4, true) => self.spmv_multi_impl::<4, true>(x, k, y, pool),
+            (8, false) => self.spmv_multi_impl::<8, false>(x, k, y, pool),
+            (8, true) => self.spmv_multi_impl::<8, true>(x, k, y, pool),
+            (16, false) => self.spmv_multi_impl::<16, false>(x, k, y, pool),
+            (16, true) => self.spmv_multi_impl::<16, true>(x, k, y, pool),
+            _ => unreachable!("validated by CscvParams"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -319,7 +513,12 @@ mod tests {
     use cscv_sparse::dense::assert_vec_close;
     use cscv_sparse::{Coo, Csc};
 
-    fn ct_like(n_views: usize, n_bins: usize, nx: usize, ny: usize) -> (Csc<f64>, SinoLayout, ImageShape) {
+    fn ct_like(
+        n_views: usize,
+        n_bins: usize,
+        nx: usize,
+        ny: usize,
+    ) -> (Csc<f64>, SinoLayout, ImageShape) {
         let layout = SinoLayout { n_views, n_bins };
         let img = ImageShape { nx, ny };
         let mut coo = Coo::new(layout.n_rows(), img.n_pixels());
@@ -443,11 +642,108 @@ mod tests {
     }
 
     #[test]
+    fn spmv_multi_matches_k_independent_spmvs() {
+        let (csc, layout, img) = ct_like(13, 24, 8, 6);
+        let (nc, nr) = (csc.n_cols(), csc.n_rows());
+        for variant in [Variant::Z, Variant::M] {
+            for params in [CscvParams::new(4, 4, 2), CscvParams::new(8, 8, 3)] {
+                let exec = CscvExec::new(build(&csc, layout, img, params, variant));
+                // Odd k exercises the {8,4,2,1} chunk decomposition.
+                for k in [1usize, 3, 5, 8, 11] {
+                    let x: Vec<f64> = (0..k * nc).map(|i| (i as f64 * 0.13).sin()).collect();
+                    for threads in [1, 3] {
+                        let pool = ThreadPool::new(threads);
+                        let mut y_multi = vec![f64::NAN; k * nr];
+                        exec.spmv_multi(&x, k, &mut y_multi, &pool);
+                        for kk in 0..k {
+                            let mut y_one = vec![f64::NAN; nr];
+                            exec.spmv(&x[kk * nc..(kk + 1) * nc], &mut y_one, &pool);
+                            assert_vec_close(&y_multi[kk * nr..(kk + 1) * nr], &y_one, 1e-12);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_transpose_multi_matches_k_independent_transposes() {
+        let (csc, layout, img) = ct_like(13, 24, 8, 6);
+        let (nc, nr) = (csc.n_cols(), csc.n_rows());
+        for variant in [Variant::Z, Variant::M] {
+            let exec = CscvExec::new(build(&csc, layout, img, CscvParams::new(4, 8, 2), variant));
+            for k in [1usize, 3, 4, 7] {
+                let y: Vec<f64> = (0..k * nr).map(|i| (i as f64 * 0.07).cos()).collect();
+                for threads in [1, 4] {
+                    let pool = ThreadPool::new(threads);
+                    let mut x_multi = vec![f64::NAN; k * nc];
+                    exec.spmv_transpose_multi(&y, k, &mut x_multi, &pool);
+                    for kk in 0..k {
+                        let mut x_one = vec![f64::NAN; nc];
+                        exec.spmv_transpose(&y[kk * nr..(kk + 1) * nr], &mut x_one, &pool);
+                        assert_vec_close(&x_multi[kk * nc..(kk + 1) * nc], &x_one, 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_adjoint_identity_per_column() {
+        // ⟨A·X, Y⟩ = ⟨X, Aᵀ·Y⟩ must hold column by column of the batch.
+        let (csc, layout, img) = ct_like(10, 20, 5, 5);
+        let (nc, nr) = (csc.n_cols(), csc.n_rows());
+        let exec = CscvExec::new(build(
+            &csc,
+            layout,
+            img,
+            CscvParams::new(4, 8, 2),
+            Variant::M,
+        ));
+        let pool = ThreadPool::new(2);
+        let k = 5;
+        let x: Vec<f64> = (0..k * nc).map(|i| (i % 9) as f64 - 4.0).collect();
+        let y: Vec<f64> = (0..k * nr).map(|i| (i % 5) as f64 * 0.3).collect();
+        let mut ax = vec![0.0; k * nr];
+        exec.spmv_multi(&x, k, &mut ax, &pool);
+        let mut aty = vec![0.0; k * nc];
+        exec.spmv_transpose_multi(&y, k, &mut aty, &pool);
+        for kk in 0..k {
+            let lhs: f64 = ax[kk * nr..(kk + 1) * nr]
+                .iter()
+                .zip(&y[kk * nr..(kk + 1) * nr])
+                .map(|(a, b)| a * b)
+                .sum();
+            let rhs: f64 = x[kk * nc..(kk + 1) * nc]
+                .iter()
+                .zip(&aty[kk * nc..(kk + 1) * nc])
+                .map(|(a, b)| a * b)
+                .sum();
+            assert!(
+                (lhs - rhs).abs() / lhs.abs().max(1.0) < 1e-12,
+                "batch column {kk}: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
     fn metadata_and_names() {
         let (csc, layout, img) = ct_like(8, 20, 4, 4);
         let nnz = csc.nnz();
-        let z = CscvExec::new(build(&csc, layout, img, CscvParams::new(4, 8, 2), Variant::Z));
-        let m = CscvExec::new(build(&csc, layout, img, CscvParams::new(4, 8, 2), Variant::M));
+        let z = CscvExec::new(build(
+            &csc,
+            layout,
+            img,
+            CscvParams::new(4, 8, 2),
+            Variant::Z,
+        ));
+        let m = CscvExec::new(build(
+            &csc,
+            layout,
+            img,
+            CscvParams::new(4, 8, 2),
+            Variant::M,
+        ));
         assert_eq!(z.name(), "CSCV-Z");
         assert_eq!(m.name(), "CSCV-M");
         assert_eq!(z.nnz_orig(), nnz);
@@ -467,7 +763,11 @@ mod tests {
         let mut coo: Coo<f32> = Coo::new(layout.n_rows(), 16);
         for col in 0..16 {
             for v in 0..8 {
-                coo.push(layout.row_index(v, (v + col) % 15), col, 0.25 + col as f32 * 0.01);
+                coo.push(
+                    layout.row_index(v, (v + col) % 15),
+                    col,
+                    0.25 + col as f32 * 0.01,
+                );
             }
         }
         let csc = coo.to_csc();

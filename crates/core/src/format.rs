@@ -182,22 +182,17 @@ impl<T: Scalar> CscvMatrix<T> {
                     assert!(q + count * w <= b.map.len(), "VxG inside ỹ");
                     let lane_blocks = count * g;
                     match self.variant {
-                        Variant::Z => assert_eq!(
-                            (b.val_ptr[i + 1] - b.val_ptr[i]) as usize,
-                            lane_blocks * w
-                        ),
+                        Variant::Z => {
+                            assert_eq!((b.val_ptr[i + 1] - b.val_ptr[i]) as usize, lane_blocks * w)
+                        }
                         Variant::M => {
-                            assert!(
-                                (b.val_ptr[i + 1] - b.val_ptr[i]) as usize <= lane_blocks * w
-                            );
+                            assert!((b.val_ptr[i + 1] - b.val_ptr[i]) as usize <= lane_blocks * w);
                         }
                     }
                 }
                 assert_eq!(*b.val_ptr.last().unwrap() as usize, b.vals.len());
                 if self.variant == Variant::M {
-                    let lane_blocks: usize = (0..n)
-                        .map(|i| b.vxg_count[i] as usize * g)
-                        .sum();
+                    let lane_blocks: usize = (0..n).map(|i| b.vxg_count[i] as usize * g).sum();
                     assert_eq!(b.masks.len(), lane_blocks * self.mask_bytes());
                 } else {
                     assert!(b.masks.is_empty());

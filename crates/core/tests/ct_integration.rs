@@ -5,14 +5,19 @@
 //! checked against the CSR reference, and structural claims (padding
 //! rate band, index compression) verified.
 
-use cscv_core::{build, CscvExec, CscvParams, ParallelStrategy, SinoLayout, Variant};
 use cscv_core::layout::ImageShape;
+use cscv_core::{build, CscvExec, CscvParams, ParallelStrategy, SinoLayout, Variant};
 use cscv_ct::system::SystemMatrix;
 use cscv_ct::CtGeometry;
 use cscv_sparse::dense::assert_vec_close;
 use cscv_sparse::{SpmvExecutor, ThreadPool};
 
-fn setup(n: usize, bins: usize, views: usize, delta: f64) -> (CtGeometry, cscv_sparse::Csc<f32>, SinoLayout, ImageShape) {
+fn setup(
+    n: usize,
+    bins: usize,
+    views: usize,
+    delta: f64,
+) -> (CtGeometry, cscv_sparse::Csc<f32>, SinoLayout, ImageShape) {
     let ct = CtGeometry::standard(n, bins, views, 0.0, delta);
     let csc = SystemMatrix::assemble_csc::<f32>(&ct);
     let layout = SinoLayout {
@@ -74,9 +79,15 @@ fn padding_grows_with_simgb_and_svvec() {
     // Paper Fig. 8: R_nnzE increases with S_ImgB and with S_VVec.
     let (_, csc, layout, img) = setup(64, 92, 32, 0.375);
     let r = |imgb: usize, vvec: usize| {
-        build(&csc, layout, img, CscvParams::new(imgb, vvec, 1), Variant::Z)
-            .stats
-            .r_nnze()
+        build(
+            &csc,
+            layout,
+            img,
+            CscvParams::new(imgb, vvec, 1),
+            Variant::Z,
+        )
+        .stats
+        .r_nnze()
     };
     let r_small = r(8, 4);
     let r_big_tile = r(32, 4);

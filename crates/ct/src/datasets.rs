@@ -24,7 +24,13 @@ pub struct CtDataset {
 impl CtDataset {
     /// Build the acquisition geometry for this dataset.
     pub fn geometry(&self) -> CtGeometry {
-        CtGeometry::standard(self.img, self.n_bins, self.n_views, 0.0, self.delta_angle_deg)
+        CtGeometry::standard(
+            self.img,
+            self.n_bins,
+            self.n_views,
+            0.0,
+            self.delta_angle_deg,
+        )
     }
 
     /// Total angular coverage in degrees.

@@ -114,12 +114,10 @@ impl FanBeamGeometry {
             let gamma_c = cross.atan2(dot);
             // Conservative angular support: footprint half-width ≤ h·√2/2.
             let half = ((h * 0.7072) / dist).asin();
-            let b_lo = ((gamma_c - half) / self.delta_gamma
-                + (self.n_bins as f64 - 1.0) / 2.0)
+            let b_lo = ((gamma_c - half) / self.delta_gamma + (self.n_bins as f64 - 1.0) / 2.0)
                 .ceil()
                 .max(0.0) as usize;
-            let b_hi = ((gamma_c + half) / self.delta_gamma
-                + (self.n_bins as f64 - 1.0) / 2.0)
+            let b_hi = ((gamma_c + half) / self.delta_gamma + (self.n_bins as f64 - 1.0) / 2.0)
                 .floor()
                 .min(self.n_bins as f64 - 1.0);
             if b_hi < 0.0 {
@@ -228,7 +226,11 @@ mod tests {
         let mut y2 = vec![0.0; fan.n_rays()];
         by_col.spmv_serial(&x, &mut y1);
         by_row.spmv_serial(&x, &mut y2);
-        assert!(max_rel_err(&y1, &y2) < 1e-9, "err {}", max_rel_err(&y1, &y2));
+        assert!(
+            max_rel_err(&y1, &y2) < 1e-9,
+            "err {}",
+            max_rel_err(&y1, &y2)
+        );
     }
 
     #[test]

@@ -24,8 +24,8 @@
 pub mod chord;
 pub mod datasets;
 pub mod fanbeam;
-pub mod io;
 pub mod geometry;
+pub mod io;
 pub mod joseph;
 pub mod phantom;
 pub mod siddon;

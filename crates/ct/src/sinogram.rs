@@ -8,8 +8,7 @@
 //! by Gaussian noise with the Poisson variance after log-transform.
 
 use crate::geometry::ParallelGeometry;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cscv_simd::rng::XorShift64;
 
 /// A sinogram: `n_views × n_bins` ray measurements, stored row-major in
 /// the suite's layout (`row = view·n_bins + bin`).
@@ -79,14 +78,11 @@ impl Sinogram {
     /// `seed`.
     pub fn add_poisson_noise(&mut self, i0: f64, seed: u64) {
         assert!(i0 > 1.0, "photon count must exceed 1");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = XorShift64::new(seed);
         for p in self.data.iter_mut() {
             let mean = i0 * (-*p).exp();
-            // Gaussian approximation: N(mean, mean), via Box-Muller on
-            // two uniforms (keeps the dependency surface at `rand` core).
-            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            // Gaussian approximation: N(mean, mean).
+            let z = rng.normal();
             let photons = (mean + z * mean.sqrt()).max(1.0);
             *p = -(photons / i0).ln();
         }

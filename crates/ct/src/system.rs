@@ -77,9 +77,7 @@ impl SystemMatrix {
                 let d = ct.proj.bin_center(b) - s_c;
                 let val = match model {
                     ProjectorModel::Line => fp.chord(d),
-                    ProjectorModel::Strip => {
-                        fp.chord_integral(d - ds / 2.0, d + ds / 2.0) / ds
-                    }
+                    ProjectorModel::Strip => fp.chord_integral(d - ds / 2.0, d + ds / 2.0) / ds,
                 };
                 if val > 1e-14 {
                     out.push((v as u32, b as u32, val));
@@ -221,20 +219,30 @@ mod tests {
         // Siddon row generation must produce the same matrix (under the
         // line model both discretize the same zero-width rays).
         let ct = small_ct();
-        let by_col =
-            SystemMatrix::assemble_csc_model::<f64>(&ct, ProjectorModel::Line).to_csr();
+        let by_col = SystemMatrix::assemble_csc_model::<f64>(&ct, ProjectorModel::Line).to_csr();
         let by_row = SystemMatrix::assemble_csr_siddon::<f64>(&ct);
         // Compare through SpMV on a random-ish vector (covers values and
         // structure; immune to ~0 boundary-entry bookkeeping differences).
-        let x: Vec<f64> = (0..ct.n_cols()).map(|i| ((i * 31) % 17) as f64 * 0.1).collect();
+        let x: Vec<f64> = (0..ct.n_cols())
+            .map(|i| ((i * 31) % 17) as f64 * 0.1)
+            .collect();
         let mut y1 = vec![0.0; ct.n_rows()];
         let mut y2 = vec![0.0; ct.n_rows()];
         by_col.spmv_serial(&x, &mut y1);
         by_row.spmv_serial(&x, &mut y2);
-        assert!(max_rel_err(&y1, &y2) < 1e-9, "err {}", max_rel_err(&y1, &y2));
+        assert!(
+            max_rel_err(&y1, &y2) < 1e-9,
+            "err {}",
+            max_rel_err(&y1, &y2)
+        );
         // And nnz agrees closely (boundary chords may differ by ±epsilon).
         let d = by_col.nnz().abs_diff(by_row.nnz());
-        assert!(d * 100 <= by_col.nnz(), "{} vs {}", by_col.nnz(), by_row.nnz());
+        assert!(
+            d * 100 <= by_col.nnz(),
+            "{} vs {}",
+            by_col.nnz(),
+            by_row.nnz()
+        );
     }
 
     #[test]

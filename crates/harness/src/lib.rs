@@ -19,4 +19,6 @@ pub mod table;
 pub mod timing;
 
 pub use suite::{executor_field, prepare, PreparedDataset};
-pub use timing::{measure_spmv, SpmvMeasurement};
+pub use timing::{
+    measure_spmm, measure_spmv, modeled_batch_speedup, SpmmMeasurement, SpmvMeasurement,
+};

@@ -7,7 +7,7 @@ use cscv_ct::system::SystemMatrix;
 use cscv_ct::{CtDataset, Phantom};
 use cscv_simd::MaskExpand;
 use cscv_sparse::formats::{
-    CscParallelExec, CsrExec, Csr5Exec, CvrExec, MergeCsrExec, SellCSigmaExec, Spc5Exec,
+    CscParallelExec, Csr5Exec, CsrExec, CvrExec, MergeCsrExec, SellCSigmaExec, Spc5Exec,
 };
 use cscv_sparse::{Csc, Csr, Scalar, SpmvExecutor};
 

@@ -77,6 +77,83 @@ pub fn measure_spmv<T: Scalar>(
     }
 }
 
+/// One executor's batched (multi-RHS) measurement.
+#[derive(Debug, Clone)]
+pub struct SpmmMeasurement {
+    pub name: String,
+    pub threads: usize,
+    /// Batch width (number of right-hand sides).
+    pub k: usize,
+    /// Minimum per-iteration time in seconds (one full k-wide product).
+    pub secs_min: f64,
+    /// `F = 2·k·nnz/T` in GFLOP/s.
+    pub gflops: f64,
+    /// Batched memory requirement `M_Rit(k) = M(A) + k·(M(x)+M(y))`.
+    pub mem_requirement: usize,
+    /// Achieved effective bandwidth `M_Rit(k)/T` in GB/s.
+    pub eff_bandwidth_gbs: f64,
+}
+
+impl SpmmMeasurement {
+    /// Measured speedup over `k` independent single-RHS products, given
+    /// the single-RHS minimum time on the same executor/pool.
+    pub fn speedup_vs_singles(&self, single_secs_min: f64) -> f64 {
+        if self.secs_min <= 0.0 {
+            return 0.0;
+        }
+        self.k as f64 * single_secs_min / self.secs_min
+    }
+}
+
+/// Memory-model prediction of the batched speedup: if SpMV is
+/// bandwidth-bound, time is proportional to bytes moved, so `k`
+/// amortized products against `k` independent ones gain
+/// `k·M_Rit(1)/M_Rit(k)` — the matrix term is streamed once instead of
+/// `k` times while the vector term still scales with `k`.
+pub fn modeled_batch_speedup<T: Scalar>(exec: &dyn SpmvExecutor<T>, k: usize) -> f64 {
+    let m1 = exec.memory_requirement_multi(1) as f64;
+    let mk = exec.memory_requirement_multi(k) as f64;
+    k as f64 * m1 / mk
+}
+
+/// Measure an executor's batched product `Y = A·X` over `k` column-major
+/// right-hand sides: `warmup` untimed runs, then `iters` timed runs,
+/// keeping the minimum (same estimator as [`measure_spmv`]).
+pub fn measure_spmm<T: Scalar>(
+    exec: &dyn SpmvExecutor<T>,
+    x: &[T],
+    k: usize,
+    y: &mut [T],
+    pool: &ThreadPool,
+    warmup: usize,
+    iters: usize,
+) -> SpmmMeasurement {
+    assert!(iters >= 1);
+    for _ in 0..warmup {
+        exec.spmv_multi(x, k, y, pool);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        exec.spmv_multi(x, k, y, pool);
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&y[..]);
+        if dt < best {
+            best = dt;
+        }
+    }
+    let mem = exec.memory_requirement_multi(k);
+    SpmmMeasurement {
+        name: exec.name(),
+        threads: pool.n_threads(),
+        k,
+        secs_min: best,
+        gflops: k as f64 * exec.flops() / best / 1e9,
+        mem_requirement: mem,
+        eff_bandwidth_gbs: mem as f64 / best / 1e9,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +198,40 @@ mod tests {
         // 100 bytes in 0.5 s against a 400 B/s peak = 50% usage.
         assert!((m.r_em(400.0) - 0.5).abs() < 1e-12);
         assert_eq!(m.r_em(0.0), 0.0);
+    }
+
+    #[test]
+    fn spmm_measurement_is_sane() {
+        let exec = small_exec();
+        let pool = ThreadPool::new(1);
+        let k = 3;
+        let x = vec![1.0; k * 64];
+        let mut y = vec![0.0; k * 64];
+        let m = measure_spmm(&exec, &x, k, &mut y, &pool, 1, 5);
+        assert_eq!(m.k, 3);
+        assert!(m.secs_min > 0.0 && m.secs_min < 1.0);
+        assert!(m.gflops > 0.0);
+        assert_eq!(m.mem_requirement, exec.memory_requirement_multi(k));
+        // Every RHS copy was computed.
+        for kk in 0..k {
+            assert_eq!(y[kk * 64], 1.5);
+        }
+        // Speedup helper: batch taking the same time as one single run
+        // means a k× speedup over k sequential singles.
+        assert!((m.speedup_vs_singles(m.secs_min) - k as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modeled_speedup_grows_with_k_and_stays_below_k() {
+        let exec = small_exec();
+        let mut prev = 1.0;
+        for k in [1usize, 2, 4, 8, 16] {
+            let s = modeled_batch_speedup(&exec, k);
+            assert!(s >= prev, "monotone in k");
+            assert!(s <= k as f64 + 1e-12, "amortization cannot beat k×");
+            prev = s;
+        }
+        assert!((modeled_batch_speedup(&exec, 1) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,531 @@
+//! Batched reconstruction: many sinograms, one operator.
+//!
+//! Multi-slice CT reconstructs a stack of 2-D slices that all share the
+//! same system matrix `A` — only the measured sinogram differs per
+//! slice. Running the solvers slice-by-slice re-reads `A` from memory on
+//! every projection; running them *batched* drives the whole stack
+//! through [`LinearOperator::apply_multi`], so each iteration streams
+//! the matrix once per register-tile chunk and the dominant
+//! memory-traffic term is amortized `k`-fold (the paper's
+//! `M_Rit`-model prediction, extended to `M_Rit(k) = M(A) + k·M(x,y)`).
+//!
+//! All batch buffers are packed column-major: slice `i`'s sinogram is
+//! `b[i·n_rows .. (i+1)·n_rows]`, its image `x[i·n_cols .. (i+1)·n_cols]`.
+//!
+//! Convergence is tracked per slice. When a slice meets the tolerance it
+//! is *retired*: its image is copied out and the trailing active slice
+//! is swapped into its batch slot, shrinking the working batch width —
+//! the remaining slices keep amortizing while finished ones stop paying
+//! for projections (early-exit masking by compaction).
+
+use crate::operators::LinearOperator;
+use cscv_simd::lanes::norm2_sq;
+use cscv_sparse::{Scalar, ThreadPool};
+
+/// Result of a batched reconstruction run over `k` slices.
+#[derive(Debug, Clone)]
+pub struct BatchReconResult<T> {
+    /// Reconstructed images, column-major (`k · n_cols`).
+    pub x: Vec<T>,
+    /// Per-slice residual norm `‖b_i − A x_i‖₂` after each of that
+    /// slice's iterations (lengths differ once slices retire early).
+    pub residual_histories: Vec<Vec<f64>>,
+    /// Update steps actually applied to each slice.
+    pub iterations: Vec<usize>,
+    /// Image length of one slice (`n_cols` of the operator).
+    pub slice_len: usize,
+}
+
+impl<T> BatchReconResult<T> {
+    /// Number of slices in the batch.
+    pub fn n_slices(&self) -> usize {
+        self.residual_histories.len()
+    }
+
+    /// One slice's reconstructed image.
+    pub fn slice(&self, i: usize) -> &[T] {
+        &self.x[i * self.slice_len..(i + 1) * self.slice_len]
+    }
+}
+
+/// Swap two equal-length segments of a column-major batch buffer.
+fn swap_seg<T: Copy>(buf: &mut [T], len: usize, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let (lo, hi) = (a.min(b), a.max(b));
+    let (left, right) = buf.split_at_mut(hi * len);
+    left[lo * len..(lo + 1) * len].swap_with_slice(&mut right[..len]);
+}
+
+/// Shared per-slice convergence bookkeeping: slot→slice mapping, first
+/// residuals, histories, and the retire-by-swap compaction.
+struct BatchTracker<T: Scalar> {
+    /// `slots[s]` = original slice index occupying batch slot `s`.
+    slots: Vec<usize>,
+    /// Active batch width (slots `0..k_active` are live).
+    k_active: usize,
+    initial: Vec<f64>,
+    histories: Vec<Vec<f64>>,
+    iterations: Vec<usize>,
+    x_out: Vec<T>,
+    n: usize,
+}
+
+impl<T: Scalar> BatchTracker<T> {
+    fn new(k: usize, n: usize) -> Self {
+        BatchTracker {
+            slots: (0..k).collect(),
+            k_active: k,
+            initial: vec![f64::NAN; k],
+            histories: vec![Vec::new(); k],
+            iterations: vec![0; k],
+            x_out: vec![T::ZERO; k * n],
+            n,
+        }
+    }
+
+    /// Record one residual norm for the slice in batch slot `s`; returns
+    /// whether the slice has now converged under `tol` (relative to its
+    /// first recorded residual; `tol = 0` never converges early).
+    fn record(&mut self, s: usize, norm: f64, tol: f64) -> bool {
+        let orig = self.slots[s];
+        if self.initial[orig].is_nan() {
+            self.initial[orig] = norm;
+        }
+        self.histories[orig].push(norm);
+        tol > 0.0 && norm <= tol * self.initial[orig]
+    }
+
+    /// Retire the slice in slot `s`: copy its image out of the working
+    /// batch and compact by swapping the last active slot into `s`.
+    /// Every live column-major working buffer must be passed in
+    /// `(buffer, segment_len)` pairs so its segments move in lockstep;
+    /// by convention `bufs[0]` is the image buffer (`segment_len == n`).
+    fn retire(&mut self, s: usize, bufs: &mut [(&mut [T], usize)]) {
+        let orig = self.slots[s];
+        debug_assert_eq!(bufs[0].1, self.n, "bufs[0] must be the image buffer");
+        self.x_out[orig * self.n..(orig + 1) * self.n]
+            .copy_from_slice(&bufs[0].0[s * self.n..(s + 1) * self.n]);
+        let last = self.k_active - 1;
+        for (buf, len) in bufs.iter_mut() {
+            swap_seg(buf, *len, s, last);
+        }
+        self.slots.swap(s, last);
+        self.k_active = last;
+    }
+
+    /// Close out the run: copy every still-active slice's image and
+    /// return the assembled result.
+    fn finish(mut self, x_work: &[T]) -> BatchReconResult<T> {
+        for s in 0..self.k_active {
+            let orig = self.slots[s];
+            self.x_out[orig * self.n..(orig + 1) * self.n]
+                .copy_from_slice(&x_work[s * self.n..(s + 1) * self.n]);
+        }
+        BatchReconResult {
+            x: self.x_out,
+            residual_histories: self.histories,
+            iterations: self.iterations,
+            slice_len: self.n,
+        }
+    }
+}
+
+/// Batched SIRT over `k` sinograms sharing one operator:
+/// `x_i ← x_i + λ·C·Aᵀ·R·(b_i − A·x_i)` for all slices per matrix pass.
+///
+/// A slice retires once its residual drops to `tol` × its first
+/// residual (`tol = 0` disables early exit and runs all `iterations`).
+pub fn sirt_batch<T: Scalar>(
+    op: &dyn LinearOperator<T>,
+    b: &[T],
+    k: usize,
+    iterations: usize,
+    relaxation: f64,
+    tol: f64,
+    pool: &ThreadPool,
+) -> BatchReconResult<T> {
+    let (m, n) = (op.n_rows(), op.n_cols());
+    assert!(k > 0, "batch width must be positive");
+    assert_eq!(b.len(), k * m);
+    let lambda = T::from_f64(relaxation);
+    let inv = |sums: Vec<T>| -> Vec<T> {
+        sums.into_iter()
+            .map(|s| if s == T::ZERO { T::ZERO } else { T::ONE / s })
+            .collect()
+    };
+    let r_inv = inv(op.abs_row_sums(pool));
+    let c_inv = inv(op.abs_col_sums(pool));
+
+    let mut x = vec![T::ZERO; k * n];
+    let mut ax = vec![T::ZERO; k * m];
+    let mut resid = vec![T::ZERO; k * m];
+    let mut back = vec![T::ZERO; k * n];
+    let mut b_work = b.to_vec();
+    let mut tr = BatchTracker::new(k, n);
+
+    for _ in 0..iterations {
+        let ka = tr.k_active;
+        if ka == 0 {
+            break;
+        }
+        op.apply_multi(&x[..ka * n], ka, &mut ax[..ka * m], pool);
+        let mut s = 0usize;
+        while s < tr.k_active {
+            let bs = &b_work[s * m..(s + 1) * m];
+            let mut norm = 0.0f64;
+            for i in 0..m {
+                let r = bs[i] - ax[s * m + i];
+                norm += r.to_f64() * r.to_f64();
+                resid[s * m + i] = r * r_inv[i];
+            }
+            if tr.record(s, norm.sqrt(), tol) {
+                // Converged before this update: freeze and compact. The
+                // swapped-in slice re-enters at the same slot, so `s`
+                // stays put; its ax/resid come from the old slot — swap
+                // those too so the pending update still matches.
+                tr.retire(
+                    s,
+                    &mut [(&mut x, n), (&mut b_work, m), (&mut ax, m), (&mut resid, m)],
+                );
+            } else {
+                s += 1;
+            }
+        }
+        let ka = tr.k_active;
+        if ka == 0 {
+            break;
+        }
+        op.apply_transpose_multi(&resid[..ka * m], ka, &mut back[..ka * n], pool);
+        for s in 0..ka {
+            for j in 0..n {
+                x[s * n + j] = (lambda * c_inv[j] * back[s * n + j]) + x[s * n + j];
+            }
+            tr.iterations[tr.slots[s]] += 1;
+        }
+    }
+    tr.finish(&x)
+}
+
+/// Batched Landweber: `x_i ← x_i + λ Aᵀ(b_i − A x_i)` with one shared
+/// power-method step size (the operator, hence `σ_max`, is common to
+/// the whole batch). Early exit as in [`sirt_batch`].
+pub fn landweber_batch<T: Scalar>(
+    op: &dyn LinearOperator<T>,
+    b: &[T],
+    k: usize,
+    iterations: usize,
+    step_scale: f64,
+    tol: f64,
+    pool: &ThreadPool,
+) -> BatchReconResult<T> {
+    let (m, n) = (op.n_rows(), op.n_cols());
+    assert!(k > 0, "batch width must be positive");
+    assert_eq!(b.len(), k * m);
+    let sigma2 = crate::landweber::largest_singular_value_sq(op, 20, pool);
+    let step = if sigma2 > 0.0 {
+        T::from_f64(step_scale / sigma2)
+    } else {
+        T::ZERO
+    };
+
+    let mut x = vec![T::ZERO; k * n];
+    let mut ax = vec![T::ZERO; k * m];
+    let mut resid = vec![T::ZERO; k * m];
+    let mut back = vec![T::ZERO; k * n];
+    let mut b_work = b.to_vec();
+    let mut tr = BatchTracker::new(k, n);
+
+    for _ in 0..iterations {
+        let ka = tr.k_active;
+        if ka == 0 {
+            break;
+        }
+        op.apply_multi(&x[..ka * n], ka, &mut ax[..ka * m], pool);
+        let mut s = 0usize;
+        while s < tr.k_active {
+            let mut norm = 0.0f64;
+            for i in 0..m {
+                let r = b_work[s * m + i] - ax[s * m + i];
+                norm += r.to_f64() * r.to_f64();
+                resid[s * m + i] = r;
+            }
+            if tr.record(s, norm.sqrt(), tol) {
+                tr.retire(
+                    s,
+                    &mut [(&mut x, n), (&mut b_work, m), (&mut ax, m), (&mut resid, m)],
+                );
+            } else {
+                s += 1;
+            }
+        }
+        let ka = tr.k_active;
+        if ka == 0 {
+            break;
+        }
+        op.apply_transpose_multi(&resid[..ka * m], ka, &mut back[..ka * n], pool);
+        for s in 0..ka {
+            for j in 0..n {
+                x[s * n + j] = step.mul_add(back[s * n + j], x[s * n + j]);
+            }
+            tr.iterations[tr.slots[s]] += 1;
+        }
+    }
+    tr.finish(&x)
+}
+
+/// Batched CGLS on the normal equations, one Krylov process per slice
+/// driven through shared batched projections. A slice retires when its
+/// normal-equation residual `‖Aᵀr‖²` falls below `tol²` × its initial
+/// value (matching the single-slice [`cgls`](crate::cgls::cgls) stop).
+pub fn cgls_batch<T: Scalar>(
+    op: &dyn LinearOperator<T>,
+    b: &[T],
+    k: usize,
+    iterations: usize,
+    tol: f64,
+    pool: &ThreadPool,
+) -> BatchReconResult<T> {
+    let (m, n) = (op.n_rows(), op.n_cols());
+    assert!(k > 0, "batch width must be positive");
+    assert_eq!(b.len(), k * m);
+
+    let mut x = vec![T::ZERO; k * n];
+    let mut r = b.to_vec();
+    let mut s_vec = vec![T::ZERO; k * n];
+    op.apply_transpose_multi(&r, k, &mut s_vec, pool);
+    let mut p = s_vec.clone();
+    let mut q = vec![T::ZERO; k * m];
+    let mut tr = BatchTracker::new(k, n);
+
+    // Per-slot Krylov scalars; they ride along slot-indexed through the
+    // same swap-compaction the vector buffers use.
+    let mut gamma_slot: Vec<f64> = (0..k)
+        .map(|i| norm2_sq(&s_vec[i * n..(i + 1) * n]).to_f64())
+        .collect();
+    let mut gamma0_slot = gamma_slot.clone();
+
+    // Retire slices whose Krylov process is stationary from the start.
+    let mut s = 0usize;
+    while s < tr.k_active {
+        if gamma_slot[s] == 0.0 {
+            tr.retire(s, &mut [(&mut x, n), (&mut r, m), (&mut p, n)]);
+            gamma_slot.swap_remove(s);
+            gamma0_slot.swap_remove(s);
+        } else {
+            s += 1;
+        }
+    }
+
+    for _ in 0..iterations {
+        let ka = tr.k_active;
+        if ka == 0 {
+            break;
+        }
+        op.apply_multi(&p[..ka * n], ka, &mut q[..ka * m], pool);
+        let mut s = 0usize;
+        while s < tr.k_active {
+            let qq = norm2_sq(&q[s * m..(s + 1) * m]).to_f64();
+            if qq == 0.0 {
+                tr.retire(s, &mut [(&mut x, n), (&mut r, m), (&mut p, n), (&mut q, m)]);
+                gamma_slot.swap_remove(s);
+                gamma0_slot.swap_remove(s);
+                continue;
+            }
+            let alpha = gamma_slot[s] / qq;
+            for j in 0..n {
+                x[s * n + j] = T::from_f64(alpha).mul_add(p[s * n + j], x[s * n + j]);
+            }
+            for i in 0..m {
+                r[s * m + i] = T::from_f64(-alpha).mul_add(q[s * m + i], r[s * m + i]);
+            }
+            let norm = norm2_sq(&r[s * m..(s + 1) * m]).to_f64().sqrt();
+            tr.histories[tr.slots[s]].push(norm);
+            tr.iterations[tr.slots[s]] += 1;
+            s += 1;
+        }
+        let ka = tr.k_active;
+        if ka == 0 {
+            break;
+        }
+        op.apply_transpose_multi(&r[..ka * m], ka, &mut s_vec[..ka * n], pool);
+        let mut s = 0usize;
+        while s < tr.k_active {
+            let gamma_new = norm2_sq(&s_vec[s * n..(s + 1) * n]).to_f64();
+            let beta = gamma_new / gamma_slot[s];
+            gamma_slot[s] = gamma_new;
+            if gamma_new <= tol * tol * gamma0_slot[s] || gamma_new == 0.0 {
+                tr.retire(
+                    s,
+                    &mut [(&mut x, n), (&mut r, m), (&mut p, n), (&mut s_vec, n)],
+                );
+                gamma_slot.swap_remove(s);
+                gamma0_slot.swap_remove(s);
+                continue;
+            }
+            for j in 0..n {
+                p[s * n + j] = s_vec[s * n + j] + T::from_f64(beta) * p[s * n + j];
+            }
+            s += 1;
+        }
+    }
+    tr.finish(&x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::SpmvOperator;
+    use crate::sirt::sirt;
+    use cscv_sparse::{Coo, Csr};
+
+    fn tall_system(m: usize, n: usize, seed: u64) -> Csr<f64> {
+        let mut coo = Coo::new(m, n);
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0
+        };
+        for r in 0..m {
+            for c in 0..n {
+                if (r + c) % 3 != 0 {
+                    coo.push(r, c, 0.2 + rnd());
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// `k` sinograms from `k` known images (scaled copies of a base).
+    fn batch_rhs(csr: &Csr<f64>, k: usize) -> (Vec<f64>, Vec<f64>) {
+        let n = csr.n_cols();
+        let m = csr.n_rows();
+        let mut xs = vec![0.0; k * n];
+        let mut bs = vec![0.0; k * m];
+        for kk in 0..k {
+            for j in 0..n {
+                xs[kk * n + j] = (1.0 + 0.1 * j as f64) * (1.0 + kk as f64 * 0.5);
+            }
+            let mut b = vec![0.0; m];
+            csr.spmv_serial(&xs[kk * n..(kk + 1) * n], &mut b);
+            bs[kk * m..(kk + 1) * m].copy_from_slice(&b);
+        }
+        (xs, bs)
+    }
+
+    #[test]
+    fn sirt_batch_matches_independent_sirt_runs() {
+        let csr = tall_system(40, 12, 99);
+        let op = SpmvOperator::csr_pair(&csr);
+        let pool = ThreadPool::new(2);
+        let k = 3;
+        let (_, bs) = batch_rhs(&csr, k);
+        let batch = sirt_batch(&op, &bs, k, 30, 1.0, 0.0, &pool);
+        for kk in 0..k {
+            let single = sirt(&op, &bs[kk * 40..(kk + 1) * 40], 30, 1.0, &pool);
+            let err = crate::metrics::rel_l2(batch.slice(kk), &single.x);
+            assert!(err < 1e-10, "slice {kk} err {err}");
+            assert_eq!(batch.iterations[kk], 30);
+            assert_eq!(batch.residual_histories[kk].len(), 30);
+            for (a, b) in batch.residual_histories[kk]
+                .iter()
+                .zip(&single.residual_history)
+            {
+                assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn sirt_batch_early_exit_retires_slices_independently() {
+        let csr = tall_system(40, 12, 7);
+        let op = SpmvOperator::csr_pair(&csr);
+        let pool = ThreadPool::new(1);
+        let k = 4;
+        let (_, bs) = batch_rhs(&csr, k);
+        let batch = sirt_batch(&op, &bs, k, 500, 1.0, 1e-3, &pool);
+        for kk in 0..k {
+            let h = &batch.residual_histories[kk];
+            assert!(
+                h.last().unwrap() <= &(1e-3 * h[0]),
+                "slice {kk} must reach tol: {} vs {}",
+                h.last().unwrap(),
+                h[0]
+            );
+            assert!(
+                batch.iterations[kk] < 500,
+                "slice {kk} should retire early ({} iters)",
+                batch.iterations[kk]
+            );
+        }
+        // Residuals still match a fresh single-slice run of equal length.
+        let single = sirt(&op, &bs[0..40], batch.iterations[0], 1.0, &pool);
+        let err = crate::metrics::rel_l2(batch.slice(0), &single.x);
+        assert!(err < 1e-8, "err {err}");
+    }
+
+    #[test]
+    fn cgls_batch_matches_independent_cgls_runs() {
+        let csr = tall_system(60, 20, 42);
+        let op = SpmvOperator::csr_pair(&csr);
+        let pool = ThreadPool::new(2);
+        let k = 3;
+        let (xs, bs) = batch_rhs(&csr, k);
+        let batch = cgls_batch(&op, &bs, k, 200, 1e-12, &pool);
+        for kk in 0..k {
+            let err = crate::metrics::rel_l2(batch.slice(kk), &xs[kk * 20..(kk + 1) * 20]);
+            assert!(err < 1e-7, "slice {kk} err {err}");
+            assert!(batch.iterations[kk] < 200, "should stop early");
+        }
+    }
+
+    #[test]
+    fn landweber_batch_matches_independent_landweber_runs() {
+        let csr = tall_system(40, 12, 5);
+        let op = SpmvOperator::csr_pair(&csr);
+        let pool = ThreadPool::new(2);
+        let k = 2;
+        let (_, bs) = batch_rhs(&csr, k);
+        let batch = landweber_batch(&op, &bs, k, 40, 1.0, 0.0, &pool);
+        for kk in 0..k {
+            let single =
+                crate::landweber::landweber(&op, &bs[kk * 40..(kk + 1) * 40], 40, 1.0, &pool);
+            let err = crate::metrics::rel_l2(batch.slice(kk), &single.x);
+            assert!(err < 1e-10, "slice {kk} err {err}");
+        }
+    }
+
+    #[test]
+    fn zero_sinogram_slice_retires_immediately_in_cgls() {
+        let csr = tall_system(30, 10, 3);
+        let op = SpmvOperator::csr_pair(&csr);
+        let pool = ThreadPool::new(1);
+        let m = 30;
+        let k = 2;
+        // Slice 0 real, slice 1 all-zero (gamma0 = 0 → immediate retire).
+        let (_, bs1) = batch_rhs(&csr, 1);
+        let mut bs = vec![0.0; k * m];
+        bs[..m].copy_from_slice(&bs1);
+        let batch = cgls_batch(&op, &bs, k, 50, 1e-12, &pool);
+        assert!(batch.slice(1).iter().all(|&v| v == 0.0));
+        assert_eq!(batch.iterations[1], 0);
+        assert!(batch.iterations[0] > 0);
+        let err = crate::metrics::rel_l2(
+            batch.slice(0),
+            &crate::cgls::cgls(&op, &bs[..m], 50, 1e-12, &pool).x,
+        );
+        assert!(err < 1e-9, "err {err}");
+    }
+
+    #[test]
+    fn swap_seg_moves_segments() {
+        let mut buf = vec![0, 0, 1, 1, 2, 2];
+        swap_seg(&mut buf, 2, 0, 2);
+        assert_eq!(buf, vec![2, 2, 1, 1, 0, 0]);
+        swap_seg(&mut buf, 2, 1, 1);
+        assert_eq!(buf, vec![2, 2, 1, 1, 0, 0]);
+    }
+}

@@ -16,9 +16,15 @@
 //!   size (baseline and building block);
 //! * [`operators`] — the forward/transpose operator abstraction that
 //!   plugs any `SpmvExecutor` pair (CSCV, CSR, …) into the solvers;
+//! * [`batch`] — batched variants of the solvers that reconstruct a
+//!   stack of slices sharing one operator through `apply_multi`, so the
+//!   matrix is streamed once per register-tile chunk instead of once per
+//!   slice (the multi-RHS amortization the batched SpMM kernels exist
+//!   for);
 //! * [`metrics`] — RMSE / PSNR / relative error image quality metrics.
 
 pub mod art;
+pub mod batch;
 pub mod cgls;
 pub mod landweber;
 pub mod metrics;
@@ -26,6 +32,7 @@ pub mod operators;
 pub mod os_sart;
 pub mod sirt;
 
+pub use batch::{cgls_batch, landweber_batch, sirt_batch, BatchReconResult};
 pub use cgls::cgls;
 pub use landweber::landweber;
 pub use operators::{LinearOperator, SpmvOperator};

@@ -31,7 +31,11 @@ pub fn rel_l2<T: Scalar>(a: &[T], b: &[T]) -> f64 {
         })
         .sum::<f64>()
         .sqrt();
-    let den: f64 = b.iter().map(|y| y.to_f64() * y.to_f64()).sum::<f64>().sqrt();
+    let den: f64 = b
+        .iter()
+        .map(|y| y.to_f64() * y.to_f64())
+        .sum::<f64>()
+        .sqrt();
     if den == 0.0 {
         if num == 0.0 {
             0.0

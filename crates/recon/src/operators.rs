@@ -21,6 +21,34 @@ pub trait LinearOperator<T: Scalar>: Send + Sync {
     fn apply(&self, x: &[T], y: &mut [T], pool: &ThreadPool);
     /// `x = Aᵀ y`.
     fn apply_transpose(&self, y: &[T], x: &mut [T], pool: &ThreadPool);
+    /// Batched forward `Y = A X` over `k` column-major right-hand sides
+    /// (RHS `i` at `x[i·n_cols..]`, output at `y[i·n_rows..]`). Default
+    /// is a loop of [`apply`](Self::apply); operators backed by batched
+    /// SpMM override it so matrix traffic is paid once per batch chunk.
+    fn apply_multi(&self, x: &[T], k: usize, y: &mut [T], pool: &ThreadPool) {
+        assert!(k > 0, "batch width must be positive");
+        assert_eq!(x.len(), k * self.n_cols());
+        assert_eq!(y.len(), k * self.n_rows());
+        for (xk, yk) in x
+            .chunks_exact(self.n_cols())
+            .zip(y.chunks_exact_mut(self.n_rows()))
+        {
+            self.apply(xk, yk, pool);
+        }
+    }
+    /// Batched transpose `X = Aᵀ Y` (same packing as
+    /// [`apply_multi`](Self::apply_multi) with rows/cols swapped).
+    fn apply_transpose_multi(&self, y: &[T], k: usize, x: &mut [T], pool: &ThreadPool) {
+        assert!(k > 0, "batch width must be positive");
+        assert_eq!(y.len(), k * self.n_rows());
+        assert_eq!(x.len(), k * self.n_cols());
+        for (yk, xk) in y
+            .chunks_exact(self.n_rows())
+            .zip(x.chunks_exact_mut(self.n_cols()))
+        {
+            self.apply_transpose(yk, xk, pool);
+        }
+    }
     /// Row sums of `|A|` (SIRT weighting).
     fn abs_row_sums(&self, pool: &ThreadPool) -> Vec<T>;
     /// Column sums of `|A|` (SIRT weighting).
@@ -53,14 +81,14 @@ impl<T: Scalar> SpmvOperator<T> {
         assert_eq!(forward.n_cols(), csr.n_cols());
         let mut abs_row_sums = vec![T::ZERO; csr.n_rows()];
         let mut abs_col_sums = vec![T::ZERO; csr.n_cols()];
-        for r in 0..csr.n_rows() {
+        for (r, row_sum) in abs_row_sums.iter_mut().enumerate() {
             let (cols, vals) = csr.row(r);
             let mut acc = T::ZERO;
             for (c, v) in cols.iter().zip(vals) {
                 acc += v.abs();
                 abs_col_sums[*c as usize] += v.abs();
             }
-            abs_row_sums[r] = acc;
+            *row_sum = acc;
         }
         SpmvOperator {
             forward,
@@ -101,6 +129,12 @@ impl<T: Scalar> LinearOperator<T> for SpmvOperator<T> {
     fn apply_transpose(&self, y: &[T], x: &mut [T], pool: &ThreadPool) {
         self.transpose.spmv(y, x, pool);
     }
+    fn apply_multi(&self, x: &[T], k: usize, y: &mut [T], pool: &ThreadPool) {
+        self.forward.spmv_multi(x, k, y, pool);
+    }
+    fn apply_transpose_multi(&self, y: &[T], k: usize, x: &mut [T], pool: &ThreadPool) {
+        self.transpose.spmv_multi(y, k, x, pool);
+    }
     fn abs_row_sums(&self, _pool: &ThreadPool) -> Vec<T> {
         self.abs_row_sums.clone()
     }
@@ -127,10 +161,10 @@ impl<T: Scalar + MaskExpand> CscvOperator<T> {
         assert_eq!(exec.n_cols(), csr.n_cols());
         let mut abs_row_sums = vec![T::ZERO; csr.n_rows()];
         let mut abs_col_sums = vec![T::ZERO; csr.n_cols()];
-        for r in 0..csr.n_rows() {
+        for (r, row_sum) in abs_row_sums.iter_mut().enumerate() {
             let (cols, vals) = csr.row(r);
             for (c, v) in cols.iter().zip(vals) {
-                abs_row_sums[r] += v.abs();
+                *row_sum += v.abs();
                 abs_col_sums[*c as usize] += v.abs();
             }
         }
@@ -154,6 +188,12 @@ impl<T: Scalar + MaskExpand> LinearOperator<T> for CscvOperator<T> {
     }
     fn apply_transpose(&self, y: &[T], x: &mut [T], pool: &ThreadPool) {
         self.exec.spmv_transpose(y, x, pool);
+    }
+    fn apply_multi(&self, x: &[T], k: usize, y: &mut [T], pool: &ThreadPool) {
+        self.exec.spmv_multi(x, k, y, pool);
+    }
+    fn apply_transpose_multi(&self, y: &[T], k: usize, x: &mut [T], pool: &ThreadPool) {
+        self.exec.spmv_transpose_multi(y, k, x, pool);
     }
     fn abs_row_sums(&self, _pool: &ThreadPool) -> Vec<T> {
         self.abs_row_sums.clone()
@@ -214,7 +254,11 @@ mod tests {
         let mut coo = Coo::new(layout.n_rows(), 16);
         for col in 0..16usize {
             for v in 0..8usize {
-                coo.push(layout.row_index(v, (v + col) % 9), col, 1.0 + col as f64 * 0.1);
+                coo.push(
+                    layout.row_index(v, (v + col) % 9),
+                    col,
+                    1.0 + col as f64 * 0.1,
+                );
             }
         }
         let csr = coo.to_csr();

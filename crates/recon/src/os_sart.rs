@@ -130,15 +130,7 @@ mod tests {
         let (csr, x_true, b, n_bins) = system();
         let op = SpmvOperator::csr_pair(&csr);
         let pool = ThreadPool::new(1);
-        let res = os_sart(
-            &op,
-            &b,
-            4,
-            60,
-            0.8,
-            &interleaved_views(n_bins, 4),
-            &pool,
-        );
+        let res = os_sart(&op, &b, 4, 60, 0.8, &interleaved_views(n_bins, 4), &pool);
         let err = crate::metrics::rel_l2(&res.x, &x_true);
         assert!(err < 0.02, "rel err {err}");
     }
@@ -150,11 +142,27 @@ mod tests {
         let pool = ThreadPool::new(1);
         let passes = 6;
         let e1 = {
-            let r = os_sart(&op, &b, 1, passes, 0.8, &interleaved_views(n_bins, 1), &pool);
+            let r = os_sart(
+                &op,
+                &b,
+                1,
+                passes,
+                0.8,
+                &interleaved_views(n_bins, 1),
+                &pool,
+            );
             crate::metrics::rel_l2(&r.x, &x_true)
         };
         let e4 = {
-            let r = os_sart(&op, &b, 4, passes, 0.8, &interleaved_views(n_bins, 4), &pool);
+            let r = os_sart(
+                &op,
+                &b,
+                4,
+                passes,
+                0.8,
+                &interleaved_views(n_bins, 4),
+                &pool,
+            );
             crate::metrics::rel_l2(&r.x, &x_true)
         };
         assert!(e4 < e1, "OS acceleration: {e4} vs {e1}");

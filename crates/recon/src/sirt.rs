@@ -37,13 +37,7 @@ pub fn sirt<T: Scalar>(
     // Inverse weights; zero rows/cols get weight 0 (they never update).
     let inv = |sums: Vec<T>| -> Vec<T> {
         sums.into_iter()
-            .map(|s| {
-                if s == T::ZERO {
-                    T::ZERO
-                } else {
-                    T::ONE / s
-                }
-            })
+            .map(|s| if s == T::ZERO { T::ZERO } else { T::ONE / s })
             .collect()
     };
     let r_inv = inv(op.abs_row_sums(pool));

@@ -102,7 +102,11 @@ pub fn select_path<T: MaskExpand, const W: usize>() -> ExpandPath {
 /// Expand with an explicitly chosen path (dispatch hoisted out of hot loops
 /// by the caller; this helper exists for tests and generic validators).
 #[inline(always)]
-pub fn expand_with<T: MaskExpand, const W: usize>(path: ExpandPath, mask: u32, src: &[T]) -> [T; W] {
+pub fn expand_with<T: MaskExpand, const W: usize>(
+    path: ExpandPath,
+    mask: u32,
+    src: &[T],
+) -> [T; W] {
     match path {
         ExpandPath::Software => expand_soft::<T, W>(mask, src),
         ExpandPath::Hardware => {
@@ -180,9 +184,9 @@ impl MaskExpand for f32 {
         #[cfg(target_arch = "x86_64")]
         {
             match W {
-                16 => return write_out::<f32, W, 16>(x86::expand_f32x16(mask as u16, src)),
-                8 => return write_out::<f32, W, 8>(x86::expand_f32x8(mask as u8, src)),
-                4 => return write_out::<f32, W, 4>(x86::expand_f32x4(mask as u8, src)),
+                16 => write_out::<f32, W, 16>(x86::expand_f32x16(mask as u16, src)),
+                8 => write_out::<f32, W, 8>(x86::expand_f32x8(mask as u8, src)),
+                4 => write_out::<f32, W, 4>(x86::expand_f32x4(mask as u8, src)),
                 _ => unreachable!("no hardware expand for f32 x{W}"),
             }
         }
@@ -204,9 +208,9 @@ impl MaskExpand for f64 {
         #[cfg(target_arch = "x86_64")]
         {
             match W {
-                8 => return write_out::<f64, W, 8>(x86::expand_f64x8(mask as u8, src)),
-                4 => return write_out::<f64, W, 4>(x86::expand_f64x4(mask as u8, src)),
-                2 => return write_out::<f64, W, 2>(x86::expand_f64x2(mask as u8, src)),
+                8 => write_out::<f64, W, 8>(x86::expand_f64x8(mask as u8, src)),
+                4 => write_out::<f64, W, 4>(x86::expand_f64x4(mask as u8, src)),
+                2 => write_out::<f64, W, 2>(x86::expand_f64x2(mask as u8, src)),
                 _ => unreachable!("no hardware expand for f64 x{W}"),
             }
         }

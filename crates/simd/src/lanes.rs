@@ -34,6 +34,51 @@ pub fn store_lanes<T: Scalar, const W: usize>(dst: &mut [T], at: usize, v: [T; W
     dst[at..at + W].copy_from_slice(&v);
 }
 
+/// `K`×`W` register-tile FMA: fold one matrix lane block into `K`
+/// accumulators, one per right-hand side, each scaled by that RHS's
+/// own `x` scalar.
+///
+/// This is the batched-SpMM inner primitive: the matrix lane block
+/// (`vals`) is loaded **once** and reused `K` times, so matrix traffic
+/// is amortized across the batch while the per-RHS FMAs stay
+/// independent (K·W-wide ILP for the auto-vectorizer).
+#[inline(always)]
+pub fn fma_tile<T: Scalar, const W: usize, const K: usize>(
+    accs: &mut [[T; W]; K],
+    xs: &[T; K],
+    vals: &[T; W],
+) {
+    for k in 0..K {
+        for l in 0..W {
+            accs[k][l] = vals[l].mul_add(xs[k], accs[k][l]);
+        }
+    }
+}
+
+/// Load a `K`×`W` tile from `K` consecutive `W`-blocks starting at `at`
+/// — the interleaved multi-RHS `ỹ` layout, where RHS `k`'s segment for
+/// a lane block sits at `base + k·W`.
+#[inline(always)]
+pub fn load_tile<T: Scalar, const W: usize, const K: usize>(src: &[T], at: usize) -> [[T; W]; K] {
+    let mut out = [[T::ZERO; W]; K];
+    for (k, tile) in out.iter_mut().enumerate() {
+        tile.copy_from_slice(&src[at + k * W..at + (k + 1) * W]);
+    }
+    out
+}
+
+/// Store a `K`×`W` tile into `K` consecutive `W`-blocks starting at `at`.
+#[inline(always)]
+pub fn store_tile<T: Scalar, const W: usize, const K: usize>(
+    dst: &mut [T],
+    at: usize,
+    tile: &[[T; W]; K],
+) {
+    for (k, lanes) in tile.iter().enumerate() {
+        dst[at + k * W..at + (k + 1) * W].copy_from_slice(lanes);
+    }
+}
+
 /// Horizontal sum of a lane block (pairwise, keeps f32 error modest).
 #[inline(always)]
 pub fn hsum<T: Scalar, const W: usize>(v: &[T; W]) -> T {
@@ -42,10 +87,10 @@ pub fn hsum<T: Scalar, const W: usize>(v: &[T; W]) -> T {
     while width > 1 {
         let half = width / 2;
         for i in 0..half {
-            buf[i] = buf[i] + buf[i + half];
+            buf[i] += buf[i + half];
         }
         if width % 2 == 1 {
-            buf[0] = buf[0] + buf[width - 1];
+            buf[0] += buf[width - 1];
         }
         width = half;
     }
@@ -133,6 +178,30 @@ mod tests {
         let mut dst = [0.0f32; 6];
         store_lanes(&mut dst, 2, lanes);
         assert_eq!(dst, [0.0, 0.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn fma_tile_matches_k_independent_fma_lanes() {
+        let vals = [0.5f64, 1.0, 1.5, 2.0];
+        let xs = [2.0f64, -1.0, 0.25];
+        let mut tile = [[1.0f64; 4]; 3];
+        fma_tile(&mut tile, &xs, &vals);
+        for k in 0..3 {
+            let mut single = [1.0f64; 4];
+            fma_lanes(&mut single, xs[k], &vals);
+            assert_eq!(tile[k], single);
+        }
+    }
+
+    #[test]
+    fn tile_load_store_roundtrip_interleaved() {
+        let src: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        let tile: [[f32; 4]; 2] = load_tile(&src, 8);
+        assert_eq!(tile, [[8.0, 9.0, 10.0, 11.0], [12.0, 13.0, 14.0, 15.0]]);
+        let mut dst = vec![0.0f32; 20];
+        store_tile(&mut dst, 4, &tile);
+        assert_eq!(&dst[4..12], &src[8..16]);
+        assert_eq!(&dst[..4], &[0.0; 4]);
     }
 
     #[test]

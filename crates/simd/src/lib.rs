@@ -13,13 +13,16 @@
 //! * [`expand`] — mask expansion: `soft-vexpand` (portable) and the
 //!   hardware `vexpandps/vexpandpd` paths (x86-64, runtime detected).
 //! * [`detect`] — cached CPU feature detection.
+//! * [`rng`] — the in-tree xorshift PRNG used by tests, noise models and
+//!   benchmark input generation (keeps the workspace dependency-free).
 
 pub mod detect;
 pub mod expand;
 pub mod lanes;
+pub mod rng;
 pub mod scalar;
 
 pub use detect::{cpu_features, CpuFeatures};
 pub use expand::{ExpandPath, MaskExpand};
 pub use scalar::Scalar;
-mod proptests;
+mod randomized;

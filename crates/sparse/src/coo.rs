@@ -33,11 +33,7 @@ impl<T: Scalar> Coo<T> {
     }
 
     /// Build from existing triplets (bounds-checked).
-    pub fn from_triplets(
-        n_rows: usize,
-        n_cols: usize,
-        entries: Vec<(u32, u32, T)>,
-    ) -> Self {
+    pub fn from_triplets(n_rows: usize, n_cols: usize, entries: Vec<(u32, u32, T)>) -> Self {
         let mut m = Coo::new(n_rows, n_cols);
         for &(r, c, _) in &entries {
             assert!(
@@ -105,11 +101,7 @@ impl<T: Scalar> Coo<T> {
         Coo {
             n_rows: self.n_cols,
             n_cols: self.n_rows,
-            entries: self
-                .entries
-                .iter()
-                .map(|&(r, c, v)| (c, r, v))
-                .collect(),
+            entries: self.entries.iter().map(|&(r, c, v)| (c, r, v)).collect(),
         }
     }
 

@@ -127,9 +127,8 @@ impl<T: Scalar> Csc<T> {
         assert_eq!(x.len(), self.n_cols);
         assert_eq!(y.len(), self.n_rows);
         y.fill(T::ZERO);
-        for c in 0..self.n_cols {
+        for (c, &xc) in x.iter().enumerate() {
             let (rows, vals) = self.col(c);
-            let xc = x[c];
             for (r, v) in rows.iter().zip(vals) {
                 y[*r as usize] = v.mul_add(xc, y[*r as usize]);
             }
@@ -141,13 +140,13 @@ impl<T: Scalar> Csc<T> {
     pub fn spmv_transpose_serial(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.n_rows);
         assert_eq!(y.len(), self.n_cols);
-        for c in 0..self.n_cols {
+        for (c, yc) in y.iter_mut().enumerate() {
             let (rows, vals) = self.col(c);
             let mut acc = T::ZERO;
             for (r, v) in rows.iter().zip(vals) {
                 acc = v.mul_add(x[*r as usize], acc);
             }
-            y[c] = acc;
+            *yc = acc;
         }
     }
 

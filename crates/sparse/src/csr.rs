@@ -118,13 +118,13 @@ impl<T: Scalar> Csr<T> {
     pub fn spmv_serial(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.n_cols);
         assert_eq!(y.len(), self.n_rows);
-        for r in 0..self.n_rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             let mut acc = T::ZERO;
             for (c, v) in cols.iter().zip(vals) {
                 acc = v.mul_add(x[*c as usize], acc);
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 
@@ -136,9 +136,8 @@ impl<T: Scalar> Csr<T> {
         assert_eq!(x.len(), self.n_rows);
         assert_eq!(y.len(), self.n_cols);
         y.fill(T::ZERO);
-        for r in 0..self.n_rows {
+        for (r, &xr) in x.iter().enumerate() {
             let (cols, vals) = self.row(r);
-            let xr = x[r];
             for (c, v) in cols.iter().zip(vals) {
                 y[*c as usize] = v.mul_add(xr, y[*c as usize]);
             }

@@ -60,9 +60,9 @@ impl<T: Scalar> Dense<T> {
     pub fn spmv(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.n_cols);
         assert_eq!(y.len(), self.n_rows);
-        for r in 0..self.n_rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.n_cols..(r + 1) * self.n_cols];
-            y[r] = cscv_simd::lanes::dot(row, x);
+            *yr = cscv_simd::lanes::dot(row, x);
         }
     }
 }

@@ -40,6 +40,30 @@ pub trait SpmvExecutor<T: Scalar>: Send + Sync {
     /// If `x.len() != n_cols` or `y.len() != n_rows`.
     fn spmv(&self, x: &[T], y: &mut [T], pool: &ThreadPool);
 
+    /// Batched product `Y = A X` over `k` right-hand sides, packed
+    /// column-major: RHS `i` is `x[i·n_cols .. (i+1)·n_cols]` and lands
+    /// in `y[i·n_rows .. (i+1)·n_rows]`.
+    ///
+    /// The default is `k` independent [`spmv`](Self::spmv) calls — the
+    /// unamortized baseline. Formats that can reuse one matrix-stream
+    /// pass across the batch (CSCV, CSR, CSC) override this with a true
+    /// SpMM that reads `A` once per `k`-chunk; results must match the
+    /// default within accumulation-order tolerance.
+    ///
+    /// # Panics
+    /// If `k == 0`, `x.len() != k·n_cols` or `y.len() != k·n_rows`.
+    fn spmv_multi(&self, x: &[T], k: usize, y: &mut [T], pool: &ThreadPool) {
+        assert!(k > 0, "batch width must be positive");
+        assert_eq!(x.len(), k * self.n_cols());
+        assert_eq!(y.len(), k * self.n_rows());
+        for (xk, yk) in x
+            .chunks_exact(self.n_cols())
+            .zip(y.chunks_exact_mut(self.n_rows()))
+        {
+            self.spmv(xk, yk, pool);
+        }
+    }
+
     /// Useful floating-point operations per SpMV (paper's definition).
     fn flops(&self) -> f64 {
         2.0 * self.nnz_orig() as f64
@@ -58,6 +82,15 @@ pub trait SpmvExecutor<T: Scalar>: Send + Sync {
     /// iteration of `y = A x`.
     fn memory_requirement(&self) -> usize {
         self.matrix_bytes() + (self.n_cols() + self.n_rows()) * T::BYTES
+    }
+
+    /// Batched-regime memory requirement: `M(A)` is read once for the
+    /// whole batch while the vector traffic scales with `k`, so
+    /// `M_Rit(k) = M(A) + k·(M(x) + M(y))`. The paper's model predicts a
+    /// batched speedup of `k·M_Rit(1)/M_Rit(k)` for bandwidth-bound
+    /// matrices — the amortization the batched path is built to collect.
+    fn memory_requirement_multi(&self, k: usize) -> usize {
+        self.matrix_bytes() + k * (self.n_cols() + self.n_rows()) * T::BYTES
     }
 }
 
@@ -128,10 +161,7 @@ mod tests {
         let e = make();
         assert_eq!(e.flops(), 4.0);
         assert!((e.r_nnze() - 0.5).abs() < 1e-12);
-        assert_eq!(
-            e.memory_requirement(),
-            e.matrix_bytes() + 4 * f64::BYTES
-        );
+        assert_eq!(e.memory_requirement(), e.matrix_bytes() + 4 * f64::BYTES);
     }
 
     #[test]
@@ -143,6 +173,23 @@ mod tests {
             validate_against(&e, &[1.0, 1.0], &[2.0, 4.0], &pool, 1e-12);
         }));
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn default_spmv_multi_is_loop_of_spmv() {
+        let e = make();
+        let pool = ThreadPool::new(1);
+        // Two RHS column-major: [1,1] and [2,-1].
+        let x = [1.0, 1.0, 2.0, -1.0];
+        let mut y = [f64::NAN; 4];
+        e.spmv_multi(&x, 2, &mut y, &pool);
+        assert_eq!(y, [2.0, 3.0, 4.0, -3.0]);
+        assert_eq!(
+            e.memory_requirement_multi(3),
+            e.matrix_bytes() + 3 * 4 * f64::BYTES
+        );
+        // k = 1 collapses to the single-RHS model.
+        assert_eq!(e.memory_requirement_multi(1), e.memory_requirement());
     }
 
     #[test]

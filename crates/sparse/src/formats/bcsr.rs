@@ -166,7 +166,10 @@ mod tests {
     fn fill_in_counted() {
         let csr = banded(32);
         let exec = BcsrExec::new(&csr);
-        assert!(exec.nnz_stored() > exec.nnz_orig(), "dense blocks fill zeros");
+        assert!(
+            exec.nnz_stored() > exec.nnz_orig(),
+            "dense blocks fill zeros"
+        );
         assert!(exec.r_nnze() > 0.0);
         // Index data: one u32 per block, far below one per nonzero.
         let n_blocks = exec.nnz_stored() / (R * CB);

@@ -8,7 +8,7 @@
 use crate::csc::Csc;
 use crate::executor::SpmvExecutor;
 use crate::formats::util::{reduce_buffers_into, Scratch};
-use crate::partition::split_by_prefix;
+use crate::partition::{batch_chunks, split_by_prefix};
 use crate::pool::ThreadPool;
 use cscv_simd::Scalar;
 
@@ -56,6 +56,54 @@ impl<T: Scalar> CscParallelExec<T> {
             csc,
             scratch: Scratch::new(),
         }
+    }
+
+    /// One compiled-width chunk of the batched product: each column's
+    /// row/value stream is read once and scattered into `K` private
+    /// `y`-copy segments, which the standard parallel reduction then
+    /// folds (the whole `K·n_rows` buffer reduces as one flat vector).
+    fn spmm_chunk<const K: usize>(&self, x: &[T], y: &mut [T], pool: &ThreadPool) {
+        let (n_rows, n_cols) = (self.csc.n_rows(), self.csc.n_cols());
+        let n = pool.n_threads();
+        let csc = &self.csc;
+        if n == 1 {
+            y.fill(T::ZERO);
+            for c in 0..n_cols {
+                let (rows, vals) = csc.col(c);
+                let xc: [T; K] = std::array::from_fn(|k| x[k * n_cols + c]);
+                for (r, v) in rows.iter().zip(vals) {
+                    let ri = *r as usize;
+                    for k in 0..K {
+                        y[k * n_rows + ri] = v.mul_add(xc[k], y[k * n_rows + ri]);
+                    }
+                }
+            }
+            return;
+        }
+        let ranges = split_by_prefix(self.csc.col_ptr(), n);
+        let mut bufs = self.scratch.take(n, y.len());
+        {
+            let bufs: &mut [Vec<T>] = &mut bufs;
+            let bufs_ptr = crate::formats::util::SharedSliceMut::new(bufs);
+            pool.run(|tid| {
+                // SAFETY: each thread touches only element `tid`.
+                let buf = &mut unsafe { bufs_ptr.slice_mut(tid..tid + 1) }[0];
+                for c in ranges[tid].clone() {
+                    let (rows, vals) = csc.col(c);
+                    let xc: [T; K] = std::array::from_fn(|k| x[k * n_cols + c]);
+                    if xc.iter().all(|&v| v == T::ZERO) {
+                        continue;
+                    }
+                    for (r, v) in rows.iter().zip(vals) {
+                        let ri = *r as usize;
+                        for k in 0..K {
+                            buf[k * n_rows + ri] = v.mul_add(xc[k], buf[k * n_rows + ri]);
+                        }
+                    }
+                }
+            });
+        }
+        reduce_buffers_into(pool, &bufs[..n], y);
     }
 }
 
@@ -107,6 +155,28 @@ impl<T: Scalar> SpmvExecutor<T> for CscParallelExec<T> {
             });
         }
         reduce_buffers_into(pool, &bufs[..n], y);
+    }
+
+    /// Batched SpMM: one column-stream pass per register-tile chunk.
+    /// Private-copy buffers grow to `chunk·n_rows`, so the scratch cost
+    /// scales with the chunk width, not the full batch.
+    fn spmv_multi(&self, x: &[T], k: usize, y: &mut [T], pool: &ThreadPool) {
+        assert!(k > 0, "batch width must be positive");
+        assert_eq!(x.len(), k * self.csc.n_cols());
+        assert_eq!(y.len(), k * self.csc.n_rows());
+        let (n_cols, n_rows) = (self.csc.n_cols(), self.csc.n_rows());
+        let mut done = 0usize;
+        for chunk in batch_chunks(k, &[8, 4, 2, 1]) {
+            let xs = &x[done * n_cols..(done + chunk) * n_cols];
+            let ys = &mut y[done * n_rows..(done + chunk) * n_rows];
+            match chunk {
+                8 => self.spmm_chunk::<8>(xs, ys, pool),
+                4 => self.spmm_chunk::<4>(xs, ys, pool),
+                2 => self.spmm_chunk::<2>(xs, ys, pool),
+                _ => self.spmv(xs, ys, pool),
+            }
+            done += chunk;
+        }
     }
 }
 
@@ -160,6 +230,26 @@ mod tests {
             let mut y = vec![f64::NAN; 64];
             exec.spmv(&x, &mut y, &pool);
             assert_vec_close(&y, &y_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn spmv_multi_matches_k_independent_spmvs() {
+        let (csc, _, _) = sample(97);
+        let (nr, nc) = (csc.n_rows(), csc.n_cols());
+        let exec = CscParallelExec::new(csc);
+        for k in [1usize, 3, 8, 11] {
+            let x: Vec<f64> = (0..k * nc).map(|i| (i as f64 * 0.17).cos()).collect();
+            for threads in [1, 3] {
+                let pool = ThreadPool::new(threads);
+                let mut y_multi = vec![f64::NAN; k * nr];
+                exec.spmv_multi(&x, k, &mut y_multi, &pool);
+                for kk in 0..k {
+                    let mut y_one = vec![f64::NAN; nr];
+                    exec.spmv(&x[kk * nc..(kk + 1) * nc], &mut y_one, &pool);
+                    assert_vec_close(&y_multi[kk * nr..(kk + 1) * nr], &y_one, 1e-12);
+                }
+            }
         }
     }
 

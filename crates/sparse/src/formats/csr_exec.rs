@@ -9,7 +9,7 @@
 use crate::csr::Csr;
 use crate::executor::SpmvExecutor;
 use crate::formats::util::SharedSliceMut;
-use crate::partition::split_by_prefix;
+use crate::partition::{batch_chunks, split_by_prefix};
 use crate::pool::ThreadPool;
 use cscv_simd::Scalar;
 
@@ -73,6 +73,41 @@ impl<T: Scalar> CsrExec<T> {
         }
         cscv_simd::lanes::hsum(&acc) + tail
     }
+
+    /// One row against `K` column-major RHS vectors: the row's column
+    /// indices and values stream through registers once, each nonzero
+    /// feeding `K` independent FMA accumulators.
+    #[inline(always)]
+    fn row_dot_multi<const K: usize>(cols: &[u32], vals: &[T], x: &[T], n_cols: usize) -> [T; K] {
+        let mut acc = [T::ZERO; K];
+        for (c, v) in cols.iter().zip(vals) {
+            let ci = *c as usize;
+            for k in 0..K {
+                acc[k] = v.mul_add(x[k * n_cols + ci], acc[k]);
+            }
+        }
+        acc
+    }
+
+    /// One compiled-width chunk of the batched product (row-parallel,
+    /// row ranges disjoint per thread for every RHS copy).
+    fn spmm_chunk<const K: usize>(&self, x: &[T], y: &mut [T], pool: &ThreadPool) {
+        let (n_rows, n_cols) = (self.csr.n_rows(), self.csr.n_cols());
+        let ranges = split_by_prefix(self.csr.row_ptr(), pool.n_threads());
+        let out = SharedSliceMut::new(y);
+        let csr = &self.csr;
+        pool.run(|tid| {
+            for r in ranges[tid].clone() {
+                let (cols, vals) = csr.row(r);
+                let acc = Self::row_dot_multi::<K>(cols, vals, x, n_cols);
+                for (k, &v) in acc.iter().enumerate() {
+                    // SAFETY: row ranges are disjoint across threads, so
+                    // each RHS's copy of row `r` is written by one thread.
+                    unsafe { *out.get_raw(k * n_rows + r) = v };
+                }
+            }
+        });
+    }
 }
 
 impl<T: Scalar> SpmvExecutor<T> for CsrExec<T> {
@@ -107,6 +142,28 @@ impl<T: Scalar> SpmvExecutor<T> for CsrExec<T> {
                 *slot = Self::row_dot(cols, vals, x);
             }
         });
+    }
+
+    /// Batched SpMM: each row's index/value stream is read once per
+    /// register-tile chunk (k split into {8, 4, 2, 1}) instead of once
+    /// per RHS.
+    fn spmv_multi(&self, x: &[T], k: usize, y: &mut [T], pool: &ThreadPool) {
+        assert!(k > 0, "batch width must be positive");
+        assert_eq!(x.len(), k * self.csr.n_cols());
+        assert_eq!(y.len(), k * self.csr.n_rows());
+        let (n_cols, n_rows) = (self.csr.n_cols(), self.csr.n_rows());
+        let mut done = 0usize;
+        for chunk in batch_chunks(k, &[8, 4, 2, 1]) {
+            let xs = &x[done * n_cols..(done + chunk) * n_cols];
+            let ys = &mut y[done * n_rows..(done + chunk) * n_rows];
+            match chunk {
+                8 => self.spmm_chunk::<8>(xs, ys, pool),
+                4 => self.spmm_chunk::<4>(xs, ys, pool),
+                2 => self.spmm_chunk::<2>(xs, ys, pool),
+                _ => self.spmv(xs, ys, pool),
+            }
+            done += chunk;
+        }
     }
 }
 
@@ -179,6 +236,27 @@ mod tests {
             let x: Vec<f64> = (0..len).map(|i| (i as f64) * 0.5).collect();
             let expect: f64 = (0..len).map(|i| (i as f64 + 1.0) * (i as f64) * 0.5).sum();
             assert!((CsrExec::row_dot(&cols, &vals, &x) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spmv_multi_matches_k_independent_spmvs() {
+        let csr = random_matrix(101, 77, 5, 42);
+        let (nr, nc) = (csr.n_rows(), csr.n_cols());
+        let exec = CsrExec::new(csr);
+        // Odd k exercises the {8,4,2,1} chunk decomposition.
+        for k in [1usize, 3, 8, 11] {
+            let x: Vec<f64> = (0..k * nc).map(|i| (i as f64 * 0.3).sin()).collect();
+            for threads in [1, 4] {
+                let pool = ThreadPool::new(threads);
+                let mut y_multi = vec![f64::NAN; k * nr];
+                exec.spmv_multi(&x, k, &mut y_multi, &pool);
+                for kk in 0..k {
+                    let mut y_one = vec![f64::NAN; nr];
+                    exec.spmv(&x[kk * nc..(kk + 1) * nc], &mut y_one, &pool);
+                    assert_vec_close(&y_multi[kk * nr..(kk + 1) * nr], &y_one, 1e-12);
+                }
+            }
         }
     }
 

@@ -79,10 +79,10 @@ impl<T: Scalar> CvrExec<T> {
         let mut step = 0u32;
         loop {
             // Refill idle lanes at step boundaries.
-            for l in 0..OMEGA {
-                if lane[l].is_none() {
+            for slot in &mut lane {
+                if slot.is_none() {
                     if let Some(r) = pending.next() {
-                        lane[l] = Some((r, csr.row_ptr()[r], csr.row_ptr()[r + 1]));
+                        *slot = Some((r, csr.row_ptr()[r], csr.row_ptr()[r + 1]));
                         active += 1;
                     }
                 }
@@ -91,8 +91,8 @@ impl<T: Scalar> CvrExec<T> {
                 break;
             }
             // Consume one entry per lane (pad idle lanes).
-            for l in 0..OMEGA {
-                match &mut lane[l] {
+            for (l, slot) in lane.iter_mut().enumerate() {
+                match slot {
                     Some((r, idx, end)) => {
                         vals.push(csr.vals()[*idx]);
                         cols.push(csr.col_idx()[*idx]);
@@ -103,7 +103,7 @@ impl<T: Scalar> CvrExec<T> {
                                 lane: l as u32,
                                 row: *r as u32,
                             });
-                            lane[l] = None;
+                            *slot = None;
                             active -= 1;
                         }
                     }

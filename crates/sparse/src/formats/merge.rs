@@ -43,7 +43,7 @@ impl<T: Scalar> MergeCsrExec<T> {
         // We want the largest `row` such that row_ptr[row] + row <= diag
         // ... choosing: row-end item for row r sits after its nnz items.
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             // Items consumed if we have fully finished `mid` rows:
             // mid row-ends + row_ptr[mid] nonzeros.
             if row_ptr[mid] + mid <= diag {

@@ -134,13 +134,13 @@ impl<T: Scalar> SpmvExecutor<T> for SellCSigmaExec<T> {
                         acc[l] = vs[l].mul_add(x[cs[l] as usize], acc[l]);
                     }
                 }
-                for l in 0..C {
+                for (l, &a) in acc.iter().enumerate() {
                     let r = self.perm[chunk * C + l];
                     if r != u32::MAX {
                         // SAFETY: each original row appears in exactly one
                         // chunk slot, and chunks are disjoint per thread.
                         unsafe {
-                            out.slice_mut(r as usize..r as usize + 1)[0] = acc[l];
+                            out.slice_mut(r as usize..r as usize + 1)[0] = a;
                         }
                     }
                 }

@@ -168,11 +168,17 @@ mod tests {
         let p = tmp("bad.mtx");
         std::fs::write(&p, "%%MatrixMarket matrix array real general\n2 2\n1.0\n").unwrap();
         assert!(read_matrix_market::<f64>(&p).is_err());
-        std::fs::write(&p, "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 3.0\n")
-            .unwrap();
+        std::fs::write(
+            &p,
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 3.0\n",
+        )
+        .unwrap();
         assert!(read_matrix_market::<f64>(&p).is_err(), "oob entry");
-        std::fs::write(&p, "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3.0\n")
-            .unwrap();
+        std::fs::write(
+            &p,
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3.0\n",
+        )
+        .unwrap();
         assert!(read_matrix_market::<f64>(&p).is_err(), "nnz mismatch");
     }
 

@@ -68,9 +68,38 @@ pub fn range_weight(prefix: &[usize], r: &Range<usize>) -> usize {
     prefix[r.end] - prefix[r.start]
 }
 
+/// Decompose a batch width into compiled register-tile widths, largest
+/// first (e.g. `k = 11`, caps `[8, 4, 2, 1]` → `[8, 2, 1]`). Batched
+/// SpMM executors monomorphize their kernels per tile width and use this
+/// to cover an arbitrary `k`; `caps` must end in 1 so every `k` is
+/// reachable.
+pub fn batch_chunks(mut k: usize, caps: &[usize]) -> Vec<usize> {
+    debug_assert_eq!(caps.last(), Some(&1), "caps must end at 1");
+    let mut out = Vec::new();
+    while k > 0 {
+        let c = *caps.iter().find(|&&c| c <= k).expect("caps end at 1");
+        out.push(c);
+        k -= c;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_chunks_cover_any_k() {
+        assert_eq!(batch_chunks(11, &[8, 4, 2, 1]), vec![8, 2, 1]);
+        assert_eq!(batch_chunks(7, &[4, 2, 1]), vec![4, 2, 1]);
+        for k in 1..40 {
+            for caps in [&[8usize, 4, 2, 1][..], &[4, 2, 1][..], &[1][..]] {
+                let chunks = batch_chunks(k, caps);
+                assert_eq!(chunks.iter().sum::<usize>(), k);
+                assert!(chunks.windows(2).all(|w| w[0] >= w[1]));
+            }
+        }
+    }
 
     fn assert_covers(ranges: &[Range<usize>], n: usize) {
         let mut next = 0;

@@ -11,8 +11,8 @@
 //! genuinely serial (no pool overhead), matching how the paper reports
 //! single-thread numbers.
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
 
@@ -31,15 +31,21 @@ struct Job {
 
 type Ack = std::thread::Result<()>;
 
-/// Fixed-size persistent thread pool.
-pub struct ThreadPool {
-    n_threads: usize,
+/// Channel endpoints used by `run`. `std::sync::mpsc::Receiver` is not
+/// `Sync`, so both ends live behind the dispatch mutex — which also
+/// serializes `run` calls (the ack channel carries one generation at a
+/// time), so the lock does double duty.
+struct Dispatch {
     /// One injection channel per worker (jobs are per-thread, not stolen).
     job_txs: Vec<Sender<Job>>,
     ack_rx: Receiver<Ack>,
+}
+
+/// Fixed-size persistent thread pool.
+pub struct ThreadPool {
+    n_threads: usize,
+    dispatch: Mutex<Dispatch>,
     handles: Vec<JoinHandle<()>>,
-    /// Serializes `run` calls; the ack channel carries one generation at a time.
-    dispatch: Mutex<()>,
 }
 
 impl ThreadPool {
@@ -48,12 +54,12 @@ impl ThreadPool {
     /// `n_threads == 1` creates no OS threads; `run` executes inline.
     pub fn new(n_threads: usize) -> Self {
         let n_threads = n_threads.max(1);
-        let (ack_tx, ack_rx) = unbounded::<Ack>();
+        let (ack_tx, ack_rx) = channel::<Ack>();
         let mut job_txs = Vec::new();
         let mut handles = Vec::new();
         if n_threads > 1 {
             for w in 0..n_threads {
-                let (tx, rx) = unbounded::<Job>();
+                let (tx, rx) = channel::<Job>();
                 let ack = ack_tx.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("cscv-worker-{w}"))
@@ -77,10 +83,8 @@ impl ThreadPool {
         }
         ThreadPool {
             n_threads,
-            job_txs,
-            ack_rx,
+            dispatch: Mutex::new(Dispatch { job_txs, ack_rx }),
             handles,
-            dispatch: Mutex::new(()),
         }
     }
 
@@ -111,7 +115,7 @@ impl ThreadPool {
         // A panic propagated out of a previous `run` poisons the lock but
         // leaves the pool protocol consistent (all acks were drained), so
         // poisoning is recoverable here.
-        let _guard = self
+        let guard = self
             .dispatch
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
@@ -121,7 +125,7 @@ impl ThreadPool {
         let raw: &'static (dyn Fn(usize) + Sync) = unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(obj)
         };
-        for (idx, tx) in self.job_txs.iter().enumerate() {
+        for (idx, tx) in guard.job_txs.iter().enumerate() {
             tx.send(Job {
                 task: TaskPtr(raw),
                 thread_idx: idx,
@@ -130,7 +134,7 @@ impl ThreadPool {
         }
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
         for _ in 0..self.n_threads {
-            match self.ack_rx.recv().expect("worker alive") {
+            match guard.ack_rx.recv().expect("worker alive") {
                 Ok(()) => {}
                 Err(p) => panic = Some(p),
             }
@@ -143,7 +147,12 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.job_txs.clear(); // close channels; workers drain and exit
+        // Close the job channels; workers drain and exit.
+        self.dispatch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .job_txs
+            .clear();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }

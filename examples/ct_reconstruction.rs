@@ -96,7 +96,10 @@ fn main() {
     write_pgm("recon_cgls.pgm", &res_cgls.x, ds.img, ds.img);
 
     // Simple quality gates so the example doubles as an e2e check.
-    assert!(rel_l2(&res_cgls.x, &phantom) < 0.25, "CGLS should roughly recover the phantom");
+    assert!(
+        rel_l2(&res_cgls.x, &phantom) < 0.25,
+        "CGLS should roughly recover the phantom"
+    );
     assert!(
         res_sirt.residual_history.last().unwrap() < &(res_sirt.residual_history[0] * 0.1),
         "SIRT should reduce the residual by 10x"

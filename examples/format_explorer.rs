@@ -53,10 +53,26 @@ fn main() {
     println!("\nstorage comparison (matrix bytes only):");
     println!("  CSC                      : {:>9} B", a.matrix_bytes());
     for (label, params, variant) in [
-        ("CSCV-Z (ImgB=8, W=8, G=2)", CscvParams::new(8, 8, 2), Variant::Z),
-        ("CSCV-M (ImgB=8, W=8, G=2)", CscvParams::new(8, 8, 2), Variant::M),
-        ("CSCV-Z (ImgB=16, W=16, G=4)", CscvParams::new(16, 16, 4), Variant::Z),
-        ("CSCV-M (ImgB=16, W=16, G=4)", CscvParams::new(16, 16, 4), Variant::M),
+        (
+            "CSCV-Z (ImgB=8, W=8, G=2)",
+            CscvParams::new(8, 8, 2),
+            Variant::Z,
+        ),
+        (
+            "CSCV-M (ImgB=8, W=8, G=2)",
+            CscvParams::new(8, 8, 2),
+            Variant::M,
+        ),
+        (
+            "CSCV-Z (ImgB=16, W=16, G=4)",
+            CscvParams::new(16, 16, 4),
+            Variant::Z,
+        ),
+        (
+            "CSCV-M (ImgB=16, W=16, G=4)",
+            CscvParams::new(16, 16, 4),
+            Variant::M,
+        ),
     ] {
         let m = build(&a, layout, img, params, variant);
         m.validate();

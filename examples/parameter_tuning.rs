@@ -61,5 +61,7 @@ fn main() {
     for vxg in [1, 2, 4, 8] {
         show(16, 8, vxg);
     }
-    println!("\npaper defaults: Z = (16,16,2), M = (32,8,4); the best cell above should be nearby.");
+    println!(
+        "\npaper defaults: Z = (16,16,2), M = (32,8,4); the best cell above should be nearby."
+    );
 }

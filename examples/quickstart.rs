@@ -57,7 +57,10 @@ fn main() {
         let mut y = vec![0.0f32; a.n_rows()];
         exec.spmv(&x, &mut y, &pool);
         let err = cscv_repro::sparse::dense::max_rel_err(&y, &y_ref);
-        println!("{:<8} matches CSR baseline, max rel err {err:.2e}", exec.name());
+        println!(
+            "{:<8} matches CSR baseline, max rel err {err:.2e}",
+            exec.name()
+        );
         assert!(err < 1e-3);
     }
 
@@ -69,8 +72,7 @@ fn main() {
         &m,
     ] {
         let mut y = vec![0.0f32; a.n_rows()];
-        let meas =
-            cscv_repro::harness::timing::measure_spmv(exec, &x, &mut y, &pool, 3, iters);
+        let meas = cscv_repro::harness::timing::measure_spmv(exec, &x, &mut y, &pool, 3, iters);
         println!(
             "{:<18} {:>7.2} GFLOP/s  ({:.3} ms/iter)",
             meas.name,

@@ -3,11 +3,40 @@
 # Writes text outputs to bench_results/. Tuned for a single-core machine:
 # --iters trades precision for wall clock; use --iters 100 for
 # paper-strength minima.
+#
+# --smoke: run every driver on ct128 only with minimal iterations, so the
+# whole driver set is exercised in seconds (CI / sanity check, not
+# measurement).
 set -u
 cd "$(dirname "$0")"
 OUT=bench_results
 R="cargo run --release -q -p cscv-bench --bin"
 run() { echo "== $1 =="; shift; local t0=$SECONDS; "$@"; echo "[elapsed $((SECONDS-t0))s]"; }
+
+SMOKE=0
+[ "${1:-}" = "--smoke" ] && SMOKE=1
+
+if [ "$SMOKE" = 1 ]; then
+    # Smoke outputs go to their own directory so the recorded
+    # full-scale artifacts in bench_results/ are never clobbered.
+    OUT=$OUT/smoke
+    mkdir -p $OUT
+    run table1   $R table1_sample_block                                          > $OUT/table1.txt  2>&1
+    run table2   $R table2_datasets     -- --dataset ct128                       > $OUT/table2.txt  2>&1
+    run fig4     $R fig4_simd_efficiency                                         > $OUT/fig4.txt    2>&1
+    run fig5     $R fig5_padding_dist                                            > $OUT/fig5.txt    2>&1
+    run fig8     $R fig8_param_sweep    -- --dataset ct128                       > $OUT/fig8.txt    2>&1
+    run fig9     $R fig9_param_perf     -- --dataset ct128 --threads 1 --iters 2 > $OUT/fig9.txt    2>&1
+    run table3   $R table3_params       -- --dataset ct128 --threads 1 --iters 2 > $OUT/table3.txt  2>&1
+    run fig10    $R fig10_scalability   -- --dataset ct128 --threads 1 --iters 2 > $OUT/fig10.txt   2>&1
+    run fig11    $R fig11_membw         -- --dataset ct128 --threads 1 --iters 2 > $OUT/fig11.txt   2>&1
+    run table4   $R table4_best_perf    -- --dataset ct128 --threads 1 --iters 2 > $OUT/table4.txt  2>&1
+    run ablation $R ablation            -- --dataset ct128 --threads 1 --iters 2 > $OUT/ablation.txt 2>&1
+    run backproj $R backprojection      -- --dataset ct128 --threads 1 --iters 2 > $OUT/backprojection.txt 2>&1
+    run batched  $R batched_spmm        -- --dataset ct128 --threads 1 --iters 2 --k 1,2,4 > $OUT/batched_spmm.txt 2>&1
+    echo SMOKE_DONE
+    exit 0
+fi
 
 run table1  $R table1_sample_block                          > $OUT/table1.txt 2>&1
 run table2  $R table2_datasets                              > $OUT/table2.txt 2>&1
@@ -21,4 +50,5 @@ run fig11   $R fig11_membw         -- --dataset ct256 --threads 4 --iters 12   >
 run table4  $R table4_best_perf    -- --threads 1,4 --iters 12                 > $OUT/table4.txt 2>&1
 run ablation $R ablation           -- --dataset ct256 --threads 1,4 --iters 10 > $OUT/ablation.txt 2>&1
 run backproj $R backprojection     -- --threads 1,4 --iters 10                 > $OUT/backprojection.txt 2>&1
+run batched  $R batched_spmm       -- --threads 1,4 --iters 20                 > $OUT/batched_spmm.txt 2>&1
 echo ALL_DONE

@@ -37,9 +37,10 @@ fn spmv_rejects_wrong_dimensions() {
     // Transpose direction too.
     let mut xt = vec![0.0f32; csc.n_cols()];
     let bad_yt = vec![0.0f32; csc.n_rows() + 5];
-    assert!(
-        catch_unwind(AssertUnwindSafe(|| exec.spmv_transpose(&bad_yt, &mut xt, &pool))).is_err()
-    );
+    assert!(catch_unwind(AssertUnwindSafe(
+        || exec.spmv_transpose(&bad_yt, &mut xt, &pool)
+    ))
+    .is_err());
 }
 
 #[test]
@@ -60,7 +61,13 @@ fn builder_rejects_shape_mismatches() {
     };
     let bad_img = ImageShape { nx: 16, ny: 16 };
     assert!(catch_unwind(AssertUnwindSafe(|| {
-        build(&csc, good_layout, bad_img, CscvParams::new(8, 8, 2), Variant::Z)
+        build(
+            &csc,
+            good_layout,
+            bad_img,
+            CscvParams::new(8, 8, 2),
+            Variant::Z,
+        )
     }))
     .is_err());
 }
@@ -97,8 +104,20 @@ fn f32_and_f64_agree_within_precision() {
         nx: ds.img,
         ny: ds.img,
     };
-    let e32 = CscvExec::new(build(&a32, layout, img, CscvParams::new(8, 8, 2), Variant::M));
-    let e64 = CscvExec::new(build(&a64, layout, img, CscvParams::new(8, 8, 2), Variant::M));
+    let e32 = CscvExec::new(build(
+        &a32,
+        layout,
+        img,
+        CscvParams::new(8, 8, 2),
+        Variant::M,
+    ));
+    let e64 = CscvExec::new(build(
+        &a64,
+        layout,
+        img,
+        CscvParams::new(8, 8, 2),
+        Variant::M,
+    ));
     let pool = ThreadPool::new(1);
     let x32: Vec<f32> = (0..a32.n_cols()).map(|i| (i % 11) as f32 * 0.3).collect();
     let x64: Vec<f64> = x32.iter().map(|&v| v as f64).collect();

@@ -23,7 +23,9 @@ fn fan_beam_cscv_spmv_matches_reference_all_variants() {
         n_bins: fan.n_bins,
     };
     let img = ImageShape { nx: 32, ny: 32 };
-    let x: Vec<f32> = (0..csc.n_cols()).map(|i| ((i * 7) % 13) as f32 * 0.2).collect();
+    let x: Vec<f32> = (0..csc.n_cols())
+        .map(|i| ((i * 7) % 13) as f32 * 0.2)
+        .collect();
     let mut y_ref = vec![0.0f32; csc.n_rows()];
     csc.spmv_serial(&x, &mut y_ref);
     for variant in [Variant::Z, Variant::M] {
@@ -58,7 +60,13 @@ fn fan_beam_reconstruction_through_full_cscv_operator() {
         n_bins: fan.n_bins,
     };
     let img = ImageShape { nx: 32, ny: 32 };
-    let exec = CscvExec::new(build(&csc, layout, img, CscvParams::new(8, 8, 2), Variant::M));
+    let exec = CscvExec::new(build(
+        &csc,
+        layout,
+        img,
+        CscvParams::new(8, 8, 2),
+        Variant::M,
+    ));
     let op = CscvOperator::new(exec, &csr);
     let pool = ThreadPool::new(2);
     let res = cgls(&op, &sino, 40, 1e-10, &pool);

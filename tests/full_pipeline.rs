@@ -104,14 +104,8 @@ fn measurement_pipeline_works_end_to_end() {
     let mut y = vec![0.0f32; prep.csr.n_rows()];
     for (_, builder) in executor_builders::<f32>().into_iter().take(3) {
         let exec = builder(&prep, 2);
-        let m = cscv_repro::harness::timing::measure_spmv(
-            exec.as_ref(),
-            &prep.x,
-            &mut y,
-            &pool,
-            1,
-            3,
-        );
+        let m =
+            cscv_repro::harness::timing::measure_spmv(exec.as_ref(), &prep.x, &mut y, &pool, 1, 3);
         assert!(m.gflops > 0.0);
         assert!(m.mem_requirement > 0);
     }
