@@ -1,9 +1,28 @@
 #!/bin/bash
-# Offline CI gate: formatting, lints, release build, tests.
+# Offline CI gate: formatting, lints, release build, docs, tests (both
+# feature modes), and optionally the perf-smoke regression gate.
 # Requires no network access — the workspace has zero external crates in
-# its default feature set (see DESIGN.md "Dependencies").
+# every feature set (see DESIGN.md "Dependencies"), so a vendored/offline
+# toolchain is all CI needs.
+#
+#   ci.sh                        core gate (fmt, clippy, build, docs, tests)
+#   ci.sh --perf-smoke           + run the smoke benches and fail on >25%
+#                                  GFLOP/s regressions vs the checked-in
+#                                  bench_results/smoke/baseline.json
+#   ci.sh --update-perf-baseline + run the smoke benches and rewrite the
+#                                  baseline from this machine's numbers
 set -euo pipefail
 cd "$(dirname "$0")"
+
+PERF_SMOKE=0
+UPDATE_BASELINE=0
+for arg in "$@"; do
+    case "$arg" in
+        --perf-smoke) PERF_SMOKE=1 ;;
+        --update-perf-baseline) PERF_SMOKE=1; UPDATE_BASELINE=1 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
 
 step() { echo; echo "== $* =="; }
 
@@ -13,11 +32,39 @@ cargo fmt --all --check
 step "cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+step "cargo clippy --workspace --features trace -- -D warnings"
+cargo clippy --workspace --features trace -- -D warnings
+
 step "cargo build --release"
 cargo build --release --workspace
 
+step "cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 step "cargo test -q"
 cargo test -q --workspace
+
+step "cargo test -q --features trace"
+cargo test -q --workspace --features trace
+
+if [ "$PERF_SMOKE" = 1 ]; then
+    step "perf smoke: run_experiments.sh --smoke"
+    ./run_experiments.sh --smoke
+
+    if [ "$UPDATE_BASELINE" = 1 ]; then
+        step "perf smoke: rewrite baseline"
+        cargo run --release -q -p cscv-bench --bin perf_smoke_check -- \
+            --manifests bench_results/smoke/manifests \
+            --baseline bench_results/smoke/baseline.json \
+            --write-baseline
+    else
+        step "perf smoke: check against baseline"
+        cargo run --release -q -p cscv-bench --bin perf_smoke_check -- \
+            --manifests bench_results/smoke/manifests \
+            --baseline bench_results/smoke/baseline.json \
+            --tolerance 0.25
+    fi
+fi
 
 echo
 echo "CI_OK"

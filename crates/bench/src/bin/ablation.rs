@@ -23,6 +23,7 @@ use cscv_sparse::SpmvExecutor;
 use cscv_sparse::ThreadPool;
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let mut args = BenchArgs::parse();
     if args.datasets.len() > 1 {
         args.datasets.retain(|d| d.name == "ct256");

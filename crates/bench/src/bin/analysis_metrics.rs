@@ -15,6 +15,7 @@ use cscv_harness::suite::prepare;
 use cscv_harness::table::{f, Table};
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let mut args = BenchArgs::parse();
     if args.datasets.len() > 1 {
         args.datasets.retain(|d| d.name == "ct256");

@@ -34,6 +34,7 @@ fn measure(mut run: impl FnMut(), warmup: usize, iters: usize, nnz: usize) -> (f
 }
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let args = BenchArgs::parse();
     banner();
     let mut table = Table::new(vec![

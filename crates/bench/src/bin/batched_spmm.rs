@@ -101,6 +101,7 @@ fn run_precision<T: Scalar + MaskExpand>(args: &BenchArgs, ks: &[usize], table: 
 }
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let mut args_iter: Vec<String> = std::env::args().skip(1).collect();
     // Local flag: --k a,b,c (batch widths), default 1,2,4,8,16.
     let mut ks: Vec<usize> = vec![1, 2, 4, 8, 16];

@@ -13,6 +13,7 @@ use cscv_ct::system::SystemMatrix;
 use cscv_sparse::io::write_matrix_market;
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let mut dataset = "ct128".to_string();
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);

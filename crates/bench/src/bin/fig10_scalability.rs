@@ -45,6 +45,7 @@ fn run_precision<T: Scalar + MaskExpand>(args: &BenchArgs, table: &mut Table) {
 }
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let args = BenchArgs::parse();
     banner();
     let mut table = Table::new(vec![

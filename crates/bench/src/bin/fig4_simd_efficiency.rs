@@ -15,6 +15,7 @@ use cscv_ct::system::SystemMatrix;
 use cscv_harness::table::{f, Table};
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let ds = table1_sample();
     let ct = ds.geometry();
     let csc = SystemMatrix::assemble_csc::<f32>(&ct);

@@ -14,6 +14,7 @@ use cscv_ct::datasets::table1_sample;
 use cscv_ct::system::SystemMatrix;
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let ds = table1_sample();
     let ct = ds.geometry();
     let csc = SystemMatrix::assemble_csc::<f32>(&ct);

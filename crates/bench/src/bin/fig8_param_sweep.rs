@@ -16,6 +16,7 @@ use cscv_harness::table::{f, mib, Table};
 use cscv_sparse::Scalar;
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let mut args = BenchArgs::parse();
     if args.datasets.len() > 1 {
         // Paper's Fig. 8 is a single-matrix study (1024²) — default to

@@ -21,6 +21,7 @@ const IMGBS: [usize; 4] = [8, 16, 32, 64];
 const VXGS: [usize; 5] = [1, 2, 4, 8, 16];
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let mut args = BenchArgs::parse();
     if args.datasets.len() > 1 {
         args.datasets.retain(|d| d.name == "ct256");

@@ -2,7 +2,7 @@
 //!
 //! Builds the 25×25-image / 38-bin / 4°-step geometry, converts it to
 //! CSCV with `S_VVec = 8`, `S_VxG = 2`, tile side 5, and prints the
-//! structure of the block at image rows/cols [5,9] under the view group
+//! structure of the block at image rows/cols \[5,9\] under the view group
 //! starting at 32° — the exact object Figs. 3 and 6 illustrate: its
 //! reference curve, CSCVE count, padding, and the (offset, count) VxG
 //! list before/after ordering.
@@ -16,6 +16,7 @@ use cscv_ct::system::SystemMatrix;
 use cscv_harness::table::Table;
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let ds = table1_sample();
     let ct = ds.geometry();
     let csc = SystemMatrix::assemble_csc::<f32>(&ct);

@@ -14,6 +14,7 @@ use cscv_harness::table::{f, Table};
 use cscv_sparse::stats::MatrixProfile;
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let args = BenchArgs::parse();
     let mut table = Table::new(vec![
         "dataset",

@@ -34,6 +34,7 @@ fn select<T: Scalar + MaskExpand>(
 }
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let mut args = BenchArgs::parse();
     if args.datasets.len() > 1 {
         args.datasets.retain(|d| d.name == "ct256");

@@ -84,6 +84,7 @@ fn speedup_summary(rows: &[(String, f64, f64)], precision: &str) {
 }
 
 fn main() {
+    let _trace = cscv_bench::trace_report();
     let args = BenchArgs::parse();
     banner();
     let pool = ThreadPool::new(args.max_threads());

@@ -107,6 +107,23 @@ pub fn emit(title: &str, table: &Table, csv: &Option<String>) {
     }
 }
 
+/// RAII guard returned by [`trace_report`]; emits the trace report when
+/// the driver exits (including on panic-unwind).
+pub struct TraceReport;
+
+impl Drop for TraceReport {
+    fn drop(&mut self) {
+        cscv_trace::emit::report_at_exit();
+    }
+}
+
+/// Install the end-of-run trace reporter (call first in `main`). With
+/// `--features trace` the report goes to `CSCV_TRACE_OUT` as NDJSON if
+/// set, else to stderr as a table; untraced builds emit nothing.
+pub fn trace_report() -> TraceReport {
+    TraceReport
+}
+
 /// Machine/bandwidth banner shared by the perf drivers.
 pub fn banner() {
     let feats = cscv_simd::cpu_features();

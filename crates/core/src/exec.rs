@@ -12,7 +12,7 @@
 //!   fidelity and as the fallback when there are fewer view groups than
 //!   threads.
 
-use crate::format::{CscvMatrix, Variant};
+use crate::format::{Block, CscvMatrix, Variant};
 use crate::kernels::{
     gather, gather_multi, run_block_m, run_block_m_multi, run_block_m_t, run_block_m_t_multi,
     run_block_z, run_block_z_multi, run_block_z_t, run_block_z_t_multi, scatter_add,
@@ -21,6 +21,40 @@ use cscv_simd::expand::{select_path, ExpandPath};
 use cscv_simd::{MaskExpand, Scalar};
 use cscv_sparse::shared::{reduce_buffers_into, Scratch, SharedSliceMut};
 use cscv_sparse::{partition, SpmvExecutor, ThreadPool};
+
+/// Tally one block-kernel pass into the trace counters (traced builds
+/// only — the `ENABLED` guard makes this whole body dead code
+/// otherwise). `k` is the register-tile batch width of the pass: FMA
+/// lanes, useful flops and padding lanes scale with `k`, while the
+/// matrix stream and (for CSCV-M) the mask expansions are paid once per
+/// pass — exactly the amortization the batched path exists to collect.
+///
+/// Runs inside the pool task, so per-thread counter shards attribute
+/// kernel work to the thread that did it.
+#[inline(always)]
+fn trace_block_pass<T: Scalar>(m: &CscvMatrix<T>, blk: &Block<T>, k: u64) {
+    if cscv_trace::ENABLED {
+        use cscv_trace::counters::{add, Counter};
+        let (issued, expands, blocks_counter) = match m.variant {
+            Variant::Z => (blk.vals.len() as u64, 0u64, Counter::BlocksZ),
+            Variant::M => {
+                let lane_blocks = (blk.masks.len() / m.mask_bytes()) as u64;
+                (
+                    lane_blocks * m.params.s_vvec as u64,
+                    lane_blocks,
+                    Counter::BlocksM,
+                )
+            }
+        };
+        add(Counter::FmaLanes, issued * k);
+        add(Counter::UsefulFlops, 2 * blk.nnz as u64 * k);
+        add(Counter::PaddingLanes, (blk.lane_slots - blk.nnz) as u64 * k);
+        add(Counter::MaskExpands, expands);
+        add(Counter::VxgGroups, blk.n_vxgs() as u64);
+        add(Counter::BytesLoaded, blk.matrix_bytes() as u64);
+        add(blocks_counter, 1);
+    }
+}
 
 /// Thread-level parallelization scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -142,9 +176,30 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
     #[inline(always)]
     fn run_one_block<const W: usize, const HW: bool>(&self, bi: usize, x: &[T], ytil: &mut [T]) {
         let blk = &self.m.blocks[bi];
+        trace_block_pass(&self.m, blk, 1);
         match self.m.variant {
             Variant::Z => run_block_z::<T, W>(blk, self.m.params.s_vxg, x, ytil),
             Variant::M => run_block_m::<T, W, HW>(blk, self.m.params.s_vxg, x, ytil),
+        }
+    }
+
+    /// Record one top-level kernel dispatch plus the call's vector
+    /// traffic (`M(x)`/`M(y)` terms of the paper's `M_Rit` model; the
+    /// `M(A)` term is tallied per executed block by
+    /// [`trace_block_pass`]). No-op in untraced builds.
+    #[inline(always)]
+    fn trace_dispatch(&self, loaded_elems: usize, stored_elems: usize) {
+        if cscv_trace::ENABLED {
+            use cscv_trace::counters::{add, Counter};
+            add(
+                match self.m.variant {
+                    Variant::Z => Counter::DispatchZ,
+                    Variant::M => Counter::DispatchM,
+                },
+                1,
+            );
+            add(Counter::BytesLoaded, (loaded_elems * T::BYTES) as u64);
+            add(Counter::BytesStored, (stored_elems * T::BYTES) as u64);
         }
     }
 
@@ -157,6 +212,7 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
     pub fn spmv_transpose(&self, y: &[T], x: &mut [T], pool: &ThreadPool) {
         assert_eq!(y.len(), self.m.n_rows);
         assert_eq!(x.len(), self.m.n_cols);
+        self.trace_dispatch(self.m.n_rows, self.m.n_cols);
         let hw = self.path == ExpandPath::Hardware;
         match (self.m.params.s_vvec, hw) {
             (4, false) => self.spmv_transpose_impl::<4, false>(y, x, pool),
@@ -194,6 +250,7 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
             for ti in tile_ranges[tid].clone() {
                 for &bi in &self.tile_blocks[ti] {
                     let blk = &self.m.blocks[bi as usize];
+                    trace_block_pass(&self.m, blk, 1);
                     gather(blk, y, ytil);
                     match self.m.variant {
                         Variant::Z => {
@@ -216,6 +273,7 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
         assert!(k > 0, "batch width must be positive");
         assert_eq!(y.len(), k * self.m.n_rows);
         assert_eq!(x.len(), k * self.m.n_cols);
+        self.trace_dispatch(k * self.m.n_rows, k * self.m.n_cols);
         let hw = self.path == ExpandPath::Hardware;
         match (self.m.params.s_vvec, hw) {
             (4, false) => self.spmv_transpose_multi_impl::<4, false>(y, k, x, pool),
@@ -281,6 +339,7 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
                 }
                 for bi in info.block_range.clone() {
                     let blk = &self.m.blocks[bi];
+                    trace_block_pass(&self.m, blk, K as u64);
                     match self.m.variant {
                         Variant::Z => {
                             run_block_z_multi::<T, W, K>(blk, self.m.params.s_vxg, x, n_cols, ytil)
@@ -369,6 +428,7 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
             for ti in tile_ranges[tid].clone() {
                 for &bi in &self.tile_blocks[ti] {
                     let blk = &self.m.blocks[bi as usize];
+                    trace_block_pass(&self.m, blk, K as u64);
                     gather_multi::<T, W, K>(blk, y, n_rows, ytil);
                     match self.m.variant {
                         Variant::Z => run_block_z_t_multi::<T, W, K>(
@@ -470,6 +530,7 @@ impl<T: Scalar + MaskExpand> SpmvExecutor<T> for CscvExec<T> {
     fn spmv(&self, x: &[T], y: &mut [T], pool: &ThreadPool) {
         assert_eq!(x.len(), self.m.n_cols);
         assert_eq!(y.len(), self.m.n_rows);
+        self.trace_dispatch(self.m.n_cols, self.m.n_rows);
         let hw = self.path == ExpandPath::Hardware;
         match (self.m.params.s_vvec, hw) {
             (4, false) => self.spmv_impl::<4, false>(x, y, pool),
@@ -491,6 +552,7 @@ impl<T: Scalar + MaskExpand> SpmvExecutor<T> for CscvExec<T> {
         assert!(k > 0, "batch width must be positive");
         assert_eq!(x.len(), k * self.m.n_cols);
         assert_eq!(y.len(), k * self.m.n_rows);
+        self.trace_dispatch(k * self.m.n_cols, k * self.m.n_rows);
         let hw = self.path == ExpandPath::Hardware;
         match (self.m.params.s_vvec, hw) {
             (4, false) => self.spmv_multi_impl::<4, false>(x, k, y, pool),

@@ -77,6 +77,21 @@ impl<T> Block<T> {
     pub fn ytil_len(&self) -> usize {
         self.map.len()
     }
+
+    /// Bytes of matrix data one pass over this block streams: values,
+    /// masks, scatter map, VxG descriptors, plus a 16-byte block header.
+    /// [`CscvMatrix::matrix_bytes`] is the sum of these, so per-block
+    /// counted traffic and the `M_Rit` model share one definition.
+    pub fn matrix_bytes(&self) -> usize {
+        self.vals.len() * std::mem::size_of::<T>()
+            + self.masks.len()
+            + self.map.len() * 4
+            + self.vxg_q.len() * 4
+            + self.vxg_count.len() * 2
+            + self.cols.len() * 4
+            + self.val_ptr.len() * 4
+            + 16
+    }
 }
 
 /// Aggregate build statistics (drives the paper's Fig. 8 and Table III).
@@ -146,18 +161,10 @@ impl<T: Scalar> CscvMatrix<T> {
         self.blocks.iter().map(|b| b.vals.len()).sum()
     }
 
-    /// `M(A)`: bytes of matrix data the kernel reads per SpMV.
+    /// `M(A)`: bytes of matrix data the kernel reads per SpMV (the sum
+    /// of every block's [`Block::matrix_bytes`]).
     pub fn matrix_bytes(&self) -> usize {
-        let mut bytes = 0usize;
-        for b in &self.blocks {
-            bytes += b.vals.len() * T::BYTES;
-            bytes += b.masks.len();
-            bytes += b.map.len() * 4;
-            bytes += b.vxg_q.len() * 4 + b.vxg_count.len() * 2;
-            bytes += b.cols.len() * 4 + b.val_ptr.len() * 4;
-            bytes += 16; // block header
-        }
-        bytes
+        self.blocks.iter().map(Block::matrix_bytes).sum()
     }
 
     /// Consistency checks (used by tests and the builder's debug path).

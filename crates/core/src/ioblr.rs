@@ -246,8 +246,8 @@ mod tests {
         // Two columns whose trajectories are exactly the curve and the
         // curve shifted by +1: one CSCVE each, zero padding.
         let curve = RefCurve::from_bins(vec![4, 5, 6, 7]);
-        let col0: Vec<(u32, u32)> = (0..4).map(|v| (v, (4 + v) as u32)).collect();
-        let col1: Vec<(u32, u32)> = (0..4).map(|v| (v, (5 + v) as u32)).collect();
+        let col0: Vec<(u32, u32)> = (0..4).map(|v| (v, 4 + v)).collect();
+        let col1: Vec<(u32, u32)> = (0..4).map(|v| (v, 5 + v)).collect();
         let st = block_stats_for_curve(&[col0, col1], &curve, 4);
         assert_eq!(st.nnz, 8);
         assert_eq!(st.n_cscve, 2);

@@ -664,10 +664,10 @@ mod tests {
             let mut ytil_one = vec![0.0; 8];
             run_block_z::<f64, 4>(&z, 2, &x[k * n_cols..(k + 1) * n_cols], &mut ytil_one);
             // De-interleave: slot s of RHS k lives at (s/4)*4*K + k*4 + s%4.
-            for s in 0..8 {
+            for (s, &one) in ytil_one.iter().enumerate() {
                 let at = (s / 4) * 4 * K + k * 4 + s % 4;
-                assert_eq!(ytil_multi[at], ytil_one[s], "Z rhs {k} slot {s}");
-                assert_eq!(ytil_m_multi[at], ytil_one[s], "M rhs {k} slot {s}");
+                assert_eq!(ytil_multi[at], one, "Z rhs {k} slot {s}");
+                assert_eq!(ytil_m_multi[at], one, "M rhs {k} slot {s}");
             }
         }
     }
@@ -724,13 +724,13 @@ mod tests {
         let mut ytil = vec![0.0; 8 * K];
         gather_multi::<f64, 4, K>(&z, &y, n_rows, &mut ytil);
 
-        let mut xz = vec![0.0; 8 * K];
+        let mut xz = [0.0; 8 * K];
         run_block_z_t_multi::<f64, 4, K>(&z, 2, &ytil, &mut |c, sums| {
             for k in 0..K {
                 xz[k * 8 + c] += sums[k];
             }
         });
-        let mut xm = vec![0.0; 8 * K];
+        let mut xm = [0.0; 8 * K];
         run_block_m_t_multi::<f64, 4, false, K>(&m, 2, &ytil, &mut |c, sums| {
             for k in 0..K {
                 xm[k * 8 + c] += sums[k];

@@ -140,7 +140,7 @@ mod tests {
     fn tiles_cover_image_exactly() {
         let img = ImageShape { nx: 10, ny: 7 };
         let ts = tiles(&img, 4);
-        let mut seen = vec![false; 70];
+        let mut seen = [false; 70];
         for t in &ts {
             for c in t.cols(&img) {
                 assert!(!seen[c], "tile overlap at col {c}");

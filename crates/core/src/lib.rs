@@ -22,8 +22,8 @@
 //!   AVX-512 `vexpand` (or `soft-vexpand`) — lowest memory traffic.
 //!
 //! Entry points: [`builder::build`] → [`format::CscvMatrix`] →
-//! [`exec::CscvZExec`] / [`exec::CscvMExec`] (implementing
-//! `cscv_sparse::SpmvExecutor`).
+//! [`exec::CscvExec`] (implementing `cscv_sparse::SpmvExecutor` for both
+//! variants).
 
 pub mod analysis;
 pub mod builder;

@@ -114,6 +114,7 @@ impl SystemMatrix {
 
     /// Column-driven CSC assembly under a given model.
     pub fn assemble_csc_model<T: Scalar>(ct: &CtGeometry, model: ProjectorModel) -> Csc<T> {
+        let _span = cscv_trace::span::enter("system.assemble_csc");
         let n_cols = ct.n_cols();
         let mut col_ptr = Vec::with_capacity(n_cols + 1);
         let mut row_idx = Vec::new();
@@ -150,6 +151,7 @@ impl SystemMatrix {
         ct: &CtGeometry,
         ray_fn: impl Fn(f64, f64) -> Vec<(usize, usize, f64)>,
     ) -> Csr<T> {
+        let _span = cscv_trace::span::enter("system.assemble_csr");
         let n_rows = ct.n_rows();
         let mut row_ptr = Vec::with_capacity(n_rows + 1);
         let mut col_idx: Vec<u32> = Vec::new();

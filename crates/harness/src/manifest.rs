@@ -1,0 +1,135 @@
+//! Machine-readable benchmark manifests (NDJSON).
+//!
+//! When `CSCV_MANIFEST_DIR` is set, every measurement taken through
+//! [`measure_spmv`](crate::measure_spmv) / [`measure_spmm`](crate::measure_spmm)
+//! is appended as one self-describing JSON object per line to
+//! `<dir>/<driver>.ndjson`, where `driver` is the executable's file stem.
+//! The CI perf-smoke gate (`perf_smoke_check` in `cscv-bench`) consumes
+//! these files and compares them against a checked-in baseline.
+//!
+//! Recording is always compiled in (it is I/O at measurement boundaries,
+//! not hot-path instrumentation, so it does not need the `trace` feature)
+//! and is a no-op unless the environment variable is present. Writes are
+//! best-effort: a benchmark run never fails because a manifest could not
+//! be written.
+
+use crate::timing::{SpmmMeasurement, SpmvMeasurement};
+use cscv_trace::json::Json;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory manifests go to, if recording is enabled.
+pub fn manifest_dir() -> Option<PathBuf> {
+    std::env::var_os("CSCV_MANIFEST_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// The current executable's file stem, with any `-<hex hash>` suffix that
+/// cargo appends to test binaries stripped (so reruns key identically).
+pub fn driver_name() -> String {
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "unknown".into());
+    match stem.rsplit_once('-') {
+        Some((base, tail))
+            if !base.is_empty()
+                && tail.len() == 16
+                && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Append one record to this driver's manifest (no-op without
+/// `CSCV_MANIFEST_DIR`; errors are swallowed).
+pub fn append(record: &Json) {
+    let Some(dir) = manifest_dir() else { return };
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{}.ndjson", driver_name()));
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(f, "{}", record.to_string());
+    }
+}
+
+/// Record a single-RHS measurement.
+pub fn record_spmv(m: &SpmvMeasurement) {
+    append(&Json::obj(vec![
+        ("type", "spmv".into()),
+        ("driver", driver_name().into()),
+        ("name", m.name.as_str().into()),
+        ("threads", m.threads.into()),
+        ("k", 1u64.into()),
+        ("secs_min", m.secs_min.into()),
+        ("gflops", m.gflops.into()),
+        ("mem_bytes", m.mem_requirement.into()),
+        ("eff_bw_gbs", m.eff_bandwidth_gbs.into()),
+        ("r_nnze", m.r_nnze.into()),
+    ]));
+}
+
+/// Record a batched (multi-RHS) measurement.
+pub fn record_spmm(m: &SpmmMeasurement) {
+    append(&Json::obj(vec![
+        ("type", "spmm".into()),
+        ("driver", driver_name().into()),
+        ("name", m.name.as_str().into()),
+        ("threads", m.threads.into()),
+        ("k", m.k.into()),
+        ("secs_min", m.secs_min.into()),
+        ("gflops", m.gflops.into()),
+        ("mem_bytes", m.mem_requirement.into()),
+        ("eff_bw_gbs", m.eff_bandwidth_gbs.into()),
+    ]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_name_is_nonempty() {
+        assert!(!driver_name().is_empty());
+        // Cargo's test-binary hash suffix must be stripped.
+        assert!(
+            !driver_name().contains('-') || driver_name().rsplit('-').next().unwrap().len() != 16
+        );
+    }
+
+    #[test]
+    fn append_without_env_is_noop() {
+        // Relies on the test runner not setting CSCV_MANIFEST_DIR.
+        if manifest_dir().is_none() {
+            append(&Json::obj(vec![("x", 1u64.into())]));
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_parser() {
+        let m = SpmvMeasurement {
+            name: "csr-serial".into(),
+            threads: 2,
+            secs_min: 0.25,
+            gflops: 1.5,
+            mem_requirement: 4096,
+            eff_bandwidth_gbs: 0.9,
+            r_nnze: 0.125,
+        };
+        let j = Json::obj(vec![
+            ("type", "spmv".into()),
+            ("name", m.name.as_str().into()),
+            ("threads", m.threads.into()),
+            ("gflops", m.gflops.into()),
+        ]);
+        let back = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(back.get("type").and_then(Json::as_str), Some("spmv"));
+        assert_eq!(back.get("gflops").and_then(Json::as_f64), Some(1.5));
+    }
+}

@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn formatters() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(3.24159, 2), "3.24");
         assert_eq!(mib(1 << 20), "1.0");
     }
 }

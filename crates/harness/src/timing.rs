@@ -66,7 +66,7 @@ pub fn measure_spmv<T: Scalar>(
         }
     }
     let mem = exec.memory_requirement();
-    SpmvMeasurement {
+    let m = SpmvMeasurement {
         name: exec.name(),
         threads: pool.n_threads(),
         secs_min: best,
@@ -74,7 +74,9 @@ pub fn measure_spmv<T: Scalar>(
         mem_requirement: mem,
         eff_bandwidth_gbs: mem as f64 / best / 1e9,
         r_nnze: exec.r_nnze(),
-    }
+    };
+    crate::manifest::record_spmv(&m);
+    m
 }
 
 /// One executor's batched (multi-RHS) measurement.
@@ -143,7 +145,7 @@ pub fn measure_spmm<T: Scalar>(
         }
     }
     let mem = exec.memory_requirement_multi(k);
-    SpmmMeasurement {
+    let m = SpmmMeasurement {
         name: exec.name(),
         threads: pool.n_threads(),
         k,
@@ -151,7 +153,9 @@ pub fn measure_spmm<T: Scalar>(
         gflops: k as f64 * exec.flops() / best / 1e9,
         mem_requirement: mem,
         eff_bandwidth_gbs: mem as f64 / best / 1e9,
-    }
+    };
+    crate::manifest::record_spmm(&m);
+    m
 }
 
 #[cfg(test)]

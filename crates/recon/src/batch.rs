@@ -94,7 +94,25 @@ impl<T: Scalar> BatchTracker<T> {
             self.initial[orig] = norm;
         }
         self.histories[orig].push(norm);
+        if cscv_trace::ENABLED {
+            cscv_trace::span::event(
+                "batch.iter",
+                &[
+                    ("slice", orig as f64),
+                    ("iter", (self.histories[orig].len() - 1) as f64),
+                    ("residual", norm),
+                ],
+            );
+        }
         tol > 0.0 && norm <= tol * self.initial[orig]
+    }
+
+    /// Count one applied update step for the slice in slot `s`.
+    fn bump_iter(&mut self, s: usize) {
+        self.iterations[self.slots[s]] += 1;
+        if cscv_trace::ENABLED {
+            cscv_trace::counters::add(cscv_trace::counters::Counter::SolverIters, 1);
+        }
     }
 
     /// Retire the slice in slot `s`: copy its image out of the working
@@ -113,6 +131,17 @@ impl<T: Scalar> BatchTracker<T> {
         }
         self.slots.swap(s, last);
         self.k_active = last;
+        if cscv_trace::ENABLED {
+            cscv_trace::counters::add(cscv_trace::counters::Counter::SwapCompactions, 1);
+            cscv_trace::span::event(
+                "batch.retire",
+                &[
+                    ("slice", orig as f64),
+                    ("slot", s as f64),
+                    ("k_active", self.k_active as f64),
+                ],
+            );
+        }
     }
 
     /// Close out the run: copy every still-active slice's image and
@@ -202,7 +231,7 @@ pub fn sirt_batch<T: Scalar>(
             for j in 0..n {
                 x[s * n + j] = (lambda * c_inv[j] * back[s * n + j]) + x[s * n + j];
             }
-            tr.iterations[tr.slots[s]] += 1;
+            tr.bump_iter(s);
         }
     }
     tr.finish(&x)
@@ -269,7 +298,7 @@ pub fn landweber_batch<T: Scalar>(
             for j in 0..n {
                 x[s * n + j] = step.mul_add(back[s * n + j], x[s * n + j]);
             }
-            tr.iterations[tr.slots[s]] += 1;
+            tr.bump_iter(s);
         }
     }
     tr.finish(&x)
@@ -342,7 +371,7 @@ pub fn cgls_batch<T: Scalar>(
             }
             let norm = norm2_sq(&r[s * m..(s + 1) * m]).to_f64().sqrt();
             tr.histories[tr.slots[s]].push(norm);
-            tr.iterations[tr.slots[s]] += 1;
+            tr.bump_iter(s);
             s += 1;
         }
         let ka = tr.k_active;

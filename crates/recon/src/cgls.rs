@@ -34,6 +34,7 @@ pub fn cgls<T: Scalar>(
     let mut history = Vec::with_capacity(iterations);
     let mut done = 0usize;
 
+    let _span = cscv_trace::span::enter("solver.cgls");
     for _ in 0..iterations {
         if gamma <= tol * tol * gamma0 || gamma == 0.0 {
             break;
@@ -46,7 +47,15 @@ pub fn cgls<T: Scalar>(
         let alpha = gamma / qq;
         axpy(T::from_f64(alpha), &p, &mut x);
         axpy(T::from_f64(-alpha), &q, &mut r);
-        history.push(norm2_sq(&r).to_f64().sqrt());
+        let res_norm = norm2_sq(&r).to_f64().sqrt();
+        history.push(res_norm);
+        if cscv_trace::ENABLED {
+            cscv_trace::counters::add(cscv_trace::counters::Counter::SolverIters, 1);
+            cscv_trace::span::event(
+                "cgls.iter",
+                &[("iter", done as f64), ("residual", res_norm)],
+            );
+        }
         op.apply_transpose(&r, &mut s, pool);
         let gamma_new = norm2_sq(&s).to_f64();
         let beta = gamma_new / gamma;

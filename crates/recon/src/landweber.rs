@@ -62,12 +62,21 @@ pub fn landweber<T: Scalar>(
     let mut r = vec![T::ZERO; m];
     let mut g = vec![T::ZERO; n];
     let mut history = Vec::with_capacity(iterations);
-    for _ in 0..iterations {
+    let _span = cscv_trace::span::enter("solver.landweber");
+    for it in 0..iterations {
         op.apply(&x, &mut ax, pool);
         for i in 0..m {
             r[i] = b[i] - ax[i];
         }
-        history.push(norm2_sq(&r).to_f64().sqrt());
+        let res_norm = norm2_sq(&r).to_f64().sqrt();
+        history.push(res_norm);
+        if cscv_trace::ENABLED {
+            cscv_trace::counters::add(cscv_trace::counters::Counter::SolverIters, 1);
+            cscv_trace::span::event(
+                "landweber.iter",
+                &[("iter", it as f64), ("residual", res_norm)],
+            );
+        }
         op.apply_transpose(&r, &mut g, pool);
         axpy(step, &g, &mut x);
     }
@@ -124,7 +133,7 @@ mod tests {
         let csr = coo.to_csr();
         let op = SpmvOperator::csr_pair(&csr);
         let pool = ThreadPool::new(1);
-        let res = landweber(&op, &vec![1.0; 4], 5, 1.0, &pool);
+        let res = landweber(&op, &[1.0; 4], 5, 1.0, &pool);
         assert!(res.x.iter().all(|&v| v == 0.0));
     }
 }

@@ -6,14 +6,14 @@
 //! the reconstruction wall-clock. This crate provides the algorithms the
 //! CT literature actually runs:
 //!
-//! * [`sirt`] — Simultaneous Iterative Reconstruction Technique
-//!   (row/column-normalized Landweber; robust default);
+//! * [`sirt`](sirt::sirt) — Simultaneous Iterative Reconstruction
+//!   Technique (row/column-normalized Landweber; robust default);
 //! * [`art`] — ART/Kaczmarz row-action sweeps (the classic; row-driven,
 //!   which is why CSC/CSCV matter for its coordinate-descent duals);
-//! * [`cgls`] — Conjugate Gradient on the normal equations (fastest
-//!   convergence per iteration);
-//! * [`landweber`] — plain gradient descent with a power-method step
-//!   size (baseline and building block);
+//! * [`cgls`](cgls::cgls) — Conjugate Gradient on the normal equations
+//!   (fastest convergence per iteration);
+//! * [`landweber`](landweber::landweber) — plain gradient descent with a
+//!   power-method step size (baseline and building block);
 //! * [`operators`] — the forward/transpose operator abstraction that
 //!   plugs any `SpmvExecutor` pair (CSCV, CSR, …) into the solvers;
 //! * [`batch`] — batched variants of the solvers that reconstruct a

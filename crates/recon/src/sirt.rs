@@ -49,7 +49,8 @@ pub fn sirt<T: Scalar>(
     let mut back = vec![T::ZERO; n];
     let mut history = Vec::with_capacity(iterations);
 
-    for _ in 0..iterations {
+    let _span = cscv_trace::span::enter("solver.sirt");
+    for it in 0..iterations {
         op.apply(&x, &mut ax, pool);
         let mut norm = 0.0f64;
         for i in 0..m {
@@ -61,6 +62,13 @@ pub fn sirt<T: Scalar>(
         op.apply_transpose(&resid, &mut back, pool);
         for j in 0..n {
             x[j] = (lambda * c_inv[j] * back[j]) + x[j];
+        }
+        if cscv_trace::ENABLED {
+            cscv_trace::counters::add(cscv_trace::counters::Counter::SolverIters, 1);
+            cscv_trace::span::event(
+                "sirt.iter",
+                &[("iter", it as f64), ("residual", norm.sqrt())],
+            );
         }
     }
 

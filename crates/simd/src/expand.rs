@@ -92,11 +92,21 @@ pub trait MaskExpand: Scalar {
 
 /// Pick the expansion path for `(T, W)` on this machine.
 pub fn select_path<T: MaskExpand, const W: usize>() -> ExpandPath {
-    if T::hw_available::<W>() {
+    let path = if T::hw_available::<W>() {
         ExpandPath::Hardware
     } else {
         ExpandPath::Software
+    };
+    if cscv_trace::ENABLED {
+        cscv_trace::span::event(
+            "expand.select_path",
+            &[
+                ("lanes", W as f64),
+                ("hardware", (path == ExpandPath::Hardware) as u8 as f64),
+            ],
+        );
     }
+    path
 }
 
 /// Expand with an explicitly chosen path (dispatch hoisted out of hot loops

@@ -220,8 +220,8 @@ mod tests {
         let x: Vec<f64> = (0..11).map(|i| i as f64).collect();
         let mut y = vec![1.0f64; 11];
         axpy(3.0, &x, &mut y);
-        for i in 0..11 {
-            assert_eq!(y[i], 1.0 + 3.0 * i as f64);
+        for (i, &v) in y.iter().enumerate() {
+            assert_eq!(v, 1.0 + 3.0 * i as f64);
         }
     }
 

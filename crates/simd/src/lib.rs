@@ -7,7 +7,7 @@
 //! decompress mask-packed nonzeros, for which no portable formulation
 //! exists. This crate mirrors that split:
 //!
-//! * [`scalar`] — the [`Scalar`](scalar::Scalar) element trait (`f32`/`f64`).
+//! * [`scalar`] — the [`Scalar`] element trait (`f32`/`f64`).
 //! * [`lanes`] — portable `[T; W]` micro-kernels (FMA, axpy, reductions)
 //!   written so the auto-vectorizer emits packed instructions.
 //! * [`expand`] — mask expansion: `soft-vexpand` (portable) and the

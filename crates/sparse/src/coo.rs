@@ -208,7 +208,7 @@ mod tests {
         let m = sample();
         let t = m.transpose();
         assert_eq!(t.n_rows(), 3);
-        assert_eq!(t.to_dense()[2 * 3 + 0], 2.0); // A[0][2] -> T[2][0]
+        assert_eq!(t.to_dense()[2 * 3], 2.0); // A[0][2] -> T[2][0]
         let back = t.transpose();
         assert_eq!(back.to_dense(), m.to_dense());
     }

@@ -259,7 +259,7 @@ mod tests {
         let exec = CscParallelExec::new(csc);
         let pool = ThreadPool::new(2);
         let mut y = vec![f64::NAN; 16];
-        exec.spmv(&vec![0.0; 16], &mut y, &pool);
+        exec.spmv(&[0.0; 16], &mut y, &pool);
         assert!(y.iter().all(|&v| v == 0.0));
     }
 }

@@ -7,7 +7,7 @@
 //! moderate — a useful lower-bound baseline for the padded-format
 //! family that CSCV and SELL-C-σ refine.
 //!
-//! Storage is slice-column-major over chunks of [`C`] rows (the CPU
+//! Storage is slice-column-major over chunks of `C` rows (the CPU
 //! adaptation: a `C`-row chunk advances one ELL column per step with one
 //! contiguous `C`-wide load), with a **global** width — the difference
 //! from SELL-C-σ, which uses per-chunk widths after sorting.

@@ -104,10 +104,35 @@ impl ThreadPool {
     ///
     /// Panics in any slot are re-raised here (after all slots finished, so
     /// the borrow of `f` never escapes).
+    ///
+    /// Traced builds record the dispatch as a `pool.run` span plus
+    /// per-thread busy-time counters (the busy/idle split and imbalance
+    /// ratio fall out of the per-thread shards); untraced builds take
+    /// the direct path with no added work.
     pub fn run<F>(&self, f: F)
     where
         F: Fn(usize) + Sync,
     {
+        if !cscv_trace::ENABLED {
+            self.dispatch(&f);
+            return;
+        }
+        let _span = cscv_trace::span::enter("pool.run");
+        cscv_trace::counters::add(cscv_trace::counters::Counter::PoolDispatches, 1);
+        let timed = |tid: usize| {
+            let t0 = std::time::Instant::now();
+            f(tid);
+            cscv_trace::counters::add(
+                cscv_trace::counters::Counter::PoolBusyNs,
+                t0.elapsed().as_nanos() as u64,
+            );
+            cscv_trace::counters::add(cscv_trace::counters::Counter::PoolTasks, 1);
+        };
+        self.dispatch(&timed);
+    }
+
+    /// The untimed dispatch protocol shared by both paths of [`run`].
+    fn dispatch(&self, f: &(dyn Fn(usize) + Sync)) {
         if self.n_threads == 1 {
             f(0);
             return;
@@ -119,11 +144,10 @@ impl ThreadPool {
             .dispatch
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let obj: &(dyn Fn(usize) + Sync) = &f;
         // SAFETY: erase the lifetime; workers only touch the pointer
-        // before acking, and `run` does not return before all acks.
+        // before acking, and `dispatch` does not return before all acks.
         let raw: &'static (dyn Fn(usize) + Sync) = unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(obj)
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
         };
         for (idx, tx) in guard.job_txs.iter().enumerate() {
             tx.send(Job {

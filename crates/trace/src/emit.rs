@@ -1,0 +1,310 @@
+//! Emitters: NDJSON (machine-readable) and an aligned text table
+//! (human-readable), both fed from the same registry snapshot.
+//!
+//! NDJSON — one JSON object per line, each with a `type` discriminator —
+//! is the format the bench manifests and the CI perf-smoke gate consume:
+//! appendable, greppable, parseable line-by-line without a document
+//! parser. Layout:
+//!
+//! ```text
+//! {"type":"meta","enabled":true,"threads":3}
+//! {"type":"counters","fma_lanes":1184,"useful_flops":1924,...}
+//! {"type":"thread","thread":"cscv-worker-0","pool_busy_ns":81233,...}
+//! {"type":"span","name":"pool.run","thread":"main","depth":0,"t_ns":12,"dur_ns":81954}
+//! {"type":"event","name":"sirt.iter","thread":"main","depth":1,"t_ns":90211,"iter":3,"residual":0.0021}
+//! ```
+//!
+//! Both emitters degrade gracefully in untraced builds: the NDJSON
+//! output is a single `{"type":"meta","enabled":false}` line and the
+//! table states that tracing is off.
+
+use crate::counters::{self, Counter, Totals};
+use crate::json::Json;
+use crate::span;
+use std::io::Write as _;
+
+/// Render the full trace state as NDJSON.
+pub fn ndjson() -> String {
+    let totals = counters::totals();
+    let threads = counters::per_thread();
+    let mut out = String::new();
+    let meta = Json::obj(vec![
+        ("type", Json::from("meta")),
+        ("enabled", Json::from(crate::ENABLED)),
+        ("threads", Json::from(threads.len())),
+    ]);
+    out.push_str(&meta.to_string());
+    out.push('\n');
+    if !crate::ENABLED {
+        return out;
+    }
+
+    let mut line = vec![("type".to_string(), Json::from("counters"))];
+    line.extend(totals.iter().map(|(k, v)| (k.to_string(), Json::from(v))));
+    out.push_str(&Json::Obj(line).to_string());
+    out.push('\n');
+
+    for (name, t) in &threads {
+        let mut line = vec![
+            ("type".to_string(), Json::from("thread")),
+            ("thread".to_string(), Json::from(name.as_str())),
+        ];
+        // Only the counters this thread actually touched, to keep the
+        // per-thread lines short.
+        line.extend(
+            t.iter()
+                .filter(|(_, v)| *v > 0)
+                .map(|(k, v)| (k.to_string(), Json::from(v))),
+        );
+        out.push_str(&Json::Obj(line).to_string());
+        out.push('\n');
+    }
+
+    for (thread, e) in span::events() {
+        let mut line = vec![
+            (
+                "type".to_string(),
+                Json::from(if e.is_span { "span" } else { "event" }),
+            ),
+            ("name".to_string(), Json::from(e.name)),
+            ("thread".to_string(), Json::from(thread)),
+            ("depth".to_string(), Json::from(e.depth as u64)),
+            ("t_ns".to_string(), Json::from(e.t_ns)),
+        ];
+        if e.is_span {
+            line.push(("dur_ns".to_string(), Json::from(e.dur_ns)));
+        }
+        line.extend(e.fields.iter().map(|(k, v)| (k.to_string(), Json::Num(*v))));
+        out.push_str(&Json::Obj(line).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Write [`ndjson`] to a file (parent directories created).
+pub fn write_ndjson(path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(ndjson().as_bytes())
+}
+
+/// Pool-level derived statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolStats {
+    /// Threads that executed at least one pool task.
+    pub busy_threads: usize,
+    /// Total busy nanoseconds over all threads.
+    pub busy_ns_total: u64,
+    /// Max-over-mean busy time across active threads (1.0 = perfectly
+    /// balanced; the paper's near-perfect nnz balancing should keep this
+    /// close to 1).
+    pub imbalance: f64,
+}
+
+/// Compute pool balance statistics from the per-thread shards.
+pub fn pool_stats() -> PoolStats {
+    let per = counters::per_thread();
+    let busy: Vec<u64> = per
+        .iter()
+        .map(|(_, t)| t.get(Counter::PoolBusyNs))
+        .filter(|&b| b > 0)
+        .collect();
+    if busy.is_empty() {
+        return PoolStats {
+            busy_threads: 0,
+            busy_ns_total: 0,
+            imbalance: 1.0,
+        };
+    }
+    let total: u64 = busy.iter().sum();
+    let mean = total as f64 / busy.len() as f64;
+    let max = *busy.iter().max().unwrap() as f64;
+    PoolStats {
+        busy_threads: busy.len(),
+        busy_ns_total: total,
+        imbalance: if mean > 0.0 { max / mean } else { 1.0 },
+    }
+}
+
+/// Render a human-readable report: counters, derived ratios, pool
+/// balance, and per-span aggregates.
+pub fn table() -> String {
+    if !crate::ENABLED {
+        return "trace: disabled (build with --features trace)\n".to_string();
+    }
+    let totals = counters::totals();
+    let mut out = String::new();
+    out.push_str("== trace counters ==\n");
+    let width = counters::ALL
+        .iter()
+        .map(|c| c.name().len())
+        .max()
+        .unwrap_or(0);
+    for (name, v) in totals.iter() {
+        out.push_str(&format!("  {name:<width$}  {v}\n"));
+    }
+
+    out.push_str("== derived ==\n");
+    push_ratio(
+        &mut out,
+        "padding rate (lanes/useful nnz)",
+        totals.get(Counter::PaddingLanes) as f64,
+        totals.get(Counter::UsefulFlops) as f64 / 2.0,
+    );
+    push_ratio(
+        &mut out,
+        "bytes per useful flop",
+        (totals.get(Counter::BytesLoaded) + totals.get(Counter::BytesStored)) as f64,
+        totals.get(Counter::UsefulFlops) as f64,
+    );
+    let ps = pool_stats();
+    out.push_str(&format!(
+        "  pool: {} busy thread(s), {:.3} ms busy total, imbalance {:.3}\n",
+        ps.busy_threads,
+        ps.busy_ns_total as f64 / 1e6,
+        ps.imbalance
+    ));
+
+    // Per-span aggregates.
+    let events = span::events();
+    let mut names: Vec<&'static str> = Vec::new();
+    for (_, e) in events.iter().filter(|(_, e)| e.is_span) {
+        if !names.contains(&e.name) {
+            names.push(e.name);
+        }
+    }
+    if !names.is_empty() {
+        out.push_str("== spans ==\n");
+        out.push_str(&format!(
+            "  {:<24} {:>8} {:>12} {:>12} {:>12}\n",
+            "name", "count", "total ms", "mean us", "max us"
+        ));
+        for name in names {
+            let durs: Vec<u64> = events
+                .iter()
+                .filter(|(_, e)| e.is_span && e.name == name)
+                .map(|(_, e)| e.dur_ns)
+                .collect();
+            let total: u64 = durs.iter().sum();
+            let max = *durs.iter().max().unwrap();
+            out.push_str(&format!(
+                "  {:<24} {:>8} {:>12.3} {:>12.3} {:>12.3}\n",
+                name,
+                durs.len(),
+                total as f64 / 1e6,
+                total as f64 / durs.len() as f64 / 1e3,
+                max as f64 / 1e3
+            ));
+        }
+    }
+    let n_points = events.iter().filter(|(_, e)| !e.is_span).count();
+    if n_points > 0 {
+        out.push_str(&format!("== events: {n_points} point event(s) ==\n"));
+    }
+    out
+}
+
+fn push_ratio(out: &mut String, label: &str, num: f64, den: f64) {
+    if den > 0.0 {
+        out.push_str(&format!("  {label}: {:.4}\n", num / den));
+    }
+}
+
+/// Honor `CSCV_TRACE_OUT`: if set, write NDJSON there; otherwise print
+/// the table to stderr. No-op (beyond a single meta line check) in
+/// untraced builds — drivers can call this unconditionally at exit.
+pub fn report_at_exit() {
+    if !crate::ENABLED {
+        return;
+    }
+    match std::env::var("CSCV_TRACE_OUT") {
+        Ok(path) if !path.is_empty() => {
+            if let Err(e) = write_ndjson(std::path::Path::new(&path)) {
+                eprintln!("trace: failed to write {path}: {e}");
+            } else {
+                eprintln!("trace: wrote {path}");
+            }
+        }
+        _ => eprintln!("{}", table()),
+    }
+}
+
+/// A [`Totals`] snapshot serialized as a JSON object (used by tests and
+/// external tooling that wants counters without the full NDJSON dump).
+pub fn totals_json(t: &Totals) -> Json {
+    Json::Obj(
+        t.iter()
+            .map(|(k, v)| (k.to_string(), Json::from(v)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn disabled_emitters_report_disabled() {
+        let nd = ndjson();
+        assert_eq!(nd.lines().count(), 1);
+        assert!(nd.contains("\"enabled\":false"));
+        assert!(table().contains("disabled"));
+        let ps = pool_stats();
+        assert_eq!(ps.busy_threads, 0);
+        assert_eq!(ps.imbalance, 1.0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn ndjson_lines_parse_and_cover_state() {
+        let _guard = crate::registry::test_lock();
+        counters::reset();
+        counters::add(Counter::FmaLanes, 64);
+        counters::add(Counter::PoolBusyNs, 1000);
+        {
+            let _s = span::enter("emit.test");
+            span::event("emit.point", &[("iter", 1.0)]);
+        }
+        let nd = ndjson();
+        let mut kinds = Vec::new();
+        for line in nd.lines() {
+            let v = Json::parse(line).expect("every NDJSON line parses");
+            kinds.push(v.get("type").unwrap().as_str().unwrap().to_string());
+        }
+        for want in ["meta", "counters", "thread", "span", "event"] {
+            assert!(kinds.iter().any(|k| k == want), "missing {want} line");
+        }
+        // The counters line carries the values we added.
+        let counters_line = nd
+            .lines()
+            .find(|l| l.contains("\"type\":\"counters\""))
+            .unwrap();
+        let v = Json::parse(counters_line).unwrap();
+        assert_eq!(v.get("fma_lanes").unwrap().as_f64(), Some(64.0));
+
+        let t = table();
+        assert!(t.contains("fma_lanes"));
+        assert!(t.contains("emit.test"));
+
+        let ps = pool_stats();
+        assert_eq!(ps.busy_threads, 1);
+        assert!((ps.imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn write_ndjson_creates_parent_dirs() {
+        let _guard = crate::registry::test_lock();
+        let dir = std::env::temp_dir().join(format!("cscv-trace-test-{}", std::process::id()));
+        let path = dir.join("nested").join("trace.ndjson");
+        write_ndjson(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("{\"type\":\"meta\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,58 @@
+//! Zero-dependency observability for the CSCV suite.
+//!
+//! The paper's whole argument is quantitative — instruction counts, bytes
+//! moved, padding ratios, bandwidth ceilings (§IV–V) — so the runtime
+//! should be able to report what the kernels actually did. This crate
+//! provides the three primitives the rest of the workspace wires in:
+//!
+//! * **[`counters`]** — a fixed taxonomy of `u64` counters (FMA lanes
+//!   issued, bytes loaded/stored, padding lanes wasted, mask-expand
+//!   invocations, VxG groups executed, pool busy time, …) kept in
+//!   per-thread atomic shards. The hot path takes no lock: each thread
+//!   registers its shard once, then only touches its own cache lines with
+//!   `Relaxed` adds. [`counters::totals`] folds the shards on demand.
+//! * **[`span`]** — lightweight nested spans with monotonic timing and
+//!   point events carrying numeric fields (iteration timelines,
+//!   swap-compaction markers). Buffered per thread, drained by the
+//!   emitters.
+//! * **[`emit`]** — an NDJSON emitter (one self-describing JSON object
+//!   per line — machine-readable run evidence) and a human-readable
+//!   table renderer with derived statistics (pool imbalance ratio,
+//!   bytes/flop, padding rate).
+//!
+//! # Feature gating
+//!
+//! Everything is behind the `trace` cargo feature. With the feature
+//! **off** (the default) every function in the public API still exists
+//! but has an empty `#[inline(always)]` body, [`SpanGuard`] is a
+//! zero-sized type with no `Drop`, and [`ENABLED`] is `false` — so call
+//! sites like
+//!
+//! ```
+//! if cscv_trace::ENABLED {
+//!     cscv_trace::counters::add(cscv_trace::counters::Counter::FmaLanes, 42);
+//! }
+//! ```
+//!
+//! are trivially dead and compile to nothing. Instrumented kernels are
+//! byte-for-byte the uninstrumented kernels unless the feature is on.
+//!
+//! The [`json`] module (a minimal parser/writer used by the emitters and
+//! by `cscv-harness`'s run manifests) is always compiled: manifests are
+//! run *evidence*, not hot-path instrumentation, and stay available in
+//! default builds.
+
+pub mod counters;
+pub mod emit;
+pub mod json;
+#[cfg(feature = "trace")]
+pub(crate) mod registry;
+pub mod span;
+
+pub use span::SpanGuard;
+
+/// `true` iff this build carries live instrumentation (`trace` feature).
+///
+/// A `const`, so `if cscv_trace::ENABLED { … }` blocks vanish entirely
+/// from untraced builds.
+pub const ENABLED: bool = cfg!(feature = "trace");

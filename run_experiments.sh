@@ -21,6 +21,16 @@ if [ "$SMOKE" = 1 ]; then
     # full-scale artifacts in bench_results/ are never clobbered.
     OUT=$OUT/smoke
     mkdir -p $OUT
+    # Clean stale outputs from previous smoke runs: manifests are
+    # appended to, so leftovers would mix old and new measurements and
+    # confuse the perf gate. baseline.json is the checked-in reference —
+    # never delete it.
+    rm -f "$OUT"/*.txt
+    rm -rf "$OUT/manifests"
+    # Every measurement is also recorded to an NDJSON manifest per
+    # driver (consumed by perf_smoke_check in CI).
+    export CSCV_MANIFEST_DIR="$OUT/manifests"
+    mkdir -p "$CSCV_MANIFEST_DIR"
     run table1   $R table1_sample_block                                          > $OUT/table1.txt  2>&1
     run table2   $R table2_datasets     -- --dataset ct128                       > $OUT/table2.txt  2>&1
     run fig4     $R fig4_simd_efficiency                                         > $OUT/fig4.txt    2>&1

@@ -45,6 +45,7 @@ pub use cscv_harness as harness;
 pub use cscv_recon as recon;
 pub use cscv_simd as simd;
 pub use cscv_sparse as sparse;
+pub use cscv_trace as trace;
 
 /// The commonly used names in one import.
 pub mod prelude {
