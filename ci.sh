@@ -5,21 +5,28 @@
 # every feature set (see DESIGN.md "Dependencies"), so a vendored/offline
 # toolchain is all CI needs.
 #
-#   ci.sh                        core gate (fmt, clippy, build, docs, tests)
+#   ci.sh                        core gate (fmt, clippy, xtask lint, build,
+#                                  docs, tests)
 #   ci.sh --perf-smoke           + run the smoke benches and fail on >25%
 #                                  GFLOP/s regressions vs the checked-in
 #                                  bench_results/smoke/baseline.json
 #   ci.sh --update-perf-baseline + run the smoke benches and rewrite the
 #                                  baseline from this machine's numbers
+#   ci.sh --miri                 + run the Miri-compatible test subset (the
+#                                  unsafe-heavy crates' lib tests) under
+#                                  `cargo miri`; skipped with a notice when
+#                                  the miri component is not installed
 set -euo pipefail
 cd "$(dirname "$0")"
 
 PERF_SMOKE=0
 UPDATE_BASELINE=0
+MIRI=0
 for arg in "$@"; do
     case "$arg" in
         --perf-smoke) PERF_SMOKE=1 ;;
         --update-perf-baseline) PERF_SMOKE=1; UPDATE_BASELINE=1 ;;
+        --miri) MIRI=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -35,6 +42,9 @@ cargo clippy --workspace -- -D warnings
 step "cargo clippy --workspace --features trace -- -D warnings"
 cargo clippy --workspace --features trace -- -D warnings
 
+step "cscv-xtask lint (SAFETY comments, unsafe whitelist, hot-path panics, trace fallbacks)"
+cargo run -q -p cscv-xtask -- lint
+
 step "cargo build --release"
 cargo build --release --workspace
 
@@ -46,6 +56,20 @@ cargo test -q --workspace
 
 step "cargo test -q --features trace"
 cargo test -q --workspace --features trace
+
+if [ "$MIRI" = 1 ]; then
+    # Lib tests of the unsafe-heavy crates only: integration suites mix in
+    # timing loops and subprocess spawns that Miri cannot model, and the
+    # per-file `#[cfg_attr(miri, ignore)]` gates keep the remaining
+    # file-IO/timing unit tests out of the run.
+    if cargo miri --version >/dev/null 2>&1; then
+        step "cargo miri test (unsafe-heavy crate libs)"
+        MIRIFLAGS="${MIRIFLAGS:-}" cargo miri test -q \
+            -p cscv-sparse -p cscv-simd -p cscv-core -p cscv-trace --lib
+    else
+        step "miri not installed — skipping (rustup component add miri)"
+    fi
+fi
 
 if [ "$PERF_SMOKE" = 1 ]; then
     step "perf smoke: run_experiments.sh --smoke"

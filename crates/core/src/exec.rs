@@ -241,11 +241,14 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
             // SAFETY: disjoint zero ranges (separate dispatch = barrier).
             unsafe { out.slice_mut(zero_ranges[tid].clone()) }.fill(T::ZERO);
         });
+        // The dispatch above fully completed (ack barrier), so the write
+        // dispatch below may repartition `out` by tile instead of chunk.
+        out.claims_barrier();
         pool.run(|tid| {
             // SAFETY: slot `tid` only.
             let ytil = &mut unsafe { bufs.slice_mut(tid..tid + 1) }[0];
-            // SAFETY contract of the sink: threads own whole tiles, and
-            // tiles have pairwise disjoint column sets.
+            // SAFETY: threads own whole tiles, and tiles have pairwise
+            // disjoint column sets, so sink targets never overlap.
             let mut sink = |c: usize, v: T| unsafe { *out.get_raw(c) += v };
             for ti in tile_ranges[tid].clone() {
                 for &bi in &self.tile_blocks[ti] {
@@ -415,13 +418,16 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
             // SAFETY: disjoint zero ranges (separate dispatch = barrier).
             unsafe { out.slice_mut(zero_ranges[tid].clone()) }.fill(T::ZERO);
         });
+        // The dispatch above fully completed (ack barrier), so the write
+        // dispatch below may repartition `out` by tile instead of chunk.
+        out.claims_barrier();
         pool.run(|tid| {
             // SAFETY: slot `tid` only.
             let ytil = &mut unsafe { bufs.slice_mut(tid..tid + 1) }[0];
-            // SAFETY contract of the sink: threads own whole tiles, and
-            // tiles have pairwise disjoint column sets — per RHS copy too.
             let mut sink = |c: usize, sums: &[T; K]| {
                 for (kk, &v) in sums.iter().enumerate() {
+                    // SAFETY: threads own whole tiles with pairwise
+                    // disjoint column sets — per RHS copy too.
                     unsafe { *out.get_raw(kk * n_cols + c) += v };
                 }
             };
@@ -490,8 +496,9 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
                     let ytils = SharedSliceMut::new(&mut ytil_bufs[..]);
                     let ys = SharedSliceMut::new(&mut y_bufs[..]);
                     pool.run(|tid| {
-                        // SAFETY: slot `tid` only, for both buffers.
+                        // SAFETY: slot `tid` only.
                         let ytil = &mut unsafe { ytils.slice_mut(tid..tid + 1) }[0];
+                        // SAFETY: slot `tid` only.
                         let y_local = &mut unsafe { ys.slice_mut(tid..tid + 1) }[0];
                         for bi in ranges[tid].clone() {
                             self.run_one_block::<W, HW>(bi, x, ytil);

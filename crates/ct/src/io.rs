@@ -78,6 +78,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "file IO is unsupported under Miri isolation")]
     fn pgm_roundtrip() {
         let dir = std::env::temp_dir().join("cscv_io_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -91,6 +92,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "file IO is unsupported under Miri isolation")]
     fn read_rejects_garbage() {
         let dir = std::env::temp_dir().join("cscv_io_test");
         std::fs::create_dir_all(&dir).unwrap();

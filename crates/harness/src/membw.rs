@@ -5,7 +5,7 @@
 //! the suite measures the same quantity with a multi-threaded strided
 //! read sweep over a buffer far larger than the last-level cache.
 
-use cscv_sparse::shared::SharedSliceMut;
+use cscv_sparse::shared::run_disjoint_mut;
 use cscv_sparse::{partition, ThreadPool};
 use std::time::Instant;
 
@@ -72,12 +72,9 @@ pub fn measure(pool: &ThreadPool, buf_bytes: usize, reps: usize) -> Bandwidth {
     let tranges = partition::even_chunks(tw, pool.n_threads());
     let mut best_triad = f64::INFINITY;
     for _ in 0..reps.max(1) {
-        let out = SharedSliceMut::new(&mut a);
         let t0 = Instant::now();
-        pool.run(|tid| {
+        run_disjoint_mut(pool, &mut a, &tranges, |tid, dst| {
             let r = tranges[tid].clone();
-            // SAFETY: disjoint ranges.
-            let dst = unsafe { out.slice_mut(r.clone()) };
             for ((av, bv), cv) in dst.iter_mut().zip(&b[r.clone()]).zip(&c[r]) {
                 *av = bv + 3.0 * cv;
             }
@@ -109,6 +106,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timing is meaningless under Miri")]
     fn bandwidth_positive_and_plausible() {
         let pool = ThreadPool::new(1);
         // Small buffer keeps the test fast; numbers just need sanity.

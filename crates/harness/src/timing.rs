@@ -174,6 +174,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timing is meaningless under Miri")]
     fn measurement_is_sane() {
         let exec = small_exec();
         let pool = ThreadPool::new(1);
@@ -205,6 +206,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timing is meaningless under Miri")]
     fn spmm_measurement_is_sane() {
         let exec = small_exec();
         let pool = ThreadPool::new(1);

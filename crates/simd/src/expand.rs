@@ -134,36 +134,54 @@ mod x86 {
     //! readable elements at `src` — `vexpandloadu` only touches that many.
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// Requires `avx512f` and `mask.count_ones()`
+    /// readable elements at `src`.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn expand_f32x16(mask: u16, src: *const f32) -> [f32; 16] {
         let v = _mm512_maskz_expandloadu_ps(mask, src as *const _);
         std::mem::transmute::<__m512, [f32; 16]>(v)
     }
 
+    /// # Safety
+    /// Requires `avx512f` + `avx512vl` and `mask.count_ones()`
+    /// readable elements at `src`.
     #[target_feature(enable = "avx512f,avx512vl")]
     pub unsafe fn expand_f32x8(mask: u8, src: *const f32) -> [f32; 8] {
         let v = _mm256_maskz_expandloadu_ps(mask, src as *const _);
         std::mem::transmute::<__m256, [f32; 8]>(v)
     }
 
+    /// # Safety
+    /// Requires `avx512f` + `avx512vl` and `mask.count_ones()`
+    /// readable elements at `src`.
     #[target_feature(enable = "avx512f,avx512vl")]
     pub unsafe fn expand_f32x4(mask: u8, src: *const f32) -> [f32; 4] {
         let v = _mm_maskz_expandloadu_ps(mask, src as *const _);
         std::mem::transmute::<__m128, [f32; 4]>(v)
     }
 
+    /// # Safety
+    /// Requires `avx512f` and `mask.count_ones()`
+    /// readable elements at `src`.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn expand_f64x8(mask: u8, src: *const f64) -> [f64; 8] {
         let v = _mm512_maskz_expandloadu_pd(mask, src as *const _);
         std::mem::transmute::<__m512d, [f64; 8]>(v)
     }
 
+    /// # Safety
+    /// Requires `avx512f` + `avx512vl` and `mask.count_ones()`
+    /// readable elements at `src`.
     #[target_feature(enable = "avx512f,avx512vl")]
     pub unsafe fn expand_f64x4(mask: u8, src: *const f64) -> [f64; 4] {
         let v = _mm256_maskz_expandloadu_pd(mask, src as *const _);
         std::mem::transmute::<__m256d, [f64; 4]>(v)
     }
 
+    /// # Safety
+    /// Requires `avx512f` + `avx512vl` and `mask.count_ones()`
+    /// readable elements at `src`.
     #[target_feature(enable = "avx512f,avx512vl")]
     pub unsafe fn expand_f64x2(mask: u8, src: *const f64) -> [f64; 2] {
         let v = _mm_maskz_expandloadu_pd(mask, src as *const _);
@@ -175,6 +193,9 @@ mod x86 {
 ///
 /// Used inside `match W` arms where the concrete width is known dynamically
 /// but the type system still sees the generic `W`.
+///
+/// # Safety
+/// `W == N` — debug-asserted; a mismatch would read past `v`.
 #[cfg(target_arch = "x86_64")]
 #[inline(always)]
 unsafe fn write_out<T: Scalar, const W: usize, const N: usize>(v: [T; N]) -> [T; W] {
@@ -189,6 +210,9 @@ impl MaskExpand for f32 {
         cpu_features().hw_expand_available(4, W)
     }
 
+    // SAFETY: trait contract (hw_available checked, count_ones readable
+    // elements) matches each intrinsic wrapper's requirements; W == N in
+    // every write_out arm.
     #[inline(always)]
     unsafe fn expand_hw<const W: usize>(mask: u32, src: *const Self) -> [Self; W] {
         #[cfg(target_arch = "x86_64")]
@@ -213,6 +237,9 @@ impl MaskExpand for f64 {
         cpu_features().hw_expand_available(8, W)
     }
 
+    // SAFETY: trait contract (hw_available checked, count_ones readable
+    // elements) matches each intrinsic wrapper's requirements; W == N in
+    // every write_out arm.
     #[inline(always)]
     unsafe fn expand_hw<const W: usize>(mask: u32, src: *const Self) -> [Self; W] {
         #[cfg(target_arch = "x86_64")]

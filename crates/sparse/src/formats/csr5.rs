@@ -230,6 +230,9 @@ impl<T: Scalar> SpmvExecutor<T> for Csr5Exec<T> {
                 // SAFETY: disjoint zero ranges.
                 unsafe { out.slice_mut(z) }.fill(T::ZERO);
             });
+            // Zeroing dispatch fully completed (ack barrier), so the
+            // flush dispatch may repartition `out` by row ownership.
+            out.claims_barrier();
             pool.run(|tid| {
                 let range = tile_ranges[tid].clone();
                 if range.is_empty() {
@@ -238,6 +241,7 @@ impl<T: Scalar> SpmvExecutor<T> for Csr5Exec<T> {
                 // SAFETY: threads flush only rows owned per the carry
                 // protocol; the shared boundary row goes to the carry.
                 let carry = unsafe { self.run_tiles(range, x, &out, shared_rows[tid]) };
+                // SAFETY: slot `tid` only.
                 unsafe { carries_s.slice_mut(tid..tid + 1)[0] = carry };
             });
         }

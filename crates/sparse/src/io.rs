@@ -134,6 +134,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "file IO is unsupported under Miri isolation")]
     fn roundtrip_general_real() {
         let mut m: Coo<f64> = Coo::new(3, 4);
         m.push(0, 0, 1.5);
@@ -148,6 +149,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "file IO is unsupported under Miri isolation")]
     fn reads_pattern_and_symmetric() {
         let p = tmp("sym.mtx");
         std::fs::write(
@@ -164,6 +166,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "file IO is unsupported under Miri isolation")]
     fn rejects_garbage() {
         let p = tmp("bad.mtx");
         std::fs::write(&p, "%%MatrixMarket matrix array real general\n2 2\n1.0\n").unwrap();
@@ -183,6 +186,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "file IO is unsupported under Miri isolation")]
     fn scientific_notation_values_roundtrip() {
         let mut m: Coo<f32> = Coo::new(1, 1);
         m.push(0, 0, 3.25e-7);

@@ -298,6 +298,7 @@ mod tests {
 
     #[cfg(feature = "trace")]
     #[test]
+    #[cfg_attr(miri, ignore = "file IO is unsupported under Miri isolation")]
     fn write_ndjson_creates_parent_dirs() {
         let _guard = crate::registry::test_lock();
         let dir = std::env::temp_dir().join(format!("cscv-trace-test-{}", std::process::id()));

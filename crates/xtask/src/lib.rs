@@ -1,0 +1,17 @@
+//! `cscv-xtask` — the workspace's correctness-tooling crate.
+//!
+//! Two subsystems, both dependency-free:
+//!
+//! * [`lint`] (driven by the [`lexer`]) — a project-specific static
+//!   analysis pass run as `cargo run -p cscv-xtask -- lint` from `ci.sh`
+//!   and CI. See the lint module docs for the four rules; diagnostics
+//!   come out as a human table or NDJSON ([`ndjson`]).
+//! * [`sched`] — a minimal exhaustive-interleaving model checker (a
+//!   vendored loom-flavored scheduler) used by `tests/models.rs` to
+//!   verify the thread-pool dispatch/ack barrier and the trace-shard
+//!   folding protocols under *every* interleaving.
+
+pub mod lexer;
+pub mod lint;
+pub mod ndjson;
+pub mod sched;

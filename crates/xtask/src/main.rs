@@ -1,0 +1,112 @@
+//! CLI entry point: `cargo run -p cscv-xtask -- lint [--root DIR]
+//! [--format table|ndjson]`.
+//!
+//! Exit codes: 0 = clean, 1 = lint violations, 2 = usage or IO error.
+
+use cscv_xtask::lint::{lint_root, Report};
+use cscv_xtask::ndjson;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(PartialEq)]
+enum Format {
+    Table,
+    Ndjson,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cscv-xtask lint [--root DIR] [--format table|ndjson]\n\n\
+         Lints crates/*/src/**.rs (and the umbrella src/) for the project\n\
+         rules: SAFETY comments on unsafe, the unsafe-module whitelist,\n\
+         panicking constructs in kernel hot paths, and trace-cfg fallbacks."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Table;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "lint" if cmd.is_none() => cmd = Some("lint"),
+            "--root" => match it.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => return usage(),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("table") => format = Format::Table,
+                Some("ndjson") => format = Format::Ndjson,
+                _ => return usage(),
+            },
+            "--ndjson" => format = Format::Ndjson,
+            _ => return usage(),
+        }
+    }
+    if cmd != Some("lint") {
+        return usage();
+    }
+    match lint_root(&root) {
+        Ok(report) => {
+            emit(&report, format);
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("cscv-xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn emit(report: &Report, format: Format) {
+    match format {
+        Format::Ndjson => {
+            for d in &report.diagnostics {
+                println!("{}", ndjson::diagnostic_line(d));
+            }
+            println!("{}", ndjson::summary_line(report));
+        }
+        Format::Table => {
+            if report.is_clean() {
+                println!(
+                    "cscv-xtask lint: OK — {} files, {} lines, 0 violations",
+                    report.files_scanned, report.lines_scanned
+                );
+                return;
+            }
+            let loc_w = report
+                .diagnostics
+                .iter()
+                .map(|d| format!("{}:{}", d.file.display(), d.line).len())
+                .max()
+                .unwrap_or(0);
+            let rule_w = report
+                .diagnostics
+                .iter()
+                .map(|d| d.rule.len())
+                .max()
+                .unwrap_or(0);
+            for d in &report.diagnostics {
+                println!(
+                    "{:<loc_w$}  {:<rule_w$}  {}",
+                    format!("{}:{}", d.file.display(), d.line),
+                    d.rule,
+                    d.message.split_whitespace().collect::<Vec<_>>().join(" "),
+                );
+            }
+            println!(
+                "cscv-xtask lint: FAIL — {} files, {} lines, {} violation(s)",
+                report.files_scanned,
+                report.lines_scanned,
+                report.diagnostics.len()
+            );
+        }
+    }
+}

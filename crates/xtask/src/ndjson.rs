@@ -1,0 +1,69 @@
+//! Minimal NDJSON emission for lint diagnostics — same output contract
+//! as the run manifests (`cscv-harness`) so downstream tooling can parse
+//! both with one reader. Writer-only: the linter never parses JSON.
+
+use crate::lint::{Diagnostic, Report};
+
+/// Escape a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One diagnostic as a single NDJSON record.
+pub fn diagnostic_line(d: &Diagnostic) -> String {
+    format!(
+        "{{\"kind\":\"diagnostic\",\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+        escape(&d.file.display().to_string()),
+        d.line,
+        escape(d.rule),
+        escape(&d.message),
+    )
+}
+
+/// The trailing summary record.
+pub fn summary_line(report: &Report) -> String {
+    format!(
+        "{{\"kind\":\"summary\",\"files\":{},\"lines\":{},\"violations\":{}}}",
+        report.files_scanned,
+        report.lines_scanned,
+        report.diagnostics.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn escaping_covers_quotes_and_control() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn diagnostic_record_shape() {
+        let d = Diagnostic {
+            file: PathBuf::from("crates/x/src/a.rs"),
+            line: 7,
+            rule: "hot-path-panic",
+            message: "no \"panics\"".into(),
+        };
+        let line = diagnostic_line(&d);
+        assert!(line.starts_with("{\"kind\":\"diagnostic\""));
+        assert!(line.contains("\"line\":7"));
+        assert!(line.contains("no \\\"panics\\\""));
+    }
+}

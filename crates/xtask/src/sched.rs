@@ -1,0 +1,267 @@
+//! A minimal exhaustive-interleaving explorer — the suite's vendored
+//! stand-in for loom, with the same division of labor as the linter:
+//! zero dependencies, small enough to audit in one sitting.
+//!
+//! Concurrency protocols are expressed as *models*: a cloneable state
+//! plus one action list per model thread. Each action is atomic (between
+//! actions is exactly where a real scheduler could preempt), mutates the
+//! state, and either completes (`Step::Done`) or reports it cannot run
+//! yet (`Step::Blocked`, e.g. a receive on an empty channel). The
+//! explorer then drives a depth-first search over *every* schedule —
+//! every order in which runnable threads can take their next action —
+//! and checks an invariant at each terminal state.
+//!
+//! Blocked actions must leave the state untouched (checked when the
+//! state is `PartialEq`); a state where no unfinished thread can run is
+//! reported as a deadlock with the stuck thread names.
+//!
+//! This checks the *protocol*, not the compiled code: the pool model in
+//! `tests/models.rs` mirrors `cscv_sparse::pool`'s dispatch/ack barrier
+//! step for step, so an ordering bug in the protocol design shows up
+//! here deterministically even though the real crossbeam-style code path
+//! is only exercised stochastically by the thread tests.
+
+/// Outcome of attempting one model action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The action ran; the thread advances to its next action.
+    Done,
+    /// The action cannot run in this state; the thread stays put and the
+    /// state must be unchanged.
+    Blocked,
+}
+
+/// One atomic model action: mutate the state or report `Blocked`.
+pub type Action<S> = Box<dyn Fn(&mut S) -> Step>;
+
+/// One model thread: a name (for deadlock reports) and its actions.
+pub struct ModelThread<S> {
+    pub name: &'static str,
+    pub actions: Vec<Action<S>>,
+}
+
+impl<S> ModelThread<S> {
+    pub fn new(name: &'static str) -> Self {
+        ModelThread {
+            name,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Append an action; builder-style.
+    pub fn then(mut self, f: impl Fn(&mut S) -> Step + 'static) -> Self {
+        self.actions.push(Box::new(f));
+        self
+    }
+}
+
+/// Exploration statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Complete schedules explored (terminal states checked).
+    pub schedules: u64,
+    /// Total actions executed across all branches.
+    pub steps: u64,
+}
+
+/// Hard cap on executed actions — a runaway model errors out instead of
+/// hanging the test suite.
+const STEP_CAP: u64 = 50_000_000;
+
+/// Exhaustively explore every interleaving of `threads` from `initial`,
+/// calling `invariant` on each terminal state. Returns the first
+/// violation (invariant error, deadlock, blocked-action mutation, or
+/// step-cap blowout) or exploration statistics.
+pub fn explore<S: Clone + PartialEq + std::fmt::Debug>(
+    initial: &S,
+    threads: &[ModelThread<S>],
+    invariant: &dyn Fn(&S) -> Result<(), String>,
+) -> Result<Stats, String> {
+    let mut stats = Stats::default();
+    let pos = vec![0usize; threads.len()];
+    dfs(initial, threads, &pos, invariant, &mut stats)?;
+    Ok(stats)
+}
+
+fn dfs<S: Clone + PartialEq + std::fmt::Debug>(
+    state: &S,
+    threads: &[ModelThread<S>],
+    pos: &[usize],
+    invariant: &dyn Fn(&S) -> Result<(), String>,
+    stats: &mut Stats,
+) -> Result<(), String> {
+    if pos.iter().zip(threads).all(|(&p, t)| p >= t.actions.len()) {
+        stats.schedules += 1;
+        return invariant(state).map_err(|e| format!("invariant violated: {e}\nstate: {state:?}"));
+    }
+    let mut progressed = false;
+    let mut stuck: Vec<&str> = Vec::new();
+    for (ti, thread) in threads.iter().enumerate() {
+        if pos[ti] >= thread.actions.len() {
+            continue;
+        }
+        stats.steps += 1;
+        if stats.steps > STEP_CAP {
+            return Err(format!("model too large: exceeded {STEP_CAP} steps"));
+        }
+        let mut next = state.clone();
+        match (thread.actions[pos[ti]])(&mut next) {
+            Step::Blocked => {
+                if &next != state {
+                    return Err(format!(
+                        "blocked action of thread `{}` (step {}) mutated the state:\n  \
+                         before: {state:?}\n  after:  {next:?}",
+                        thread.name, pos[ti]
+                    ));
+                }
+                stuck.push(thread.name);
+            }
+            Step::Done => {
+                progressed = true;
+                let mut next_pos = pos.to_vec();
+                next_pos[ti] += 1;
+                dfs(&next, threads, &next_pos, invariant, stats)?;
+            }
+        }
+    }
+    if !progressed {
+        return Err(format!(
+            "deadlock: threads {stuck:?} all blocked\nstate: {state:?}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_increments_explore_both_orders() {
+        #[derive(Clone, PartialEq, Debug)]
+        struct S {
+            trace: Vec<u8>,
+        }
+        let threads = vec![
+            ModelThread::new("a").then(|s: &mut S| {
+                s.trace.push(1);
+                Step::Done
+            }),
+            ModelThread::new("b").then(|s: &mut S| {
+                s.trace.push(2);
+                Step::Done
+            }),
+        ];
+        let stats = explore(&S { trace: vec![] }, &threads, &|s| {
+            if s.trace.len() == 2 {
+                Ok(())
+            } else {
+                Err("lost update".into())
+            }
+        })
+        .unwrap();
+        assert_eq!(stats.schedules, 2); // [1,2] and [2,1]
+    }
+
+    #[test]
+    fn blocking_enforces_ordering() {
+        // Consumer blocks until the producer has stored a value; the only
+        // admissible schedules are those where produce precedes consume.
+        #[derive(Clone, PartialEq, Debug)]
+        struct S {
+            chan: Option<u32>,
+            got: Option<u32>,
+        }
+        let threads = vec![
+            ModelThread::new("producer").then(|s: &mut S| {
+                s.chan = Some(42);
+                Step::Done
+            }),
+            ModelThread::new("consumer").then(|s: &mut S| match s.chan.take() {
+                Some(v) => {
+                    s.got = Some(v);
+                    Step::Done
+                }
+                None => Step::Blocked,
+            }),
+        ];
+        let stats = explore(
+            &S {
+                chan: None,
+                got: None,
+            },
+            &threads,
+            &|s| {
+                if s.got == Some(42) {
+                    Ok(())
+                } else {
+                    Err("consumer finished without the value".into())
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.schedules, 1);
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_thread_names() {
+        #[derive(Clone, PartialEq, Debug)]
+        struct S;
+        let threads = vec![ModelThread::new("waiter").then(|_: &mut S| Step::Blocked)];
+        let err = explore(&S, &threads, &|_| Ok(())).unwrap_err();
+        assert!(err.contains("deadlock"), "{err}");
+        assert!(err.contains("waiter"), "{err}");
+    }
+
+    #[test]
+    fn racy_model_is_caught() {
+        // Classic lost update: both threads read-modify-write a counter
+        // with the read and write as separate atomic actions.
+        #[derive(Clone, PartialEq, Debug)]
+        struct S {
+            mem: u32,
+            reg: [u32; 2],
+        }
+        let mk = |i: usize| {
+            ModelThread::new(if i == 0 { "t0" } else { "t1" })
+                .then(move |s: &mut S| {
+                    s.reg[i] = s.mem;
+                    Step::Done
+                })
+                .then(move |s: &mut S| {
+                    s.mem = s.reg[i] + 1;
+                    Step::Done
+                })
+        };
+        let err = explore(
+            &S {
+                mem: 0,
+                reg: [0, 0],
+            },
+            &[mk(0), mk(1)],
+            &|s| {
+                if s.mem == 2 {
+                    Ok(())
+                } else {
+                    Err(format!("lost update: counter = {}", s.mem))
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("lost update"), "{err}");
+    }
+
+    #[test]
+    fn blocked_mutation_is_a_model_bug() {
+        #[derive(Clone, PartialEq, Debug)]
+        struct S {
+            x: u32,
+        }
+        let threads = vec![ModelThread::new("bad").then(|s: &mut S| {
+            s.x += 1; // mutate *and* claim to be blocked
+            Step::Blocked
+        })];
+        let err = explore(&S { x: 0 }, &threads, &|_| Ok(())).unwrap_err();
+        assert!(err.contains("mutated the state"), "{err}");
+    }
+}

@@ -1,0 +1,259 @@
+//! End-to-end lint tests over on-disk fixture workspaces, plus the
+//! acceptance check that the real workspace is clean and the CLI's exit
+//! code / NDJSON contract.
+
+use cscv_xtask::lint::{
+    lint_root, RULE_HOT_PATH_PANIC, RULE_SAFETY_COMMENT, RULE_TRACE_FALLBACK, RULE_UNSAFE_WHITELIST,
+};
+use std::path::{Path, PathBuf};
+
+/// A throwaway `crates/<crate>/src` tree under the target dir, removed on
+/// drop. Each test passes a unique name, so tests can run concurrently.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("lintfix-{name}"));
+        // Wipe any residue from an interrupted previous run.
+        let _ = std::fs::remove_dir_all(&root);
+        Fixture { root }
+    }
+
+    /// Write `source` at `<root>/<rel>`, creating parents.
+    fn file(&self, rel: &str, source: &str) -> &Self {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, source).unwrap();
+        self
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn uncommented_unsafe_is_flagged_with_file_and_line() {
+    let fx = Fixture::new("uncommented-unsafe");
+    fx.file(
+        "crates/demo/src/shared.rs",
+        "pub fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n",
+    );
+    let report = lint_root(&fx.root).unwrap();
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.diagnostics.len(), 1);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, RULE_SAFETY_COMMENT);
+    assert_eq!(d.file, Path::new("crates/demo/src/shared.rs"));
+    assert_eq!(d.line, 2);
+}
+
+#[test]
+fn unsafe_outside_whitelist_is_flagged_even_with_comment() {
+    let fx = Fixture::new("outside-whitelist");
+    fx.file(
+        "crates/demo/src/geometry.rs",
+        "pub fn f(p: *mut u8) {\n    // SAFETY: p is valid.\n    unsafe { *p = 0 };\n}\n",
+    );
+    let report = lint_root(&fx.root).unwrap();
+    let rules: Vec<_> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, [RULE_UNSAFE_WHITELIST]);
+    assert_eq!(report.diagnostics[0].line, 3);
+}
+
+#[test]
+fn formats_directory_is_whitelisted() {
+    let fx = Fixture::new("formats-dir");
+    fx.file(
+        "crates/demo/src/formats/sellcs.rs",
+        "pub fn f(p: *mut u8) {\n    // SAFETY: p is valid.\n    unsafe { *p = 0 };\n}\n",
+    );
+    assert!(lint_root(&fx.root).unwrap().is_clean());
+}
+
+#[test]
+fn hot_path_panics_flagged_outside_tests_only() {
+    let fx = Fixture::new("hot-panic");
+    fx.file(
+        "crates/demo/src/kernels.rs",
+        concat!(
+            "pub fn hot(v: &[u32]) -> u32 {\n",
+            "    *v.first().unwrap()\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() {\n",
+            "        assert_eq!(super::hot(&[1]), 1);\n",
+            "        Some(3).unwrap();\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    let report = lint_root(&fx.root).unwrap();
+    let hits: Vec<_> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.line))
+        .collect();
+    assert_eq!(hits, [(RULE_HOT_PATH_PANIC, 2)]);
+}
+
+#[test]
+fn hot_path_rule_only_applies_to_kernel_files() {
+    let fx = Fixture::new("cold-panic");
+    fx.file(
+        "crates/demo/src/io.rs",
+        "pub fn f(v: &[u32]) -> u32 {\n    *v.first().unwrap()\n}\n",
+    );
+    assert!(lint_root(&fx.root).unwrap().is_clean());
+}
+
+#[test]
+fn trace_cfg_without_fallback_is_flagged() {
+    let fx = Fixture::new("trace-nofallback");
+    fx.file(
+        "crates/demo/src/lanes.rs",
+        concat!(
+            "#[cfg(feature = \"trace\")]\n",
+            "pub fn traced() -> u32 {\n",
+            "    1\n",
+            "}\n",
+        ),
+    );
+    let report = lint_root(&fx.root).unwrap();
+    let rules: Vec<_> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, [RULE_TRACE_FALLBACK]);
+}
+
+#[test]
+fn trace_cfg_with_fallback_is_clean() {
+    let fx = Fixture::new("trace-fallback");
+    fx.file(
+        "crates/demo/src/lanes.rs",
+        concat!(
+            "#[cfg(feature = \"trace\")]\n",
+            "pub fn traced() -> u32 {\n",
+            "    1\n",
+            "}\n",
+            "#[cfg(not(feature = \"trace\"))]\n",
+            "pub fn traced() -> u32 {\n",
+            "    0\n",
+            "}\n",
+        ),
+    );
+    assert!(lint_root(&fx.root).unwrap().is_clean());
+}
+
+#[test]
+fn umbrella_src_is_scanned_too() {
+    let fx = Fixture::new("umbrella");
+    fx.file(
+        "src/lib.rs",
+        "pub fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n",
+    );
+    let report = lint_root(&fx.root).unwrap();
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == RULE_SAFETY_COMMENT));
+}
+
+#[test]
+fn missing_root_is_an_io_error() {
+    let fx = Fixture::new("empty");
+    fx.file("README.md", "not a workspace\n");
+    assert!(lint_root(&fx.root).is_err());
+}
+
+/// The acceptance criterion: the shipped workspace lints clean.
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_root(&root).unwrap();
+    let rendered: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{} {} {}", d.file.display(), d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+    assert!(report.files_scanned > 50, "{} files", report.files_scanned);
+}
+
+mod cli {
+    //! Exit-code and output contract of the installed binary.
+    use super::Fixture;
+    use std::process::Command;
+
+    fn run(args: &[&str]) -> (Option<i32>, String, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_cscv-xtask"))
+            .args(args)
+            .output()
+            .expect("spawn cscv-xtask");
+        (
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+
+    #[test]
+    fn clean_tree_exits_zero() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let (code, stdout, _) = run(&["lint", "--root", root]);
+        assert_eq!(code, Some(0), "{stdout}");
+        assert!(stdout.contains("OK"), "{stdout}");
+    }
+
+    #[test]
+    fn violations_exit_one_with_file_line_diagnostics() {
+        let fx = Fixture::new("cli-violation");
+        fx.file(
+            "crates/demo/src/pool.rs",
+            "pub fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n",
+        );
+        let (code, stdout, _) = run(&["lint", "--root", fx.root.to_str().unwrap()]);
+        assert_eq!(code, Some(1), "{stdout}");
+        let line = format!(
+            "{}:2",
+            std::path::Path::new("crates/demo/src/pool.rs").display()
+        );
+        assert!(stdout.contains(&line), "{stdout}");
+        assert!(stdout.contains("unsafe-needs-safety-comment"), "{stdout}");
+    }
+
+    #[test]
+    fn ndjson_output_is_line_per_record() {
+        let fx = Fixture::new("cli-ndjson");
+        fx.file(
+            "crates/demo/src/pool.rs",
+            "pub fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n",
+        );
+        let (code, stdout, _) = run(&["lint", "--ndjson", "--root", fx.root.to_str().unwrap()]);
+        assert_eq!(code, Some(1), "{stdout}");
+        let lines: Vec<&str> = stdout.lines().collect();
+        assert_eq!(lines.len(), 2, "{stdout}");
+        assert!(lines[0].starts_with("{\"kind\":\"diagnostic\""), "{stdout}");
+        assert!(lines[1].starts_with("{\"kind\":\"summary\""), "{stdout}");
+        assert!(lines[1].contains("\"violations\":1"), "{stdout}");
+    }
+
+    #[test]
+    fn usage_errors_exit_two() {
+        assert_eq!(run(&[]).0, Some(2));
+        assert_eq!(run(&["frobnicate"]).0, Some(2));
+        let fx = Fixture::new("cli-badroot");
+        fx.file("README.md", "no crates here\n");
+        let (code, _, stderr) = run(&["lint", "--root", fx.root.to_str().unwrap()]);
+        assert_eq!(code, Some(2), "{stderr}");
+        assert!(stderr.contains("no crates"), "{stderr}");
+    }
+}

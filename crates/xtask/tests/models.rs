@@ -1,0 +1,295 @@
+//! Exhaustive-interleaving checks of the suite's two hand-rolled
+//! concurrency protocols, driven by the vendored model checker
+//! (`cscv_xtask::sched`).
+//!
+//! Each model mirrors the real implementation step for step — the pool's
+//! dispatch/ack barrier (`cscv_sparse::pool`) and the trace registry's
+//! register-then-shard-locally protocol (`cscv-trace`'s registry) — so a
+//! protocol-level ordering bug shows up here deterministically, under
+//! *every* schedule, instead of stochastically in the thread tests. Each
+//! model is paired with a deliberately broken variant to prove the
+//! checker actually has teeth for that bug class.
+
+use cscv_xtask::sched::{explore, ModelThread, Step};
+
+// ---------------------------------------------------------------------------
+// Pool dispatch/ack barrier (mirrors cscv_sparse::pool::ThreadPool::dispatch)
+// ---------------------------------------------------------------------------
+
+/// The pool protocol state, for two workers. Channels are modeled at the
+/// granularity the real code uses them: one job slot per worker (each
+/// worker has a private mpsc receiver) and a shared ack counter (all
+/// workers clone one ack sender).
+#[derive(Clone, PartialEq, Debug)]
+struct PoolState {
+    /// Per-worker job inbox (`job_txs[w].send(..)` → `Some`).
+    job: [bool; 2],
+    /// Task executions recorded by each worker.
+    executed: [bool; 2],
+    /// Acks sent and not yet received by the coordinator.
+    acks: usize,
+    /// Acks the coordinator has drained.
+    collected: usize,
+    /// `dispatch` returned — past this point the task closure's borrow
+    /// has ended and the stack slot may be dead.
+    returned: bool,
+    /// Executions observed strictly after `returned` (use-after-free in
+    /// the real code, since the closure lives on `dispatch`'s stack).
+    executed_after_return: usize,
+}
+
+impl PoolState {
+    fn start() -> PoolState {
+        PoolState {
+            job: [false; 2],
+            executed: [false; 2],
+            acks: 0,
+            collected: 0,
+            returned: false,
+            executed_after_return: 0,
+        }
+    }
+}
+
+fn pool_worker(w: usize) -> ModelThread<PoolState> {
+    ModelThread::new(if w == 0 { "worker-0" } else { "worker-1" })
+        // rx.iter(): block until a job lands in our private inbox.
+        .then(
+            move |s: &mut PoolState| {
+                if s.job[w] {
+                    Step::Done
+                } else {
+                    Step::Blocked
+                }
+            },
+        )
+        // Run the borrowed closure.
+        .then(move |s: &mut PoolState| {
+            s.executed[w] = true;
+            if s.returned {
+                s.executed_after_return += 1;
+            }
+            Step::Done
+        })
+        // ack.send(res)
+        .then(move |s: &mut PoolState| {
+            s.acks += 1;
+            Step::Done
+        })
+}
+
+/// The coordinator as written: send both jobs, then drain exactly
+/// `n_threads` acks before returning.
+fn pool_coordinator(acks_to_wait: usize) -> ModelThread<PoolState> {
+    let mut t = ModelThread::new("dispatch")
+        .then(|s: &mut PoolState| {
+            s.job[0] = true;
+            Step::Done
+        })
+        .then(|s: &mut PoolState| {
+            s.job[1] = true;
+            Step::Done
+        });
+    // `for _ in 0..n_threads { ack_rx.recv() }`, one recv per action.
+    for _ in 0..acks_to_wait {
+        t = t.then(|s: &mut PoolState| {
+            if s.acks > 0 {
+                s.acks -= 1;
+                s.collected += 1;
+                Step::Done
+            } else {
+                Step::Blocked
+            }
+        });
+    }
+    t.then(|s: &mut PoolState| {
+        s.returned = true;
+        Step::Done
+    })
+}
+
+fn pool_invariant(s: &PoolState) -> Result<(), String> {
+    if !(s.executed[0] && s.executed[1]) {
+        return Err("a worker never executed its job".into());
+    }
+    if s.executed_after_return > 0 {
+        return Err(format!(
+            "{} execution(s) of the borrowed closure after dispatch returned",
+            s.executed_after_return
+        ));
+    }
+    if s.collected != 2 {
+        return Err(format!(
+            "coordinator drained {} acks, wanted 2",
+            s.collected
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn pool_barrier_holds_under_every_schedule() {
+    let threads = [pool_worker(0), pool_worker(1), pool_coordinator(2)];
+    let stats = explore(&PoolState::start(), &threads, &pool_invariant).unwrap();
+    // The blocking recv loop prunes most orders, but exploration still
+    // branches into dozens of schedules — sanity-check it did.
+    assert!(stats.schedules > 50, "{stats:?}");
+}
+
+/// Teeth: a coordinator that waits for only ONE ack (an off-by-one in the
+/// recv loop) lets `dispatch` return while the other worker still holds
+/// the borrowed closure — the checker must find such a schedule.
+#[test]
+fn pool_barrier_off_by_one_is_caught() {
+    let threads = [pool_worker(0), pool_worker(1), pool_coordinator(1)];
+    let err = explore(&PoolState::start(), &threads, &|s| {
+        if s.executed_after_return > 0 {
+            Err("borrowed closure used after dispatch returned".into())
+        } else {
+            Ok(())
+        }
+    })
+    .unwrap_err();
+    assert!(err.contains("after dispatch returned"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Trace registry: register-once, shard-locally, fold-any-time
+// (mirrors cscv-trace's registry)
+// ---------------------------------------------------------------------------
+
+/// Registry model: a slot list guarded by one lock, workers that register
+/// their shard exactly once and then bump it lock-free, and an aggregator
+/// that folds the registered shards both mid-flight and at the end.
+#[derive(Clone, PartialEq, Debug)]
+struct RegState {
+    /// The mutex: thread index currently inside `slots()`, if any.
+    lock: Option<usize>,
+    /// Registered shard values, in registration order.
+    shards: Vec<u64>,
+    /// Each worker's slot index once registered.
+    slot_of: [Option<usize>; 2],
+    /// Workers that finished all increments.
+    finished: usize,
+    /// Fold observed while workers were still running.
+    fold_mid: Option<u64>,
+    /// Fold observed after all workers finished.
+    fold_final: Option<u64>,
+}
+
+impl RegState {
+    fn start() -> RegState {
+        RegState {
+            lock: None,
+            shards: Vec::new(),
+            slot_of: [None; 2],
+            finished: 0,
+            fold_mid: None,
+            fold_final: None,
+        }
+    }
+
+    fn fold(&self) -> u64 {
+        self.shards.iter().sum()
+    }
+}
+
+const INCS_PER_WORKER: u64 = 2;
+
+/// A worker in registration order: lock, append shard, unlock, then
+/// `INCS_PER_WORKER` lock-free increments on its own shard.
+fn reg_worker(w: usize, register_first: bool) -> ModelThread<RegState> {
+    let mut t = ModelThread::new(if w == 0 { "shard-0" } else { "shard-1" });
+    let register = move |s: &mut RegState| {
+        if s.lock.is_some() {
+            return Step::Blocked;
+        }
+        // Lock, push, unlock — one atomic model action: nothing else in
+        // the protocol can observe a half-registered slot because the
+        // real push happens entirely under the mutex.
+        s.slot_of[w] = Some(s.shards.len());
+        s.shards.push(0);
+        Step::Done
+    };
+    let increment = move |s: &mut RegState| {
+        match s.slot_of[w] {
+            // Lock-free shard bump (atomic add in the real code).
+            Some(slot) => {
+                s.shards[slot] += 1;
+                Step::Done
+            }
+            // Buggy variant only: count bumps before registration vanish.
+            None => Step::Done,
+        }
+    };
+    if register_first {
+        t = t.then(register);
+        for _ in 0..INCS_PER_WORKER {
+            t = t.then(increment);
+        }
+    } else {
+        // Deliberately broken ordering for the teeth test.
+        for _ in 0..INCS_PER_WORKER {
+            t = t.then(increment);
+        }
+        t = t.then(register);
+    }
+    t.then(move |s: &mut RegState| {
+        s.finished += 1;
+        Step::Done
+    })
+}
+
+fn reg_aggregator() -> ModelThread<RegState> {
+    ModelThread::new("aggregator")
+        // A fold may run at ANY point — emitters call it mid-flight.
+        .then(|s: &mut RegState| {
+            if s.lock.is_some() {
+                return Step::Blocked;
+            }
+            s.fold_mid = Some(s.fold());
+            Step::Done
+        })
+        // The end-of-run fold (after pool.run returned ⇒ workers done).
+        .then(|s: &mut RegState| {
+            if s.finished < 2 {
+                return Step::Blocked;
+            }
+            s.fold_final = Some(s.fold());
+            Step::Done
+        })
+}
+
+#[test]
+fn registry_folds_are_monotonic_and_final_is_complete() {
+    let threads = [reg_worker(0, true), reg_worker(1, true), reg_aggregator()];
+    let stats = explore(&RegState::start(), &threads, &|s| {
+        let (mid, fin) = (s.fold_mid.unwrap(), s.fold_final.unwrap());
+        if fin != 2 * INCS_PER_WORKER {
+            return Err(format!("final fold {fin}, wanted {}", 2 * INCS_PER_WORKER));
+        }
+        if mid > fin {
+            return Err(format!("mid-flight fold {mid} exceeds final {fin}"));
+        }
+        Ok(())
+    })
+    .unwrap();
+    assert!(stats.schedules > 100, "{stats:?}");
+}
+
+/// Teeth: incrementing before registering (the bug the thread-local
+/// `register()`-on-first-use design rules out) loses counts in every
+/// schedule — the final fold comes up short.
+#[test]
+fn registry_increment_before_register_is_caught() {
+    let threads = [reg_worker(0, false), reg_worker(1, true), reg_aggregator()];
+    let err = explore(&RegState::start(), &threads, &|s| {
+        if s.fold_final.unwrap() != 2 * INCS_PER_WORKER {
+            Err("lost shard increments".into())
+        } else {
+            Ok(())
+        }
+    })
+    .unwrap_err();
+    assert!(err.contains("lost shard increments"), "{err}");
+}
