@@ -88,6 +88,9 @@ if [ "$PERF_SMOKE" = 1 ]; then
             --baseline bench_results/smoke/baseline.json \
             --tolerance 0.25
     fi
+
+    step "perf report: roofline attribution over smoke manifests"
+    cargo run --release -q -p cscv-xtask -- perf-report bench_results/smoke
 fi
 
 echo

@@ -108,20 +108,16 @@ pub fn emit(title: &str, table: &Table, csv: &Option<String>) {
 }
 
 /// RAII guard returned by [`trace_report`]; emits the trace report when
-/// the driver exits (including on panic-unwind).
-pub struct TraceReport;
-
-impl Drop for TraceReport {
-    fn drop(&mut self) {
-        cscv_trace::emit::report_at_exit();
-    }
-}
+/// the driver exits (including on panic-unwind). Now the shared
+/// [`cscv_trace::ReportGuard`] so drivers, solvers, and examples all use
+/// the same exit hook.
+pub use cscv_trace::ReportGuard as TraceReport;
 
 /// Install the end-of-run trace reporter (call first in `main`). With
 /// `--features trace` the report goes to `CSCV_TRACE_OUT` as NDJSON if
 /// set, else to stderr as a table; untraced builds emit nothing.
 pub fn trace_report() -> TraceReport {
-    TraceReport
+    cscv_trace::report_guard()
 }
 
 /// Machine/bandwidth banner shared by the perf drivers.

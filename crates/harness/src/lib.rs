@@ -15,11 +15,14 @@
 pub mod manifest;
 pub mod membw;
 pub mod plotting;
+pub mod roofline;
 pub mod suite;
 pub mod table;
 pub mod timing;
 
+pub use roofline::{classify, model_point, Bound, RooflinePoint};
 pub use suite::{executor_field, prepare, PreparedDataset};
 pub use timing::{
-    measure_spmm, measure_spmv, modeled_batch_speedup, SpmmMeasurement, SpmvMeasurement,
+    measure_spmm, measure_spmv, modeled_batch_speedup, summarize_samples, LatencySummary,
+    SpmmMeasurement, SpmvMeasurement,
 };

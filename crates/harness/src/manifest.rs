@@ -13,10 +13,26 @@
 //! best-effort: a benchmark run never fails because a manifest could not
 //! be written.
 
-use crate::timing::{SpmmMeasurement, SpmvMeasurement};
+use crate::timing::{LatencySummary, SpmmMeasurement, SpmvMeasurement};
 use cscv_trace::json::Json;
 use std::io::Write;
 use std::path::PathBuf;
+
+/// Manifest record schema version.
+///
+/// * **v1** (unversioned, PR 2): one best-of-run line per measurement —
+///   `secs_min`, `gflops`, `mem_bytes`, `eff_bw_gbs` (+ `r_nnze` for
+///   SpMV).
+/// * **v2**: adds `"schema":2`, the per-rep `samples` array (seconds,
+///   execution order), and the `secs_p50`/`secs_p90`/`secs_p99`/
+///   `secs_max` summary, plus the `membw` record type for bandwidth
+///   ceilings.
+///
+/// Consumers (`perf_smoke_check`, `cscv-xtask perf-report`) key off
+/// field presence, not the version number, so v1 files keep parsing:
+/// a line without `samples` is treated as a single-sample distribution
+/// at `secs_min`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Directory manifests go to, if recording is enabled.
 pub fn manifest_dir() -> Option<PathBuf> {
@@ -59,10 +75,25 @@ pub fn append(record: &Json) {
     }
 }
 
+/// The v2 distribution fields shared by spmv/spmm records.
+fn distribution_fields(lat: &LatencySummary, samples: &[f64]) -> Vec<(&'static str, Json)> {
+    vec![
+        ("secs_p50", lat.p50.into()),
+        ("secs_p90", lat.p90.into()),
+        ("secs_p99", lat.p99.into()),
+        ("secs_max", lat.max.into()),
+        (
+            "samples",
+            Json::Arr(samples.iter().map(|&s| Json::Num(s)).collect()),
+        ),
+    ]
+}
+
 /// Record a single-RHS measurement.
 pub fn record_spmv(m: &SpmvMeasurement) {
-    append(&Json::obj(vec![
+    let mut rec = vec![
         ("type", "spmv".into()),
+        ("schema", SCHEMA_VERSION.into()),
         ("driver", driver_name().into()),
         ("name", m.name.as_str().into()),
         ("threads", m.threads.into()),
@@ -72,13 +103,16 @@ pub fn record_spmv(m: &SpmvMeasurement) {
         ("mem_bytes", m.mem_requirement.into()),
         ("eff_bw_gbs", m.eff_bandwidth_gbs.into()),
         ("r_nnze", m.r_nnze.into()),
-    ]));
+    ];
+    rec.extend(distribution_fields(&m.latency(), &m.samples));
+    append(&Json::obj(rec));
 }
 
 /// Record a batched (multi-RHS) measurement.
 pub fn record_spmm(m: &SpmmMeasurement) {
-    append(&Json::obj(vec![
+    let mut rec = vec![
         ("type", "spmm".into()),
+        ("schema", SCHEMA_VERSION.into()),
         ("driver", driver_name().into()),
         ("name", m.name.as_str().into()),
         ("threads", m.threads.into()),
@@ -87,6 +121,22 @@ pub fn record_spmm(m: &SpmmMeasurement) {
         ("gflops", m.gflops.into()),
         ("mem_bytes", m.mem_requirement.into()),
         ("eff_bw_gbs", m.eff_bandwidth_gbs.into()),
+    ];
+    rec.extend(distribution_fields(&m.latency(), &m.samples));
+    append(&Json::obj(rec));
+}
+
+/// Record a measured memory-bandwidth ceiling (the roofline input);
+/// written whenever [`crate::membw::measure`] runs under
+/// `CSCV_MANIFEST_DIR`, so `perf-report` finds the machine's ceiling
+/// next to the kernel measurements it normalizes.
+pub fn record_membw(bw: &crate::membw::Bandwidth) {
+    append(&Json::obj(vec![
+        ("type", "membw".into()),
+        ("schema", SCHEMA_VERSION.into()),
+        ("driver", driver_name().into()),
+        ("read_gbs", bw.read_gbs().into()),
+        ("triad_gbs", bw.triad_gbs().into()),
     ]));
 }
 
@@ -121,6 +171,7 @@ mod tests {
             mem_requirement: 4096,
             eff_bandwidth_gbs: 0.9,
             r_nnze: 0.125,
+            samples: vec![0.30, 0.25, 0.40, 0.27],
         };
         let j = Json::obj(vec![
             ("type", "spmv".into()),
@@ -131,5 +182,33 @@ mod tests {
         let back = Json::parse(&j.to_string()).unwrap();
         assert_eq!(back.get("type").and_then(Json::as_str), Some("spmv"));
         assert_eq!(back.get("gflops").and_then(Json::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn v2_distribution_fields_round_trip() {
+        let m = SpmvMeasurement {
+            name: "csr-serial".into(),
+            threads: 1,
+            secs_min: 0.1,
+            gflops: 1.0,
+            mem_requirement: 64,
+            eff_bandwidth_gbs: 0.5,
+            r_nnze: 0.0,
+            samples: vec![0.4, 0.1, 0.3, 0.2],
+        };
+        let lat = m.latency();
+        let mut rec = vec![
+            ("type", Json::from("spmv")),
+            ("schema", SCHEMA_VERSION.into()),
+        ];
+        rec.extend(distribution_fields(&lat, &m.samples));
+        let back = Json::parse(&Json::obj(rec).to_string()).unwrap();
+        assert_eq!(back.get("schema").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(back.get("secs_p50").and_then(Json::as_f64), Some(0.2));
+        assert_eq!(back.get("secs_max").and_then(Json::as_f64), Some(0.4));
+        let samples = back.get("samples").and_then(Json::as_arr).unwrap();
+        assert_eq!(samples.len(), 4);
+        // Execution order is preserved, not sorted.
+        assert_eq!(samples[0].as_f64(), Some(0.4));
     }
 }

@@ -83,10 +83,14 @@ pub fn measure(pool: &ThreadPool, buf_bytes: usize, reps: usize) -> Bandwidth {
         std::hint::black_box(&a[..]);
     }
 
-    Bandwidth {
+    let bw = Bandwidth {
         read_bytes_per_sec: (words * 8) as f64 / best_read,
         triad_bytes_per_sec: (tw * 8 * 3) as f64 / best_triad,
-    }
+    };
+    // Ceilings are roofline inputs: park them in the run manifest next
+    // to the kernel measurements (no-op without CSCV_MANIFEST_DIR).
+    crate::manifest::record_membw(&bw);
+    bw
 }
 
 /// Convenience: default measurement (256 MiB, 3 reps).

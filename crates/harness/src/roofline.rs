@@ -1,0 +1,211 @@
+//! Roofline attribution: where a kernel sits against the memory wall.
+//!
+//! The paper's performance argument (§IV–V) is a bandwidth-ceiling
+//! model: an SpMV that attains the machine's peak read bandwidth on its
+//! `M_Rit` byte stream is as fast as the hardware allows, and the gap
+//! between attained and peak bandwidth is the optimization headroom.
+//! This module turns one measurement — useful flops, model bytes,
+//! elapsed seconds — plus a ceiling from [`crate::membw`] into a
+//! [`RooflinePoint`]:
+//!
+//! * **arithmetic intensity** `AI = flops / bytes` (flop/byte) — fixed
+//!   by the format and `M_Rit(k)`, not by the machine;
+//! * **roof** `AI · peak` (GFLOP/s) — the memory-roofline ceiling for
+//!   that intensity (SpMV sits far left of any compute ridge, so the
+//!   memory slope *is* the roof);
+//! * **fraction of roof** — attained GFLOP/s over the roof, identical
+//!   to attained GB/s over peak GB/s (the paper's `R_EM`);
+//! * **bound classification** — a kernel attaining at least
+//!   [`DEFAULT_BW_BOUND_FRACTION`] of peak bandwidth is
+//!   *bandwidth-bound* (more bandwidth is the only way it gets faster);
+//!   below that it is *latency-bound* (gathers, dependency chains, or
+//!   imbalance stall it before the memory system saturates — the regime
+//!   where CSCV-Z's padded-but-streamy layout beats CSCV-M).
+
+use cscv_sparse::{Scalar, SpmvExecutor};
+
+/// What limits a kernel, per the attained-bandwidth criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Attained bandwidth ≥ threshold·peak: streaming at the wall.
+    Bandwidth,
+    /// Attained bandwidth < threshold·peak: stalled below the wall.
+    Latency,
+}
+
+impl Bound {
+    /// Lowercase label used in reports and NDJSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bound::Bandwidth => "bandwidth-bound",
+            Bound::Latency => "latency-bound",
+        }
+    }
+}
+
+/// Attained-bandwidth fraction of peak at which a kernel counts as
+/// bandwidth-bound. Half the ceiling is the conventional cut: measured
+/// SpMV at ≥ 50 % of STREAM peak has no latency headroom left worth
+/// chasing, while kernels well below it scale with latency fixes
+/// (reordering, blocking) rather than bandwidth.
+pub const DEFAULT_BW_BOUND_FRACTION: f64 = 0.5;
+
+/// One kernel's position on the memory roofline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflinePoint {
+    /// Useful floating-point operations of one run.
+    pub flops: f64,
+    /// Model bytes moved (`M_Rit(k)`).
+    pub bytes: f64,
+    /// Elapsed seconds.
+    pub secs: f64,
+    /// Attained GFLOP/s.
+    pub gflops: f64,
+    /// Attained GB/s on the model byte stream.
+    pub gbs: f64,
+    /// Arithmetic intensity in flop/byte.
+    pub ai: f64,
+    /// Ceiling used, GB/s.
+    pub peak_gbs: f64,
+    /// Memory-roofline ceiling at this intensity, GFLOP/s.
+    pub roof_gflops: f64,
+    /// Attained over roof (= attained GB/s over peak GB/s).
+    pub frac_of_roof: f64,
+    pub bound: Bound,
+}
+
+/// Classify one measurement against a bandwidth ceiling, with an
+/// explicit bandwidth-bound threshold (fraction of peak).
+pub fn classify_with_threshold(
+    flops: f64,
+    bytes: f64,
+    secs: f64,
+    peak_gbs: f64,
+    bw_fraction: f64,
+) -> RooflinePoint {
+    let valid = secs > 0.0 && bytes > 0.0 && peak_gbs > 0.0;
+    let gflops = if secs > 0.0 { flops / secs / 1e9 } else { 0.0 };
+    let gbs = if secs > 0.0 { bytes / secs / 1e9 } else { 0.0 };
+    let ai = if bytes > 0.0 { flops / bytes } else { 0.0 };
+    let roof_gflops = ai * peak_gbs;
+    let frac_of_roof = if valid { gbs / peak_gbs } else { 0.0 };
+    RooflinePoint {
+        flops,
+        bytes,
+        secs,
+        gflops,
+        gbs,
+        ai,
+        peak_gbs,
+        roof_gflops,
+        frac_of_roof,
+        bound: if frac_of_roof >= bw_fraction {
+            Bound::Bandwidth
+        } else {
+            Bound::Latency
+        },
+    }
+}
+
+/// [`classify_with_threshold`] at [`DEFAULT_BW_BOUND_FRACTION`].
+pub fn classify(flops: f64, bytes: f64, secs: f64, peak_gbs: f64) -> RooflinePoint {
+    classify_with_threshold(flops, bytes, secs, peak_gbs, DEFAULT_BW_BOUND_FRACTION)
+}
+
+/// Roofline point of one executor doing a `k`-wide product in `secs`,
+/// straight from its analytic model: `flops = k · 2·nnz`,
+/// `bytes = M_Rit(k)`.
+pub fn model_point<T: Scalar>(
+    exec: &dyn SpmvExecutor<T>,
+    k: usize,
+    secs: f64,
+    peak_gbs: f64,
+) -> RooflinePoint {
+    classify(
+        k as f64 * exec.flops(),
+        exec.memory_requirement_multi(k) as f64,
+        secs,
+        peak_gbs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscv_sparse::formats::CsrSerialExec;
+    use cscv_sparse::Coo;
+
+    fn small_exec() -> (CsrSerialExec<f64>, usize) {
+        let mut coo = Coo::new(64, 64);
+        let mut nnz = 0;
+        for i in 0..64 {
+            coo.push(i, i, 1.0);
+            coo.push(i, (i + 1) % 64, 0.5);
+            nnz += 2;
+        }
+        (CsrSerialExec::new(coo.to_csr()), nnz)
+    }
+
+    #[test]
+    fn reproduces_the_m_rit_model_on_a_synthetic_matrix() {
+        let (exec, nnz) = small_exec();
+        for k in [1usize, 2, 4, 8] {
+            let secs = 1e-3;
+            let peak = 10.0;
+            let p = model_point(&exec, k, secs, peak);
+            // flops = k·2·nnz; bytes = M_Rit(k); AI is their ratio.
+            assert_eq!(p.flops, (2 * nnz * k) as f64);
+            assert_eq!(p.bytes, exec.memory_requirement_multi(k) as f64);
+            let ai = (2 * nnz * k) as f64 / exec.memory_requirement_multi(k) as f64;
+            assert!((p.ai - ai).abs() < 1e-15);
+            // Identities: gflops/roof == gbs/peak == frac_of_roof.
+            assert!((p.roof_gflops - ai * peak).abs() < 1e-12);
+            assert!((p.gflops / p.roof_gflops - p.frac_of_roof).abs() < 1e-12);
+            assert!((p.gbs / p.peak_gbs - p.frac_of_roof).abs() < 1e-12);
+        }
+        // Batching amortizes the matrix stream: AI grows with k.
+        let ai1 = model_point(&exec, 1, 1.0, 10.0).ai;
+        let ai8 = model_point(&exec, 8, 1.0, 10.0).ai;
+        assert!(ai8 > ai1);
+    }
+
+    #[test]
+    fn classification_threshold() {
+        // 100 bytes in 1 s against a 200 B/s peak = 50% of roof →
+        // bandwidth-bound at the default threshold (inclusive).
+        let p = classify(10.0, 100.0, 1.0, 200.0 / 1e9);
+        assert!((p.frac_of_roof - 0.5).abs() < 1e-12);
+        assert_eq!(p.bound, Bound::Bandwidth);
+        assert_eq!(p.bound.label(), "bandwidth-bound");
+        // Just under the cut → latency-bound.
+        let p = classify(10.0, 100.0, 1.0, 201.0 / 1e9);
+        assert_eq!(p.bound, Bound::Latency);
+        // Custom threshold.
+        let p = classify_with_threshold(10.0, 100.0, 1.0, 400.0 / 1e9, 0.2);
+        assert!((p.frac_of_roof - 0.25).abs() < 1e-12);
+        assert_eq!(p.bound, Bound::Bandwidth);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_blow_up() {
+        let p = classify(10.0, 0.0, 0.0, 0.0);
+        assert_eq!(p.gflops, 0.0);
+        assert_eq!(p.ai, 0.0);
+        assert_eq!(p.frac_of_roof, 0.0);
+        assert_eq!(p.bound, Bound::Latency);
+        assert!(p.roof_gflops.is_finite());
+    }
+
+    #[test]
+    fn a_kernel_at_peak_sits_on_the_roof() {
+        // Model: kernel moves bytes exactly at peak → frac 1.0 and the
+        // attained GFLOP/s equals the roof at its intensity.
+        let bytes = 8e9;
+        let peak_gbs = 8.0;
+        let secs = 1.0; // 8 GB in 1 s = peak
+        let p = classify(1e9, bytes, secs, peak_gbs);
+        assert!((p.frac_of_roof - 1.0).abs() < 1e-12);
+        assert!((p.gflops - p.roof_gflops).abs() < 1e-12);
+        assert_eq!(p.bound, Bound::Bandwidth);
+    }
+}

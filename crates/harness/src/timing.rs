@@ -1,7 +1,52 @@
-//! Minimum-time SpMV measurement (paper §V-C).
+//! Minimum-time SpMV measurement (paper §V-C) with full per-rep
+//! timing distributions for the analysis tier.
 
 use cscv_sparse::{Scalar, SpmvExecutor, ThreadPool};
+use cscv_trace::hist::{exact_percentile, Histogram};
 use std::time::Instant;
+
+/// Latency distribution summary over one measurement's timed reps
+/// (nearest-rank percentiles, seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+/// Summarize per-rep samples: exact percentiles when the sample set is
+/// small (bench reps), the log-bucketed [`Histogram`] otherwise — the
+/// same bucketing `perf-report` uses when pooling runs, so numbers
+/// agree between a manifest line and an aggregated report.
+pub fn summarize_samples(samples: &[f64]) -> LatencySummary {
+    if samples.is_empty() {
+        return LatencySummary {
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            max: 0.0,
+        };
+    }
+    if samples.len() <= 256 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        LatencySummary {
+            p50: exact_percentile(&sorted, 50.0),
+            p90: exact_percentile(&sorted, 90.0),
+            p99: exact_percentile(&sorted, 99.0),
+            max: *sorted.last().unwrap(),
+        }
+    } else {
+        let h = Histogram::from_samples(samples);
+        LatencySummary {
+            p50: h.percentile(50.0),
+            p90: h.percentile(90.0),
+            p99: h.percentile(99.0),
+            max: h.max(),
+        }
+    }
+}
 
 /// One executor's measurement on one matrix/pool combination.
 #[derive(Debug, Clone)]
@@ -18,6 +63,9 @@ pub struct SpmvMeasurement {
     pub eff_bandwidth_gbs: f64,
     /// Zero-padding rate of the storage format.
     pub r_nnze: f64,
+    /// Every timed rep's duration in seconds, in execution order (the
+    /// distribution behind `secs_min`; manifests record it verbatim).
+    pub samples: Vec<f64>,
 }
 
 impl SpmvMeasurement {
@@ -28,6 +76,11 @@ impl SpmvMeasurement {
             return 0.0;
         }
         self.mem_requirement as f64 / (self.secs_min * peak_bytes_per_sec)
+    }
+
+    /// Percentile summary of the per-rep samples.
+    pub fn latency(&self) -> LatencySummary {
+        summarize_samples(&self.samples)
     }
 }
 
@@ -56,11 +109,13 @@ pub fn measure_spmv<T: Scalar>(
         exec.spmv(x, y, pool);
     }
     let mut best = f64::INFINITY;
+    let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t0 = Instant::now();
         exec.spmv(x, y, pool);
         let dt = t0.elapsed().as_secs_f64();
         std::hint::black_box(&y[..]);
+        samples.push(dt);
         if dt < best {
             best = dt;
         }
@@ -74,6 +129,7 @@ pub fn measure_spmv<T: Scalar>(
         mem_requirement: mem,
         eff_bandwidth_gbs: mem as f64 / best / 1e9,
         r_nnze: exec.r_nnze(),
+        samples,
     };
     crate::manifest::record_spmv(&m);
     m
@@ -94,9 +150,16 @@ pub struct SpmmMeasurement {
     pub mem_requirement: usize,
     /// Achieved effective bandwidth `M_Rit(k)/T` in GB/s.
     pub eff_bandwidth_gbs: f64,
+    /// Every timed rep's duration in seconds, in execution order.
+    pub samples: Vec<f64>,
 }
 
 impl SpmmMeasurement {
+    /// Percentile summary of the per-rep samples.
+    pub fn latency(&self) -> LatencySummary {
+        summarize_samples(&self.samples)
+    }
+
     /// Measured speedup over `k` independent single-RHS products, given
     /// the single-RHS minimum time on the same executor/pool.
     pub fn speedup_vs_singles(&self, single_secs_min: f64) -> f64 {
@@ -135,11 +198,13 @@ pub fn measure_spmm<T: Scalar>(
         exec.spmv_multi(x, k, y, pool);
     }
     let mut best = f64::INFINITY;
+    let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t0 = Instant::now();
         exec.spmv_multi(x, k, y, pool);
         let dt = t0.elapsed().as_secs_f64();
         std::hint::black_box(&y[..]);
+        samples.push(dt);
         if dt < best {
             best = dt;
         }
@@ -153,6 +218,7 @@ pub fn measure_spmm<T: Scalar>(
         gflops: k as f64 * exec.flops() / best / 1e9,
         mem_requirement: mem,
         eff_bandwidth_gbs: mem as f64 / best / 1e9,
+        samples,
     };
     crate::manifest::record_spmm(&m);
     m
@@ -187,6 +253,31 @@ mod tests {
         assert!(m.mem_requirement > 0);
         // The result vector was actually computed.
         assert_eq!(y[0], 1.5);
+        // Every timed rep is recorded; the minimum is their minimum.
+        assert_eq!(m.samples.len(), 10);
+        let min = m.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert_eq!(min, m.secs_min);
+        let lat = m.latency();
+        assert!(lat.p50 >= m.secs_min && lat.p50 <= lat.max);
+        assert!(lat.p90 >= lat.p50 && lat.p99 >= lat.p90 && lat.max >= lat.p99);
+        assert_eq!(lat.max, m.samples.iter().cloned().fold(0.0f64, f64::max));
+    }
+
+    #[test]
+    fn summarize_samples_small_sets_are_exact() {
+        let lat = summarize_samples(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(lat.p50, 2.0);
+        assert_eq!(lat.p90, 4.0);
+        assert_eq!(lat.p99, 4.0);
+        assert_eq!(lat.max, 4.0);
+        let empty = summarize_samples(&[]);
+        assert_eq!(empty.max, 0.0);
+        // Large sets go through the histogram: percentiles stay within
+        // its relative-error bound of the exact answer.
+        let big: Vec<f64> = (1..=1000).map(|i| i as f64 * 1e-4).collect();
+        let lat = summarize_samples(&big);
+        assert!((lat.p50 - 0.05).abs() / 0.05 < 0.05, "p50 {}", lat.p50);
+        assert_eq!(lat.max, 0.1);
     }
 
     #[test]
@@ -199,6 +290,7 @@ mod tests {
             mem_requirement: 100,
             eff_bandwidth_gbs: 0.0,
             r_nnze: 0.0,
+            samples: vec![0.5],
         };
         // 100 bytes in 0.5 s against a 400 B/s peak = 50% usage.
         assert!((m.r_em(400.0) - 0.5).abs() < 1e-12);

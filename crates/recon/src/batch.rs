@@ -161,6 +161,23 @@ impl<T: Scalar> BatchTracker<T> {
     }
 }
 
+/// Emit one `batch.sweep` timing event — one full matrix pass over the
+/// active batch (forward + residual + transpose + update). No-op in
+/// untraced builds.
+fn record_sweep(sweep: usize, k_active: usize, t0: Option<std::time::Instant>) {
+    if cscv_trace::ENABLED {
+        let sweep_ms = t0.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
+        cscv_trace::span::event(
+            "batch.sweep",
+            &[
+                ("sweep", sweep as f64),
+                ("k_active", k_active as f64),
+                ("sweep_ms", sweep_ms),
+            ],
+        );
+    }
+}
+
 /// Batched SIRT over `k` sinograms sharing one operator:
 /// `x_i ← x_i + λ·C·Aᵀ·R·(b_i − A·x_i)` for all slices per matrix pass.
 ///
@@ -194,11 +211,13 @@ pub fn sirt_batch<T: Scalar>(
     let mut b_work = b.to_vec();
     let mut tr = BatchTracker::new(k, n);
 
-    for _ in 0..iterations {
+    let _span = cscv_trace::span::enter("solver.sirt_batch");
+    for sweep in 0..iterations {
         let ka = tr.k_active;
         if ka == 0 {
             break;
         }
+        let t_sweep = cscv_trace::ENABLED.then(std::time::Instant::now);
         op.apply_multi(&x[..ka * n], ka, &mut ax[..ka * m], pool);
         let mut s = 0usize;
         while s < tr.k_active {
@@ -233,6 +252,7 @@ pub fn sirt_batch<T: Scalar>(
             }
             tr.bump_iter(s);
         }
+        record_sweep(sweep, tr.k_active, t_sweep);
     }
     tr.finish(&x)
 }
@@ -266,11 +286,13 @@ pub fn landweber_batch<T: Scalar>(
     let mut b_work = b.to_vec();
     let mut tr = BatchTracker::new(k, n);
 
-    for _ in 0..iterations {
+    let _span = cscv_trace::span::enter("solver.landweber_batch");
+    for sweep in 0..iterations {
         let ka = tr.k_active;
         if ka == 0 {
             break;
         }
+        let t_sweep = cscv_trace::ENABLED.then(std::time::Instant::now);
         op.apply_multi(&x[..ka * n], ka, &mut ax[..ka * m], pool);
         let mut s = 0usize;
         while s < tr.k_active {
@@ -300,6 +322,7 @@ pub fn landweber_batch<T: Scalar>(
             }
             tr.bump_iter(s);
         }
+        record_sweep(sweep, tr.k_active, t_sweep);
     }
     tr.finish(&x)
 }
@@ -347,11 +370,13 @@ pub fn cgls_batch<T: Scalar>(
         }
     }
 
-    for _ in 0..iterations {
+    let _span = cscv_trace::span::enter("solver.cgls_batch");
+    for sweep in 0..iterations {
         let ka = tr.k_active;
         if ka == 0 {
             break;
         }
+        let t_sweep = cscv_trace::ENABLED.then(std::time::Instant::now);
         op.apply_multi(&p[..ka * n], ka, &mut q[..ka * m], pool);
         let mut s = 0usize;
         while s < tr.k_active {
@@ -398,6 +423,7 @@ pub fn cgls_batch<T: Scalar>(
             }
             s += 1;
         }
+        record_sweep(sweep, tr.k_active, t_sweep);
     }
     tr.finish(&x)
 }

@@ -39,6 +39,7 @@ pub fn cgls<T: Scalar>(
         if gamma <= tol * tol * gamma0 || gamma == 0.0 {
             break;
         }
+        let t_iter = cscv_trace::ENABLED.then(std::time::Instant::now);
         op.apply(&p, &mut q, pool);
         let qq = norm2_sq(&q).to_f64();
         if qq == 0.0 {
@@ -51,9 +52,14 @@ pub fn cgls<T: Scalar>(
         history.push(res_norm);
         if cscv_trace::ENABLED {
             cscv_trace::counters::add(cscv_trace::counters::Counter::SolverIters, 1);
+            let iter_ms = t_iter.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
             cscv_trace::span::event(
                 "cgls.iter",
-                &[("iter", done as f64), ("residual", res_norm)],
+                &[
+                    ("iter", done as f64),
+                    ("residual", res_norm),
+                    ("iter_ms", iter_ms),
+                ],
             );
         }
         op.apply_transpose(&r, &mut s, pool);

@@ -64,6 +64,7 @@ pub fn landweber<T: Scalar>(
     let mut history = Vec::with_capacity(iterations);
     let _span = cscv_trace::span::enter("solver.landweber");
     for it in 0..iterations {
+        let t_iter = cscv_trace::ENABLED.then(std::time::Instant::now);
         op.apply(&x, &mut ax, pool);
         for i in 0..m {
             r[i] = b[i] - ax[i];
@@ -72,9 +73,14 @@ pub fn landweber<T: Scalar>(
         history.push(res_norm);
         if cscv_trace::ENABLED {
             cscv_trace::counters::add(cscv_trace::counters::Counter::SolverIters, 1);
+            let iter_ms = t_iter.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
             cscv_trace::span::event(
                 "landweber.iter",
-                &[("iter", it as f64), ("residual", res_norm)],
+                &[
+                    ("iter", it as f64),
+                    ("residual", res_norm),
+                    ("iter_ms", iter_ms),
+                ],
             );
         }
         op.apply_transpose(&r, &mut g, pool);

@@ -51,6 +51,7 @@ pub fn sirt<T: Scalar>(
 
     let _span = cscv_trace::span::enter("solver.sirt");
     for it in 0..iterations {
+        let t_iter = cscv_trace::ENABLED.then(std::time::Instant::now);
         op.apply(&x, &mut ax, pool);
         let mut norm = 0.0f64;
         for i in 0..m {
@@ -65,9 +66,14 @@ pub fn sirt<T: Scalar>(
         }
         if cscv_trace::ENABLED {
             cscv_trace::counters::add(cscv_trace::counters::Counter::SolverIters, 1);
+            let iter_ms = t_iter.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
             cscv_trace::span::event(
                 "sirt.iter",
-                &[("iter", it as f64), ("residual", norm.sqrt())],
+                &[
+                    ("iter", it as f64),
+                    ("residual", norm.sqrt()),
+                    ("iter_ms", iter_ms),
+                ],
             );
         }
     }

@@ -93,7 +93,7 @@ pub fn write_ndjson(path: &std::path::Path) -> std::io::Result<()> {
 }
 
 /// Pool-level derived statistics.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PoolStats {
     /// Threads that executed at least one pool task.
     pub busy_threads: usize,
@@ -103,30 +103,67 @@ pub struct PoolStats {
     /// balanced; the paper's near-perfect nnz balancing should keep this
     /// close to 1).
     pub imbalance: f64,
+    /// Wall-clock span of recorded activity in nanoseconds: first span
+    /// start to last span end over every recorded event. When no spans
+    /// were recorded (counters-only traces) this falls back to the
+    /// longest per-thread busy time, so busy fractions stay ≤ 1.
+    pub wall_ns: u64,
+    /// Busy nanoseconds per active thread `(thread name, busy ns)`, in
+    /// shard-registration order.
+    pub per_thread: Vec<(String, u64)>,
 }
 
-/// Compute pool balance statistics from the per-thread shards.
+impl PoolStats {
+    /// Fraction of the observed wall span a thread spent busy
+    /// (`busy_ns / wall_ns`, clamped to `[0, 1]`; `0.0` without a wall).
+    pub fn busy_fraction(&self, busy_ns: u64) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        (busy_ns as f64 / self.wall_ns as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Compute pool balance statistics from the per-thread shards and the
+/// recorded span timeline.
 pub fn pool_stats() -> PoolStats {
     let per = counters::per_thread();
-    let busy: Vec<u64> = per
+    let per_thread: Vec<(String, u64)> = per
         .iter()
-        .map(|(_, t)| t.get(Counter::PoolBusyNs))
-        .filter(|&b| b > 0)
+        .map(|(name, t)| (name.clone(), t.get(Counter::PoolBusyNs)))
+        .filter(|&(_, b)| b > 0)
         .collect();
-    if busy.is_empty() {
+    let events = span::events();
+    let start = events.iter().map(|(_, e)| e.t_ns).min();
+    let end = events.iter().map(|(_, e)| e.t_ns + e.dur_ns).max();
+    let max_busy = per_thread.iter().map(|&(_, b)| b).max().unwrap_or(0);
+    let wall_ns = match (start, end) {
+        // Span-derived wall, but never shorter than the busiest thread
+        // (events may have been drained between dispatch batches).
+        (Some(s), Some(e)) => (e - s).max(max_busy),
+        _ => max_busy,
+    };
+    if per_thread.is_empty() {
         return PoolStats {
             busy_threads: 0,
             busy_ns_total: 0,
             imbalance: 1.0,
+            wall_ns,
+            per_thread,
         };
     }
-    let total: u64 = busy.iter().sum();
-    let mean = total as f64 / busy.len() as f64;
-    let max = *busy.iter().max().unwrap() as f64;
+    let total: u64 = per_thread.iter().map(|&(_, b)| b).sum();
+    let mean = total as f64 / per_thread.len() as f64;
     PoolStats {
-        busy_threads: busy.len(),
+        busy_threads: per_thread.len(),
         busy_ns_total: total,
-        imbalance: if mean > 0.0 { max / mean } else { 1.0 },
+        imbalance: if mean > 0.0 {
+            max_busy as f64 / mean
+        } else {
+            1.0
+        },
+        wall_ns,
+        per_thread,
     }
 }
 
@@ -163,13 +200,24 @@ pub fn table() -> String {
     );
     let ps = pool_stats();
     out.push_str(&format!(
-        "  pool: {} busy thread(s), {:.3} ms busy total, imbalance {:.3}\n",
+        "  pool: {} busy thread(s), {:.3} ms busy total, imbalance {:.3}, wall {:.3} ms\n",
         ps.busy_threads,
         ps.busy_ns_total as f64 / 1e6,
-        ps.imbalance
+        ps.imbalance,
+        ps.wall_ns as f64 / 1e6,
     ));
+    for (name, busy) in &ps.per_thread {
+        let f = ps.busy_fraction(*busy);
+        out.push_str(&format!(
+            "    {:<20} busy {:>10.3} ms  ({:>5.1}% busy / {:>5.1}% idle)\n",
+            name,
+            *busy as f64 / 1e6,
+            f * 100.0,
+            (1.0 - f) * 100.0
+        ));
+    }
 
-    // Per-span aggregates.
+    // Per-span aggregates with log-bucketed latency percentiles.
     let events = span::events();
     let mut names: Vec<&'static str> = Vec::new();
     for (_, e) in events.iter().filter(|(_, e)| e.is_span) {
@@ -180,24 +228,25 @@ pub fn table() -> String {
     if !names.is_empty() {
         out.push_str("== spans ==\n");
         out.push_str(&format!(
-            "  {:<24} {:>8} {:>12} {:>12} {:>12}\n",
-            "name", "count", "total ms", "mean us", "max us"
+            "  {:<24} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            "name", "count", "total ms", "p50 us", "p90 us", "p99 us", "max us"
         ));
         for name in names {
-            let durs: Vec<u64> = events
-                .iter()
-                .filter(|(_, e)| e.is_span && e.name == name)
-                .map(|(_, e)| e.dur_ns)
-                .collect();
-            let total: u64 = durs.iter().sum();
-            let max = *durs.iter().max().unwrap();
+            let mut h = crate::hist::Histogram::new();
+            let mut total = 0u64;
+            for (_, e) in events.iter().filter(|(_, e)| e.is_span && e.name == name) {
+                h.record(e.dur_ns as f64);
+                total += e.dur_ns;
+            }
             out.push_str(&format!(
-                "  {:<24} {:>8} {:>12.3} {:>12.3} {:>12.3}\n",
+                "  {:<24} {:>8} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3}\n",
                 name,
-                durs.len(),
+                h.count(),
                 total as f64 / 1e6,
-                total as f64 / durs.len() as f64 / 1e3,
-                max as f64 / 1e3
+                h.percentile(50.0) / 1e3,
+                h.percentile(90.0) / 1e3,
+                h.percentile(99.0) / 1e3,
+                h.max() / 1e3
             ));
         }
     }
@@ -233,6 +282,33 @@ pub fn report_at_exit() {
     }
 }
 
+/// RAII handle that emits the end-of-run trace report on drop
+/// (including on panic-unwind) — see [`report_at_exit`] for the
+/// `CSCV_TRACE_OUT` routing. Install it first thing in `main`:
+///
+/// ```
+/// let _trace = cscv_trace::report_guard();
+/// // … solver / benchmark work …
+/// ```
+///
+/// Untraced builds get a zero-cost no-op, so solvers, examples, and
+/// drivers can install the guard unconditionally.
+#[must_use = "the report is emitted when the guard drops"]
+pub struct ReportGuard {
+    _priv: (),
+}
+
+impl Drop for ReportGuard {
+    fn drop(&mut self) {
+        report_at_exit();
+    }
+}
+
+/// Install the end-of-run trace reporter (see [`ReportGuard`]).
+pub fn report_guard() -> ReportGuard {
+    ReportGuard { _priv: () }
+}
+
 /// A [`Totals`] snapshot serialized as a JSON object (used by tests and
 /// external tooling that wants counters without the full NDJSON dump).
 pub fn totals_json(t: &Totals) -> Json {
@@ -257,6 +333,66 @@ mod tests {
         let ps = pool_stats();
         assert_eq!(ps.busy_threads, 0);
         assert_eq!(ps.imbalance, 1.0);
+        assert_eq!(ps.wall_ns, 0);
+        assert!(ps.per_thread.is_empty());
+        assert_eq!(ps.busy_fraction(123), 0.0);
+        // The report guard is inert but constructible.
+        let _g = report_guard();
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn pool_stats_busy_idle_split_per_thread() {
+        let _guard = crate::registry::test_lock();
+        counters::reset();
+        // Two named worker threads with a 3:1 busy split, under a wall
+        // span established by an enclosing span on this thread.
+        {
+            let _wall = span::enter("pool.test-wall");
+            std::thread::scope(|s| {
+                for (name, busy) in [("ps-worker-0", 3_000u64), ("ps-worker-1", 1_000u64)] {
+                    std::thread::Builder::new()
+                        .name(name.to_string())
+                        .spawn_scoped(s, move || {
+                            counters::add(Counter::PoolBusyNs, busy);
+                        })
+                        .unwrap();
+                }
+            });
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let ps = pool_stats();
+        assert_eq!(ps.busy_threads, 2);
+        assert_eq!(ps.busy_ns_total, 4_000);
+        // imbalance = max/mean = 3000/2000.
+        assert!((ps.imbalance - 1.5).abs() < 1e-12, "{}", ps.imbalance);
+        // Wall comes from the enclosing span (≥ 1 ms sleep ≫ busy ns).
+        assert!(ps.wall_ns >= 1_000_000, "wall {}", ps.wall_ns);
+        let busy0 = ps
+            .per_thread
+            .iter()
+            .find(|(n, _)| n == "ps-worker-0")
+            .map(|&(_, b)| b)
+            .unwrap();
+        assert_eq!(busy0, 3_000);
+        let f = ps.busy_fraction(busy0);
+        assert!(f > 0.0 && f < 1.0, "busy fraction {f}");
+        // Idle complement shows up in the rendered table.
+        let t = table();
+        assert!(t.contains("ps-worker-0"), "{t}");
+        assert!(t.contains("% idle"), "{t}");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn pool_stats_wall_falls_back_to_busiest_thread() {
+        let _guard = crate::registry::test_lock();
+        counters::reset();
+        counters::add(Counter::PoolBusyNs, 5_000);
+        // No spans recorded: wall = max busy, fraction saturates at 1.
+        let ps = pool_stats();
+        assert_eq!(ps.wall_ns, 5_000);
+        assert_eq!(ps.busy_fraction(5_000), 1.0);
     }
 
     #[cfg(feature = "trace")]

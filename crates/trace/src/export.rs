@@ -1,0 +1,407 @@
+//! Trace exporters for external analysis tooling.
+//!
+//! Two formats, both fed from the same event stream:
+//!
+//! * **Chrome trace-event JSON** ([`chrome_trace`]) — the
+//!   `{"traceEvents":[…]}` document understood by Perfetto
+//!   (<https://ui.perfetto.dev>) and `chrome://tracing`. Spans become
+//!   complete (`"ph":"X"`) events, point events become instants
+//!   (`"ph":"i"`), and per-thread metadata (`"ph":"M"`) names the
+//!   timeline rows, so a traced run opens as one lane per pool thread
+//!   with the solver/iteration markers overlaid.
+//! * **Collapsed stacks** ([`collapsed_stacks`]) — the
+//!   `frame;frame;frame count` text format consumed by flamegraph
+//!   tooling (`flamegraph.pl`, inferno, speedscope). Stacks are
+//!   reconstructed from span nesting (interval containment per thread)
+//!   and weighted by *self* time, so a flamegraph shows where
+//!   wall-clock actually went rather than double-counting parents.
+//!
+//! Both work from [`ExportEvent`] — an owned mirror of
+//! [`crate::span::Event`] — sourced either from the live registry
+//! ([`snapshot`]) or re-parsed from a previously written NDJSON trace
+//! file ([`from_ndjson`]), which is how `cscv-xtask perf-report
+//! --export-dir` converts archived traces offline.
+//!
+//! Always compiled: exporting operates on recorded data, not the hot
+//! path. In untraced builds [`snapshot`] is simply empty.
+
+use crate::json::Json;
+use crate::span;
+
+/// One owned span or point event, tagged with its thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportEvent {
+    pub thread: String,
+    pub name: String,
+    /// Span-nesting depth at record time (0 = top level).
+    pub depth: u16,
+    /// Start time, monotonic nanoseconds since the trace epoch.
+    pub t_ns: u64,
+    /// Duration in nanoseconds; `0` for point events.
+    pub dur_ns: u64,
+    pub is_span: bool,
+    pub fields: Vec<(String, f64)>,
+}
+
+/// Snapshot the live registry's buffered events (sorted by start time).
+pub fn snapshot() -> Vec<ExportEvent> {
+    span::events()
+        .into_iter()
+        .map(|(thread, e)| ExportEvent {
+            thread,
+            name: e.name.to_string(),
+            depth: e.depth,
+            t_ns: e.t_ns,
+            dur_ns: e.dur_ns,
+            is_span: e.is_span,
+            fields: e.fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        })
+        .collect()
+}
+
+/// Keys on span/event NDJSON lines that are structure, not payload.
+const STRUCTURAL_KEYS: [&str; 6] = ["type", "name", "thread", "depth", "t_ns", "dur_ns"];
+
+/// Re-parse the span/event lines of an NDJSON trace (as written by
+/// [`crate::emit::ndjson`]); other line types are skipped. Events come
+/// back sorted by start time.
+pub fn from_ndjson(text: &str) -> Result<Vec<ExportEvent>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let ty = v.get("type").and_then(Json::as_str).unwrap_or("");
+        let is_span = match ty {
+            "span" => true,
+            "event" => false,
+            _ => continue,
+        };
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("line {}: missing {k:?}", lineno + 1))
+        };
+        let num_field = |k: &str, required: bool| match v.get(k).and_then(Json::as_f64) {
+            Some(n) => Ok(n),
+            None if !required => Ok(0.0),
+            None => Err(format!("line {}: missing {k:?}", lineno + 1)),
+        };
+        let fields = v
+            .as_obj()
+            .unwrap_or(&[])
+            .iter()
+            .filter(|(k, _)| !STRUCTURAL_KEYS.contains(&k.as_str()))
+            .filter_map(|(k, val)| val.as_f64().map(|n| (k.clone(), n)))
+            .collect();
+        out.push(ExportEvent {
+            thread: str_field("thread")?,
+            name: str_field("name")?,
+            depth: num_field("depth", true)? as u16,
+            t_ns: num_field("t_ns", true)? as u64,
+            dur_ns: num_field("dur_ns", is_span)? as u64,
+            is_span,
+            fields,
+        });
+    }
+    out.sort_by_key(|e| e.t_ns);
+    Ok(out)
+}
+
+/// Thread names in order of first appearance; tids are `index + 1`
+/// (tid 0 is reserved for the process-name metadata row).
+fn thread_order(events: &[ExportEvent]) -> Vec<&str> {
+    let mut order: Vec<&str> = Vec::new();
+    for e in events {
+        if !order.contains(&e.thread.as_str()) {
+            order.push(&e.thread);
+        }
+    }
+    order
+}
+
+/// Build a Chrome trace-event JSON document from `events`.
+///
+/// Timestamps are microseconds (`f64`, the format's native unit); span
+/// durations keep nanosecond resolution as fractional µs. Numeric
+/// payload fields ride in `args`, so Perfetto surfaces `iter`,
+/// `residual`, `iter_ms`, … in the selection panel.
+pub fn chrome_trace(events: &[ExportEvent]) -> Json {
+    let threads = thread_order(events);
+    let tid_of = |name: &str| threads.iter().position(|t| *t == name).unwrap_or(0) + 1;
+    let mut trace_events: Vec<Json> = Vec::with_capacity(events.len() + threads.len() + 1);
+    trace_events.push(Json::obj(vec![
+        ("name", Json::from("process_name")),
+        ("ph", Json::from("M")),
+        ("pid", Json::from(0u64)),
+        ("tid", Json::from(0u64)),
+        ("args", Json::obj(vec![("name", Json::from("cscv-trace"))])),
+    ]));
+    for t in &threads {
+        trace_events.push(Json::obj(vec![
+            ("name", Json::from("thread_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(0u64)),
+            ("tid", Json::from(tid_of(t))),
+            ("args", Json::obj(vec![("name", Json::from(*t))])),
+        ]));
+    }
+    for e in events {
+        let mut obj = vec![
+            ("name", Json::from(e.name.as_str())),
+            ("ph", Json::from(if e.is_span { "X" } else { "i" })),
+            ("ts", Json::Num(e.t_ns as f64 / 1e3)),
+            ("pid", Json::from(0u64)),
+            ("tid", Json::from(tid_of(&e.thread))),
+        ];
+        if e.is_span {
+            obj.push(("dur", Json::Num(e.dur_ns as f64 / 1e3)));
+        } else {
+            // Thread-scoped instant: renders as a marker on its lane.
+            obj.push(("s", Json::from("t")));
+        }
+        if !e.fields.is_empty() {
+            obj.push((
+                "args",
+                Json::Obj(
+                    e.fields
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        trace_events.push(Json::obj(obj));
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(trace_events)),
+        ("displayTimeUnit", Json::from("ms")),
+    ])
+}
+
+/// Write [`chrome_trace`] over the live snapshot to `path` (parent
+/// directories created).
+pub fn write_chrome_trace(path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, chrome_trace(&snapshot()).to_string())
+}
+
+/// Render collapsed flamegraph stacks: one `thread;outer;…;leaf N`
+/// line per distinct stack, `N` = self-time in nanoseconds, sorted for
+/// stable diffs. Point events carry no duration and are ignored.
+pub fn collapsed_stacks(events: &[ExportEvent]) -> String {
+    use std::collections::BTreeMap;
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+
+    struct Frame {
+        name: String,
+        end_ns: u64,
+        self_ns: u64,
+    }
+
+    for thread in thread_order(events) {
+        // Sorted by start time; ties open the longer (outer) span first.
+        let mut spans: Vec<&ExportEvent> = events
+            .iter()
+            .filter(|e| e.is_span && e.thread == thread)
+            .collect();
+        spans.sort_by(|a, b| a.t_ns.cmp(&b.t_ns).then(b.dur_ns.cmp(&a.dur_ns)));
+
+        let mut stack: Vec<Frame> = Vec::new();
+        let pop = |stack: &mut Vec<Frame>, weights: &mut BTreeMap<String, u64>| {
+            let frame = stack.pop().expect("pop on non-empty stack");
+            let mut key = String::from(thread);
+            for f in stack.iter() {
+                key.push(';');
+                key.push_str(&f.name);
+            }
+            key.push(';');
+            key.push_str(&frame.name);
+            *weights.entry(key).or_insert(0) += frame.self_ns;
+        };
+        for s in spans {
+            while stack.last().is_some_and(|f| f.end_ns <= s.t_ns) {
+                pop(&mut stack, &mut weights);
+            }
+            if let Some(parent) = stack.last_mut() {
+                parent.self_ns = parent.self_ns.saturating_sub(s.dur_ns);
+            }
+            stack.push(Frame {
+                name: s.name.clone(),
+                end_ns: s.t_ns.saturating_add(s.dur_ns),
+                self_ns: s.dur_ns,
+            });
+        }
+        while !stack.is_empty() {
+            pop(&mut stack, &mut weights);
+        }
+    }
+
+    let mut out = String::new();
+    for (stack, ns) in &weights {
+        if *ns > 0 {
+            out.push_str(&format!("{stack} {ns}\n"));
+        }
+    }
+    out
+}
+
+/// Write [`collapsed_stacks`] over the live snapshot to `path`.
+pub fn write_collapsed_stacks(path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, collapsed_stacks(&snapshot()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(thread: &str, name: &str, depth: u16, t_ns: u64, dur_ns: u64) -> ExportEvent {
+        ExportEvent {
+            thread: thread.into(),
+            name: name.into(),
+            depth,
+            t_ns,
+            dur_ns,
+            is_span: true,
+            fields: Vec::new(),
+        }
+    }
+
+    fn sample_events() -> Vec<ExportEvent> {
+        vec![
+            span("main", "outer", 0, 100, 1000),
+            span("main", "inner", 1, 200, 300),
+            span("worker-0", "task", 0, 150, 400),
+            ExportEvent {
+                thread: "main".into(),
+                name: "mark".into(),
+                depth: 2,
+                t_ns: 250,
+                dur_ns: 0,
+                is_span: false,
+                fields: vec![("iter".into(), 3.0), ("residual".into(), 0.5)],
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_schema_and_units() {
+        let doc = chrome_trace(&sample_events());
+        let back = Json::parse(&doc.to_string()).unwrap();
+        let evs = back.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 process + 2 thread metadata + 4 events.
+        assert_eq!(evs.len(), 7);
+        for e in evs {
+            for key in ["name", "ph", "pid", "tid"] {
+                assert!(e.get(key).is_some(), "every event has {key}");
+            }
+        }
+        let outer = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("outer"))
+            .unwrap();
+        assert_eq!(outer.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(outer.get("ts").and_then(Json::as_f64), Some(0.1)); // 100 ns = 0.1 µs
+        assert_eq!(outer.get("dur").and_then(Json::as_f64), Some(1.0));
+        let mark = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("mark"))
+            .unwrap();
+        assert_eq!(mark.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(mark.get("s").and_then(Json::as_str), Some("t"));
+        assert_eq!(
+            mark.get("args").unwrap().get("iter").and_then(Json::as_f64),
+            Some(3.0)
+        );
+        // main and worker-0 sit on distinct named lanes.
+        let tids: Vec<f64> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .map(|e| e.get("tid").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert_eq!(tids.len(), 2);
+        assert_ne!(tids[0], tids[1]);
+    }
+
+    #[test]
+    fn collapsed_stacks_self_time() {
+        let out = collapsed_stacks(&sample_events());
+        let mut lines: std::collections::BTreeMap<&str, u64> = out
+            .lines()
+            .map(|l| {
+                let (stack, ns) = l.rsplit_once(' ').unwrap();
+                (stack, ns.parse().unwrap())
+            })
+            .collect();
+        // outer's self time excludes the nested inner span.
+        assert_eq!(lines.remove("main;outer"), Some(700));
+        assert_eq!(lines.remove("main;outer;inner"), Some(300));
+        assert_eq!(lines.remove("worker-0;task"), Some(400));
+        assert!(lines.is_empty(), "unexpected stacks: {lines:?}");
+        // Total weight equals total wall time per thread (no double count).
+    }
+
+    #[test]
+    fn collapsed_stacks_sequential_siblings_share_one_line() {
+        let evs = vec![
+            span("t", "parent", 0, 0, 1000),
+            span("t", "child", 1, 100, 200),
+            span("t", "child", 1, 400, 300),
+        ];
+        let out = collapsed_stacks(&evs);
+        assert!(out.contains("t;parent;child 500\n"), "{out}");
+        assert!(out.contains("t;parent 500\n"), "{out}");
+    }
+
+    #[test]
+    fn ndjson_round_trip() {
+        let ndjson = "\
+{\"type\":\"meta\",\"enabled\":true,\"threads\":1}\n\
+{\"type\":\"counters\",\"fma_lanes\":12}\n\
+{\"type\":\"span\",\"name\":\"outer\",\"thread\":\"main\",\"depth\":0,\"t_ns\":100,\"dur_ns\":1000}\n\
+{\"type\":\"event\",\"name\":\"mark\",\"thread\":\"main\",\"depth\":1,\"t_ns\":250,\"iter\":3,\"residual\":0.5}\n";
+        let evs = from_ndjson(ndjson).unwrap();
+        assert_eq!(evs.len(), 2, "meta/counters lines are skipped");
+        assert_eq!(evs[0].name, "outer");
+        assert!(evs[0].is_span);
+        assert_eq!(evs[0].dur_ns, 1000);
+        assert_eq!(evs[1].name, "mark");
+        assert!(!evs[1].is_span);
+        assert_eq!(
+            evs[1].fields,
+            vec![("iter".to_string(), 3.0), ("residual".to_string(), 0.5)]
+        );
+        // And the parsed events drive both exporters.
+        let doc = chrome_trace(&evs);
+        assert!(doc.to_string().contains("\"traceEvents\""));
+        assert!(collapsed_stacks(&evs).contains("main;outer 1000\n"));
+        // Malformed JSON is an error, not a panic.
+        assert!(from_ndjson("{\"type\":\"span\",").is_err());
+        // A span line missing dur_ns is an error; events don't need it.
+        assert!(from_ndjson(
+            "{\"type\":\"span\",\"name\":\"x\",\"thread\":\"t\",\"depth\":0,\"t_ns\":1}"
+        )
+        .is_err());
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn untraced_snapshot_is_empty() {
+        assert!(snapshot().is_empty());
+        let doc = chrome_trace(&snapshot());
+        // Still a valid document with just the process metadata row.
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

@@ -37,18 +37,24 @@
 //! are trivially dead and compile to nothing. Instrumented kernels are
 //! byte-for-byte the uninstrumented kernels unless the feature is on.
 //!
-//! The [`json`] module (a minimal parser/writer used by the emitters and
-//! by `cscv-harness`'s run manifests) is always compiled: manifests are
-//! run *evidence*, not hot-path instrumentation, and stay available in
-//! default builds.
+//! The [`json`], [`hist`], and [`export`] modules (the minimal JSON
+//! parser/writer, log-bucketed latency histograms, and the Chrome
+//! trace-event / collapsed-stack exporters) are always compiled:
+//! manifests, histograms, and trace conversion operate on *recorded*
+//! evidence, not hot-path instrumentation, and stay available in
+//! default builds — `cscv-xtask perf-report` uses them to analyze
+//! archived traces without carrying live instrumentation itself.
 
 pub mod counters;
 pub mod emit;
+pub mod export;
+pub mod hist;
 pub mod json;
 #[cfg(feature = "trace")]
 pub(crate) mod registry;
 pub mod span;
 
+pub use emit::{report_guard, ReportGuard};
 pub use span::SpanGuard;
 
 /// `true` iff this build carries live instrumentation (`trace` feature).

@@ -1,6 +1,6 @@
-//! `cscv-xtask` — the workspace's correctness-tooling crate.
+//! `cscv-xtask` — the workspace's correctness- and perf-tooling crate.
 //!
-//! Two subsystems, both dependency-free:
+//! Three subsystems, free of external dependencies:
 //!
 //! * [`lint`] (driven by the [`lexer`]) — a project-specific static
 //!   analysis pass run as `cargo run -p cscv-xtask -- lint` from `ci.sh`
@@ -10,8 +10,14 @@
 //!   vendored loom-flavored scheduler) used by `tests/models.rs` to
 //!   verify the thread-pool dispatch/ack barrier and the trace-shard
 //!   folding protocols under *every* interleaving.
+//! * [`perf`] — the `perf-report` subcommand: aggregates benchmark
+//!   manifests into a roofline-attributed report (latency-vs-bandwidth
+//!   classification per kernel), exports archived traces to Chrome
+//!   trace-event JSON and collapsed flamegraph stacks, and diffs two
+//!   result directories with noise-aware min-of-reps comparison.
 
 pub mod lexer;
 pub mod lint;
 pub mod ndjson;
+pub mod perf;
 pub mod sched;

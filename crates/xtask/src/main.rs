@@ -1,14 +1,22 @@
-//! CLI entry point: `cargo run -p cscv-xtask -- lint [--root DIR]
-//! [--format table|ndjson]`.
+//! CLI entry point.
 //!
-//! Exit codes: 0 = clean, 1 = lint violations, 2 = usage or IO error.
+//! ```text
+//! cscv-xtask lint [--root DIR] [--format table|ndjson]
+//! cscv-xtask perf-report DIR [--format table|ndjson] [--peak-gbs F]
+//!                            [--export-dir DIR]
+//! cscv-xtask perf-report --diff DIR_A DIR_B [--threshold F]
+//!                            [--format table|ndjson]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violations / perf regressions, 2 = usage
+//! or IO error.
 
 use cscv_xtask::lint::{lint_root, Report};
-use cscv_xtask::ndjson;
+use cscv_xtask::{ndjson, perf};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-#[derive(PartialEq)]
+#[derive(PartialEq, Clone, Copy)]
 enum Format {
     Table,
     Ndjson,
@@ -16,38 +24,57 @@ enum Format {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cscv-xtask lint [--root DIR] [--format table|ndjson]\n\n\
-         Lints crates/*/src/**.rs (and the umbrella src/) for the project\n\
-         rules: SAFETY comments on unsafe, the unsafe-module whitelist,\n\
-         panicking constructs in kernel hot paths, and trace-cfg fallbacks."
+        "usage: cscv-xtask lint [--root DIR] [--format table|ndjson]\n\
+         \x20      cscv-xtask perf-report DIR [--format table|ndjson] [--peak-gbs F] [--export-dir DIR]\n\
+         \x20      cscv-xtask perf-report --diff DIR_A DIR_B [--threshold F] [--format table|ndjson]\n\n\
+         lint        scans crates/*/src/**.rs (and the umbrella src/) for the\n\
+         \x20           project rules: SAFETY comments on unsafe, the unsafe-module\n\
+         \x20           whitelist, panicking constructs in kernel hot paths, and\n\
+         \x20           trace-cfg fallbacks.\n\
+         perf-report aggregates a benchmark result directory (manifests/*.ndjson,\n\
+         \x20           optional trace/*.ndjson) into a roofline report classifying\n\
+         \x20           each kernel as latency- or bandwidth-bound, optionally\n\
+         \x20           exporting Chrome traces + flamegraph stacks; with --diff it\n\
+         \x20           compares two directories (min-of-reps, relative threshold)\n\
+         \x20           and exits 1 on regressions."
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cmd = None;
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_cmd(&args[1..]),
+        Some("perf-report") => perf_cmd(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn parse_format(v: Option<&str>) -> Option<Format> {
+    match v {
+        Some("table") => Some(Format::Table),
+        Some("ndjson") => Some(Format::Ndjson),
+        _ => None,
+    }
+}
+
+fn lint_cmd(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut format = Format::Table;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "lint" if cmd.is_none() => cmd = Some("lint"),
             "--root" => match it.next() {
                 Some(d) => root = PathBuf::from(d),
                 None => return usage(),
             },
-            "--format" => match it.next().map(String::as_str) {
-                Some("table") => format = Format::Table,
-                Some("ndjson") => format = Format::Ndjson,
-                _ => return usage(),
+            "--format" => match parse_format(it.next().map(String::as_str)) {
+                Some(f) => format = f,
+                None => return usage(),
             },
             "--ndjson" => format = Format::Ndjson,
             _ => return usage(),
         }
-    }
-    if cmd != Some("lint") {
-        return usage();
     }
     match lint_root(&root) {
         Ok(report) => {
@@ -63,6 +90,101 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+fn perf_cmd(args: &[String]) -> ExitCode {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut format = Format::Table;
+    let mut peak_gbs: Option<f64> = None;
+    let mut export_dir: Option<PathBuf> = None;
+    let mut threshold = 0.05;
+    let mut diff_mode = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--diff" => diff_mode = true,
+            "--format" => match parse_format(it.next().map(String::as_str)) {
+                Some(f) => format = f,
+                None => return usage(),
+            },
+            "--peak-gbs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(p) => peak_gbs = Some(p),
+                None => return usage(),
+            },
+            "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => threshold = t,
+                None => return usage(),
+            },
+            "--export-dir" => match it.next() {
+                Some(d) => export_dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            s if !s.starts_with('-') => dirs.push(PathBuf::from(s)),
+            _ => return usage(),
+        }
+    }
+    let result = if diff_mode {
+        let [a, b] = dirs.as_slice() else {
+            return usage();
+        };
+        perf_diff(a, b, threshold, format)
+    } else {
+        let [dir] = dirs.as_slice() else {
+            return usage();
+        };
+        perf_report(dir, peak_gbs, export_dir.as_deref(), format)
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("cscv-xtask perf-report: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn perf_report(
+    dir: &std::path::Path,
+    peak_gbs: Option<f64>,
+    export_dir: Option<&std::path::Path>,
+    format: Format,
+) -> Result<ExitCode, String> {
+    let loaded = perf::load_dir(dir)?;
+    let report = perf::build_report(&loaded, peak_gbs)?;
+    match format {
+        Format::Table => {
+            print!("{}", perf::render_table(&loaded, &report));
+            let traces = perf::load_trace_counters(dir)?;
+            print!("{}", perf::render_trace_section(&traces));
+        }
+        Format::Ndjson => print!("{}", perf::render_ndjson(&loaded, &report)),
+    }
+    if let Some(out) = export_dir {
+        for path in perf::export_traces(dir, out)? {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn perf_diff(
+    a: &std::path::Path,
+    b: &std::path::Path,
+    threshold: f64,
+    format: Format,
+) -> Result<ExitCode, String> {
+    let la = perf::load_dir(a)?;
+    let lb = perf::load_dir(b)?;
+    let rows = perf::diff(&la, &lb, threshold);
+    match format {
+        Format::Table => print!("{}", perf::render_diff_table(&la, &lb, &rows, threshold)),
+        Format::Ndjson => print!("{}", perf::render_diff_ndjson(&rows)),
+    }
+    Ok(if perf::has_regressions(&rows) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn emit(report: &Report, format: Format) {

@@ -33,6 +33,8 @@ fn write_pgm(path: &str, img: &[f32], nx: usize, ny: usize) {
 }
 
 fn main() {
+    // Traced builds report at exit (NDJSON to CSCV_TRACE_OUT if set).
+    let _trace = cscv_repro::trace::report_guard();
     // Full 180° coverage for a well-posed reconstruction.
     let ds = cscv_repro::ct::datasets::recon_dataset();
     let geom = ds.geometry();

@@ -11,6 +11,8 @@ use cscv_repro::core::ioblr::{min_bin_per_view, RefCurve};
 use cscv_repro::prelude::*;
 
 fn main() {
+    // Traced builds report at exit (NDJSON to CSCV_TRACE_OUT if set).
+    let _trace = cscv_repro::trace::report_guard();
     let ds = cscv_repro::ct::datasets::tiny();
     let geom = ds.geometry();
     let a: Csc<f32> = SystemMatrix::assemble_csc(&geom);

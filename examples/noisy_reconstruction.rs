@@ -15,6 +15,8 @@ use cscv_repro::recon::os_sart::{interleaved_views, os_sart};
 use cscv_repro::recon::CscvOperator;
 
 fn main() {
+    // Traced builds report at exit (NDJSON to CSCV_TRACE_OUT if set).
+    let _trace = cscv_repro::trace::report_guard();
     let ds = cscv_repro::ct::datasets::recon_dataset();
     let geom = ds.geometry();
     println!(

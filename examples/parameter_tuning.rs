@@ -8,6 +8,8 @@ use cscv_repro::harness::timing::measure_spmv;
 use cscv_repro::prelude::*;
 
 fn main() {
+    // Traced builds report at exit (NDJSON to CSCV_TRACE_OUT if set).
+    let _trace = cscv_repro::trace::report_guard();
     let ds = cscv_repro::ct::datasets::default_suite()[0]; // ct128
     let geom = ds.geometry();
     let a: Csc<f32> = SystemMatrix::assemble_csc(&geom);

@@ -6,6 +6,8 @@
 use cscv_repro::prelude::*;
 
 fn main() {
+    // Traced builds report at exit (NDJSON to CSCV_TRACE_OUT if set).
+    let _trace = cscv_repro::trace::report_guard();
     // 1. A CT acquisition: 128×128 image, 184 detector bins, 60 views.
     let ds = cscv_repro::ct::datasets::default_suite()[0];
     let geom = ds.geometry();

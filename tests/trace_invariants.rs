@@ -22,7 +22,8 @@ use cscv_repro::harness::suite::prepare;
 use cscv_repro::prelude::*;
 use cscv_repro::recon::{sirt, sirt_batch, SpmvOperator};
 use cscv_repro::trace::counters::{self, Counter};
-use cscv_repro::trace::{emit, span};
+use cscv_repro::trace::json::Json;
+use cscv_repro::trace::{emit, export, span};
 use std::sync::{Mutex, MutexGuard};
 
 /// The trace registry is process-global; tests asserting on totals must
@@ -231,4 +232,102 @@ fn batch_retirement_emits_swap_compaction_events() {
         .count();
     let history_len: usize = res.residual_histories.iter().map(Vec::len).sum();
     assert_eq!(iter_events, history_len);
+    // Every executed sweep logs its width and wall time.
+    let sweeps: Vec<_> = events
+        .iter()
+        .filter(|(_, e)| !e.is_span && e.name == "batch.sweep")
+        .collect();
+    assert_eq!(
+        sweeps.len(),
+        *res.iterations.iter().max().unwrap(),
+        "one sweep event per executed outer iteration"
+    );
+    for (_, e) in &sweeps {
+        let field = |k: &str| e.fields.iter().find(|(n, _)| *n == k).unwrap().1;
+        assert!(field("k_active") <= k as f64);
+        assert!(field("sweep_ms") >= 0.0);
+    }
+}
+
+#[test]
+fn chrome_trace_of_a_sirt_run_round_trips() {
+    let _g = lock();
+    let prep = prepare::<f32>(&cscv_repro::ct::datasets::tiny());
+    let mut b = vec![0.0f32; prep.csr.n_rows()];
+    prep.csr.spmv_serial(&prep.x, &mut b);
+    let op = SpmvOperator::csr_pair(&prep.csr);
+    let pool = ThreadPool::new(2);
+
+    counters::reset();
+    sirt(&op, &b, 5, 1.0, &pool);
+
+    let doc = export::chrome_trace(&export::snapshot());
+    // Schema round-trip: serialize, re-parse, and validate the
+    // trace-event invariants Perfetto relies on.
+    let back = Json::parse(&doc.to_string()).expect("chrome trace must be valid JSON");
+    let events = back
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut saw_sirt_span = false;
+    let mut saw_iter_instant = false;
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph");
+        assert!(["X", "i", "M"].contains(&ph), "unexpected phase {ph}");
+        assert!(e.get("pid").and_then(Json::as_f64).is_some());
+        assert!(e.get("tid").and_then(Json::as_f64).is_some());
+        match ph {
+            "X" => {
+                assert!(e.get("ts").and_then(Json::as_f64).is_some());
+                assert!(e.get("dur").and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0);
+                if e.get("name").and_then(Json::as_str) == Some("solver.sirt") {
+                    saw_sirt_span = true;
+                }
+            }
+            "i" => {
+                assert_eq!(e.get("s").and_then(Json::as_str), Some("t"));
+                if e.get("name").and_then(Json::as_str) == Some("sirt.iter") {
+                    saw_iter_instant = true;
+                    let args = e.get("args").expect("iter args");
+                    assert!(args.get("iter_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+                    assert!(args.get("residual").and_then(Json::as_f64).is_some());
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_sirt_span, "solver.sirt must appear as a complete event");
+    assert!(saw_iter_instant, "sirt.iter must appear as an instant");
+
+    // The flamegraph view of the same snapshot attributes self time to
+    // the solver stack.
+    let collapsed = export::collapsed_stacks(&export::snapshot());
+    assert!(collapsed.contains("solver.sirt"), "{collapsed}");
+}
+
+#[test]
+fn pool_stats_split_busy_and_idle_per_thread() {
+    let _g = lock();
+    counters::reset();
+    let pool = ThreadPool::new(3);
+    for _ in 0..5 {
+        pool.run(|_| {
+            std::hint::black_box((0..20_000).sum::<u64>());
+        });
+    }
+    let ps = emit::pool_stats();
+    assert_eq!(ps.busy_threads, 3);
+    assert!(ps.wall_ns > 0);
+    assert_eq!(ps.per_thread.len(), 3);
+    let sum: u64 = ps.per_thread.iter().map(|(_, ns)| *ns).sum();
+    assert_eq!(sum, ps.busy_ns_total, "per-thread split is exhaustive");
+    for (name, busy) in &ps.per_thread {
+        let frac = ps.busy_fraction(*busy);
+        assert!((0.0..=1.0).contains(&frac), "{name}: {frac}");
+    }
+    // The rendered table carries the busy/idle percentages.
+    let table = emit::table();
+    assert!(table.contains("% busy"), "{table}");
+    assert!(table.contains("% idle"), "{table}");
 }
