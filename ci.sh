@@ -5,8 +5,8 @@
 # every feature set (see DESIGN.md "Dependencies"), so a vendored/offline
 # toolchain is all CI needs.
 #
-#   ci.sh                        core gate (fmt, clippy, xtask lint, build,
-#                                  docs, tests)
+#   ci.sh                        core gate (fmt, clippy, xtask lint + audit,
+#                                  fuzz corpus replay, build, docs, tests)
 #   ci.sh --perf-smoke           + run the smoke benches and fail on >25%
 #                                  GFLOP/s regressions vs the checked-in
 #                                  bench_results/smoke/baseline.json
@@ -16,17 +16,22 @@
 #                                  unsafe-heavy crates' lib tests) under
 #                                  `cargo miri`; skipped with a notice when
 #                                  the miri component is not installed
+#   ci.sh --fuzz                 + run the structure-aware differential
+#                                  fuzzer for 5000 fixed-seed iterations
+#                                  (the nightly CI job's workload)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 PERF_SMOKE=0
 UPDATE_BASELINE=0
 MIRI=0
+FUZZ=0
 for arg in "$@"; do
     case "$arg" in
         --perf-smoke) PERF_SMOKE=1 ;;
         --update-perf-baseline) PERF_SMOKE=1; UPDATE_BASELINE=1 ;;
         --miri) MIRI=1 ;;
+        --fuzz) FUZZ=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -44,6 +49,12 @@ cargo clippy --workspace --features trace -- -D warnings
 
 step "cscv-xtask lint (SAFETY comments, unsafe whitelist, hot-path panics, trace fallbacks)"
 cargo run -q -p cscv-xtask -- lint
+
+step "cscv-xtask audit (index casts, unchecked indexing, cfg flags, crate layering)"
+cargo run -q -p cscv-xtask -- audit
+
+step "cscv-xtask fuzz (regression corpus replay)"
+cargo run -q -p cscv-xtask -- fuzz --iters 0 --corpus crates/xtask/fuzz_corpus
 
 step "cargo build --release"
 cargo build --release --workspace
@@ -69,6 +80,14 @@ if [ "$MIRI" = 1 ]; then
     else
         step "miri not installed — skipping (rustup component add miri)"
     fi
+fi
+
+if [ "$FUZZ" = 1 ]; then
+    # Fixed seed so a red run is reproducible on any machine; failures
+    # shrink and dump minimized descriptors into the corpus directory.
+    step "cscv-xtask fuzz --iters 5000 (structure-aware differential fuzzing)"
+    cargo run --release -q -p cscv-xtask -- fuzz \
+        --iters 5000 --seed 1 --corpus crates/xtask/fuzz_corpus
 fi
 
 if [ "$PERF_SMOKE" = 1 ]; then

@@ -46,11 +46,65 @@ impl<T: Scalar> CurveProvider for DataDrivenCurves<'_, T> {
     }
 }
 
+/// Why a CSCV build was rejected before any block work started.
+///
+/// The compressed index types dictate hard dimension ceilings: the ỹ
+/// scatter map stores rows as `i32` (−1 is the padding sentinel, so
+/// only `i32::MAX` rows are addressable — invariant `CSCV-U32-FIT`),
+/// and VxG member columns are `u32`. [`try_build`] checks these up
+/// front instead of letting an `as` cast wrap silently mid-conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// `layout.n_rows() > i32::MAX`: rows no longer fit the i32 scatter
+    /// map (invariant `CSCV-U32-FIT`).
+    RowsExceedIndexRange { n_rows: usize },
+    /// `img.n_pixels() > u32::MAX`: columns no longer fit the u32 VxG
+    /// member ids (invariant `CSCV-U32-FIT`).
+    ColsExceedIndexRange { n_cols: usize },
+    /// The CSC's shape disagrees with `layout`/`img`.
+    ShapeMismatch {
+        what: &'static str,
+        got: usize,
+        expected: usize,
+    },
+    /// `params.s_vxg` exceeds the kernels' compiled accumulator bound.
+    VxgAboveKernelBound { s_vxg: usize, max: usize },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::RowsExceedIndexRange { n_rows } => write!(
+                f,
+                "{n_rows} rows exceed the i32 scatter-map range ({})",
+                i32::MAX
+            ),
+            BuildError::ColsExceedIndexRange { n_cols } => write!(
+                f,
+                "{n_cols} columns exceed the u32 column-id range ({})",
+                u32::MAX
+            ),
+            BuildError::ShapeMismatch {
+                what,
+                got,
+                expected,
+            } => write!(f, "shape mismatch: {what} is {got}, expected {expected}"),
+            BuildError::VxgAboveKernelBound { s_vxg, max } => {
+                write!(f, "S_VxG = {s_vxg} above the kernel bound {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// Build a CSCV matrix from a CSC matrix with sinogram row structure,
 /// using data-driven reference curves.
 ///
 /// # Panics
-/// If the CSC shape disagrees with `layout`/`img`, or `s_vxg > 32`.
+/// If the CSC shape disagrees with `layout`/`img`, a dimension exceeds
+/// the compressed index range, or `s_vxg > 32`. Use [`try_build`] for a
+/// typed error instead.
 pub fn build<T: Scalar>(
     csc: &Csc<T>,
     layout: SinoLayout,
@@ -58,7 +112,35 @@ pub fn build<T: Scalar>(
     params: CscvParams,
     variant: Variant,
 ) -> CscvMatrix<T> {
-    build_with_curves(
+    try_build(csc, layout, img, params, variant).unwrap_or_else(|e| panic!("CSCV build: {e}"))
+}
+
+/// Build with an explicit [`CurveProvider`].
+///
+/// # Panics
+/// Same conditions as [`build`]; see [`try_build_with_curves`].
+pub fn build_with_curves<T: Scalar>(
+    csc: &Csc<T>,
+    layout: SinoLayout,
+    img: ImageShape,
+    params: CscvParams,
+    variant: Variant,
+    curves: &dyn CurveProvider,
+) -> CscvMatrix<T> {
+    try_build_with_curves(csc, layout, img, params, variant, curves)
+        .unwrap_or_else(|e| panic!("CSCV build: {e}"))
+}
+
+/// Fallible [`build`]: returns a [`BuildError`] instead of panicking on
+/// rejected inputs (oversized dimensions, shape mismatch, S_VxG bound).
+pub fn try_build<T: Scalar>(
+    csc: &Csc<T>,
+    layout: SinoLayout,
+    img: ImageShape,
+    params: CscvParams,
+    variant: Variant,
+) -> Result<CscvMatrix<T>, BuildError> {
+    try_build_with_curves(
         csc,
         layout,
         img,
@@ -68,21 +150,48 @@ pub fn build<T: Scalar>(
     )
 }
 
-/// Build with an explicit [`CurveProvider`].
-pub fn build_with_curves<T: Scalar>(
+/// Fallible [`build_with_curves`].
+pub fn try_build_with_curves<T: Scalar>(
     csc: &Csc<T>,
     layout: SinoLayout,
     img: ImageShape,
     params: CscvParams,
     variant: Variant,
     curves: &dyn CurveProvider,
-) -> CscvMatrix<T> {
-    assert_eq!(csc.n_rows(), layout.n_rows(), "row count vs layout");
-    assert_eq!(csc.n_cols(), img.n_pixels(), "col count vs image shape");
-    assert!(
-        params.s_vxg <= crate::kernels::MAX_VXG,
-        "S_VxG above kernel bound"
-    );
+) -> Result<CscvMatrix<T>, BuildError> {
+    // Index-range ceilings first (they are properties of layout/img
+    // alone): every downstream `usize → u32/i32` index conversion in
+    // this module relies on them (invariant CSCV-U32-FIT).
+    if layout.n_rows() > i32::MAX as usize {
+        return Err(BuildError::RowsExceedIndexRange {
+            n_rows: layout.n_rows(),
+        });
+    }
+    if img.n_pixels() > u32::MAX as usize {
+        return Err(BuildError::ColsExceedIndexRange {
+            n_cols: img.n_pixels(),
+        });
+    }
+    if csc.n_rows() != layout.n_rows() {
+        return Err(BuildError::ShapeMismatch {
+            what: "CSC row count vs layout",
+            got: csc.n_rows(),
+            expected: layout.n_rows(),
+        });
+    }
+    if csc.n_cols() != img.n_pixels() {
+        return Err(BuildError::ShapeMismatch {
+            what: "CSC column count vs image shape",
+            got: csc.n_cols(),
+            expected: img.n_pixels(),
+        });
+    }
+    if params.s_vxg > crate::kernels::MAX_VXG {
+        return Err(BuildError::VxgAboveKernelBound {
+            s_vxg: params.s_vxg,
+            max: crate::kernels::MAX_VXG,
+        });
+    }
 
     let tile_list = tiles(&img, params.s_imgb);
     let vgroups = view_groups(layout.n_views, params.s_vvec);
@@ -98,9 +207,14 @@ pub fn build_with_curves<T: Scalar>(
     for (gi, views) in vgroups.iter().enumerate() {
         let block_start = blocks.len();
         let mut group_nnz = 0usize;
+        // Group count <= n_views <= n_rows <= i32::MAX and tile count <=
+        // n_pixels <= u32::MAX — both ceilings established above, so
+        // these conversions cannot truncate.
+        let group_id = u32::try_from(gi).expect("group index fits u32");
         for (ti, tile) in tile_list.iter().enumerate() {
+            let tile_id = u32::try_from(ti).expect("tile index fits u32");
             if let Some(block) = build_block(
-                csc, &layout, &img, tile, views, gi as u32, ti as u32, params, variant, curves,
+                csc, &layout, &img, tile, views, group_id, tile_id, params, variant, curves,
                 &mut stats,
             ) {
                 group_nnz += block.nnz;
@@ -116,7 +230,7 @@ pub fn build_with_curves<T: Scalar>(
     }
     stats.n_blocks = blocks.len();
 
-    CscvMatrix {
+    let matrix = CscvMatrix {
         n_rows: csc.n_rows(),
         n_cols: csc.n_cols(),
         layout,
@@ -126,7 +240,10 @@ pub fn build_with_curves<T: Scalar>(
         groups,
         stats,
         max_ytil,
-    }
+    };
+    // Catalog postcondition (no-op unless `check-invariants` is on).
+    crate::invariants::assert_valid(&matrix, "builder::try_build_with_curves");
+    Ok(matrix)
 }
 
 /// Per-column working data inside one block.
@@ -155,7 +272,13 @@ fn col_block_entries<T: Scalar>(
         .zip(&vals[lo..hi])
         .map(|(&r, &v)| {
             let (view, bin) = layout.ray_of_row(r as usize);
-            ((view - views.start) as u32, bin as u32, v)
+            // Local view < S_VVec <= 16 and bin < n_bins <= n_rows, both
+            // within the u32 ceilings try_build_with_curves established.
+            (
+                u32::try_from(view - views.start).expect("local view fits u32"),
+                u32::try_from(bin).expect("bin fits u32"),
+                v,
+            )
         })
         .collect()
 }
@@ -187,7 +310,8 @@ fn build_block<T: Scalar>(
     for &col in &cols {
         let entries = col_block_entries(csc, layout, col, views);
         block_nnz += entries.len();
-        raw.push((col as u32, entries));
+        // col < n_pixels <= u32::MAX (checked in try_build_with_curves).
+        raw.push((u32::try_from(col).expect("column fits u32"), entries));
     }
     if block_nnz == 0 {
         return None;
@@ -285,7 +409,11 @@ fn build_block<T: Scalar>(
     let mut lane = vec![T::ZERO; w];
     let mut block_lane_slots = 0usize;
     for d in &descs {
-        vxg_q.push(((d.c_start - c_min) as usize * w) as u32);
+        // Slot index <= map.len() = n_off·W; a block whose ỹ outgrows
+        // u32 is unusable anyway (val_ptr is u32 too), so fail loudly
+        // rather than wrap (invariant CSCV-U32-FIT).
+        let q = (d.c_start - c_min) as usize * w;
+        vxg_q.push(u32::try_from(q).expect("VxG start slot fits u32"));
         vxg_count.push(u16::try_from(d.count).expect("offset count fits u16"));
         let members = &cdata[d.members.clone()];
         for s in 0..g {
@@ -528,6 +656,73 @@ mod tests {
         let m = build(&csc, layout, img, CscvParams::new(4, 4, 1), Variant::Z);
         assert_eq!(m.stats.vxg_padding, 0, "S_VxG=1 never aligns columns");
         m.validate();
+    }
+
+    #[test]
+    fn try_build_rejects_rows_beyond_i32() {
+        // An empty CSC is allocation-cheap even at absurd row counts;
+        // the builder must reject it before doing any block work.
+        let n_rows = i32::MAX as usize + 1;
+        let csc: Csc<f64> = Csc::from_parts(n_rows, 1, vec![0, 0], vec![], vec![]);
+        let layout = SinoLayout {
+            n_views: n_rows,
+            n_bins: 1,
+        };
+        let img = ImageShape { nx: 1, ny: 1 };
+        let err = try_build(&csc, layout, img, CscvParams::new(4, 4, 2), Variant::Z).unwrap_err();
+        assert_eq!(err, BuildError::RowsExceedIndexRange { n_rows });
+        assert!(err.to_string().contains("i32"));
+    }
+
+    #[test]
+    fn try_build_rejects_cols_beyond_u32() {
+        // Dimension-range checks run before shape checks, so a tiny CSC
+        // suffices to exercise the column ceiling.
+        let n_cols = u32::MAX as usize + 1;
+        let csc: Csc<f64> = Csc::from_parts(4, 1, vec![0, 0], vec![], vec![]);
+        let layout = SinoLayout {
+            n_views: 4,
+            n_bins: 1,
+        };
+        let img = ImageShape { nx: n_cols, ny: 1 };
+        let err = try_build(&csc, layout, img, CscvParams::new(4, 4, 2), Variant::Z).unwrap_err();
+        assert_eq!(err, BuildError::ColsExceedIndexRange { n_cols });
+    }
+
+    #[test]
+    fn try_build_rejects_shape_mismatch_and_vxg_bound() {
+        let (csc, layout, img) = synthetic(8, 12, 4, 4);
+        let bad_layout = SinoLayout {
+            n_views: layout.n_views + 1,
+            n_bins: layout.n_bins,
+        };
+        let err = try_build(&csc, bad_layout, img, CscvParams::new(4, 4, 2), Variant::Z);
+        assert!(matches!(err, Err(BuildError::ShapeMismatch { .. })));
+        let err = try_build(&csc, layout, img, CscvParams::new(4, 4, 64), Variant::Z).unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::VxgAboveKernelBound {
+                s_vxg: 64,
+                max: crate::kernels::MAX_VXG
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "CSCV build")]
+    fn build_panics_on_rejected_input() {
+        let (csc, layout, img) = synthetic(8, 12, 4, 4);
+        let _ = build(&csc, layout, img, CscvParams::new(4, 4, 64), Variant::Z);
+    }
+
+    #[test]
+    fn try_build_matches_build_on_valid_input() {
+        let (csc, layout, img) = synthetic(8, 12, 4, 4);
+        let p = CscvParams::new(2, 4, 2);
+        let a = build(&csc, layout, img, p, Variant::M);
+        let b = try_build(&csc, layout, img, p, Variant::M).unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.blocks.len(), b.blocks.len());
     }
 
     #[test]

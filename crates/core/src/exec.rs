@@ -88,6 +88,11 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
     }
 
     pub fn with_strategy(m: CscvMatrix<T>, strategy: ParallelStrategy) -> Self {
+        // The unsafe kernels below assume the full invariant catalog
+        // (CSCV-PERM, CSCV-VXG-BOUNDS, …); re-check at executor
+        // construction when `check-invariants` is on, since matrices may
+        // arrive hand-assembled rather than from the builder.
+        crate::invariants::assert_valid(&m, "CscvExec::with_strategy");
         let path = match m.params.s_vvec {
             4 => select_path::<T, 4>(),
             8 => select_path::<T, 8>(),
@@ -110,7 +115,8 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
             .unwrap_or(0);
         let mut tile_blocks: Vec<Vec<u32>> = vec![Vec::new(); n_tiles];
         for (bi, b) in m.blocks.iter().enumerate() {
-            tile_blocks[b.tile as usize].push(bi as u32);
+            let bi = u32::try_from(bi).expect("block index fits u32 (CSCV-U32-FIT)");
+            tile_blocks[b.tile as usize].push(bi);
         }
         let mut tile_prefix = Vec::with_capacity(n_tiles + 1);
         tile_prefix.push(0usize);
@@ -239,6 +245,8 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
         let zero_ranges = partition::even_chunks(out.len(), n);
         pool.run(|tid| {
             // SAFETY: disjoint zero ranges (separate dispatch = barrier).
+            // AUDIT(index-ok): zero_ranges has one entry per pool thread
+            // and tid < n_threads by the dispatch contract.
             unsafe { out.slice_mut(zero_ranges[tid].clone()) }.fill(T::ZERO);
         });
         // The dispatch above fully completed (ack barrier), so the write
@@ -364,6 +372,7 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
                                 // SAFETY: rows of this group belong to
                                 // this thread alone (see fill above).
                                 unsafe {
+                                    // AUDIT(index-ok): ytil holds max_ytil·K slots (CSCV-STATS) and slot < map.len() (CSCV-VXG-BOUNDS).
                                     *out.get_raw(kk * n_rows + row as usize) += ytil[base + kk * W];
                                 }
                             }
@@ -416,6 +425,8 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
         let zero_ranges = partition::even_chunks(out.len(), n);
         pool.run(|tid| {
             // SAFETY: disjoint zero ranges (separate dispatch = barrier).
+            // AUDIT(index-ok): zero_ranges has one entry per pool thread
+            // and tid < n_threads by the dispatch contract.
             unsafe { out.slice_mut(zero_ranges[tid].clone()) }.fill(T::ZERO);
         });
         // The dispatch above fully completed (ack barrier), so the write
@@ -468,6 +479,8 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
                     // SAFETY: slot `tid` only.
                     let ytil = &mut unsafe { bufs.slice_mut(tid..tid + 1) }[0];
                     for gi in ranges[tid].clone() {
+                        // AUDIT(index-ok): gi ranges over 0..groups.len()
+                        // (split_by_prefix partitions the group prefix).
                         let info = &self.m.groups[gi];
                         // SAFETY: group row ranges are pairwise disjoint.
                         let dst = unsafe { out.slice_mut(info.row_range.clone()) };

@@ -98,15 +98,45 @@ pub fn tiles(img: &ImageShape, s_imgb: usize) -> Vec<Tile> {
         }
         y0 += h;
     }
+    // Postcondition feeding invariant CSCV-GROUPS: the tiles must cover
+    // every pixel exactly once (blocks would otherwise drop or
+    // double-count columns).
+    #[cfg(feature = "check-invariants")]
+    {
+        let mut seen = vec![false; img.n_pixels()];
+        for t in &out {
+            for c in t.cols(img) {
+                assert!(!seen[c], "tiles(): pixel {c} covered twice");
+                seen[c] = true;
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "tiles(): not every pixel is covered"
+        );
+    }
     out
 }
 
 /// View groups of `s_vvec` consecutive views (last may be partial).
 pub fn view_groups(n_views: usize, s_vvec: usize) -> Vec<std::ops::Range<usize>> {
     assert!(s_vvec >= 1);
-    (0..n_views.div_ceil(s_vvec))
+    let out: Vec<std::ops::Range<usize>> = (0..n_views.div_ceil(s_vvec))
         .map(|g| g * s_vvec..((g + 1) * s_vvec).min(n_views))
-        .collect()
+        .collect();
+    // Postcondition feeding invariant CSCV-GROUPS: groups must be a
+    // contiguous non-empty partition of 0..n_views.
+    #[cfg(feature = "check-invariants")]
+    {
+        let mut next = 0usize;
+        for g in &out {
+            assert_eq!(g.start, next, "view_groups(): gap before view {next}");
+            assert!(g.end > g.start, "view_groups(): empty group at {next}");
+            next = g.end;
+        }
+        assert_eq!(next, n_views, "view_groups(): views {next}.. uncovered");
+    }
+    out
 }
 
 #[cfg(test)]

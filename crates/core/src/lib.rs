@@ -29,14 +29,19 @@ pub mod analysis;
 pub mod builder;
 pub mod exec;
 pub mod format;
+pub mod invariants;
 pub mod ioblr;
 pub mod kernels;
 pub mod layout;
 pub mod layout_eff;
 pub mod params;
 
-pub use builder::{build, build_with_curves, CurveProvider, DataDrivenCurves};
+pub use builder::{
+    build, build_with_curves, try_build, try_build_with_curves, BuildError, CurveProvider,
+    DataDrivenCurves,
+};
 pub use exec::{CscvExec, ParallelStrategy};
 pub use format::{CscvMatrix, CscvStats, Variant};
+pub use invariants::{Invariant, Violation, CATALOG};
 pub use layout::SinoLayout;
 pub use params::CscvParams;

@@ -109,7 +109,9 @@ impl<T: Scalar> Coo<T> {
     pub fn to_csr(&self) -> Csr<T> {
         let mut sorted = self.clone();
         sorted.sum_duplicates();
-        Csr::from_sorted_coo(&sorted)
+        let csr = Csr::from_sorted_coo(&sorted);
+        crate::invariants::assert_csr(&csr, "Coo::to_csr");
+        csr
     }
 
     /// Convert to CSC (duplicates summed).
@@ -117,7 +119,9 @@ impl<T: Scalar> Coo<T> {
         let mut sorted = self.clone();
         sorted.sum_duplicates();
         sorted.sort_col_major();
-        Csc::from_col_sorted_coo(&sorted)
+        let csc = Csc::from_col_sorted_coo(&sorted);
+        crate::invariants::assert_csc(&csc, "Coo::to_csc");
+        csc
     }
 
     /// Dense row-major image of the matrix (tests / tiny examples only).

@@ -160,7 +160,9 @@ impl<T: Scalar> Csc<T> {
             self.row_idx.clone(),
             self.vals.clone(),
         );
-        t.transpose()
+        let csr = t.transpose();
+        crate::invariants::assert_csr(&csr, "Csc::to_csr");
+        csr
     }
 
     /// Convert to COO (column-major sorted).
@@ -172,6 +174,7 @@ impl<T: Scalar> Csc<T> {
                 coo.push(*r as usize, c, *v);
             }
         }
+        crate::invariants::assert_coo(&coo, "Csc::to_coo");
         coo
     }
 

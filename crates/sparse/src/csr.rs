@@ -165,19 +165,23 @@ impl<T: Scalar> Csr<T> {
                 cursor[*c as usize] += 1;
             }
         }
-        Csr {
+        let t = Csr {
             n_rows: self.n_cols,
             n_cols: self.n_rows,
             row_ptr,
             col_idx,
             vals,
-        }
+        };
+        crate::invariants::assert_csr(&t, "Csr::transpose");
+        t
     }
 
     /// Convert to CSC (same matrix, column-compressed).
     pub fn to_csc(&self) -> Csc<T> {
         let t = self.transpose();
-        Csc::from_transposed_csr(t)
+        let csc = Csc::from_transposed_csr(t);
+        crate::invariants::assert_csc(&csc, "Csr::to_csc");
+        csc
     }
 
     /// Convert back to COO (row-major sorted).
@@ -189,6 +193,7 @@ impl<T: Scalar> Csr<T> {
                 coo.push(r, *c as usize, *v);
             }
         }
+        crate::invariants::assert_coo(&coo, "Csr::to_coo");
         coo
     }
 

@@ -134,6 +134,8 @@ impl<T: Scalar> SpmvExecutor<T> for CsrExec<T> {
         let out = SharedSliceMut::new(y);
         let csr = &self.csr;
         pool.run(|tid| {
+            // AUDIT(index-ok): ranges has one entry per pool thread and
+            // tid < n_threads by the dispatch contract.
             let range = ranges[tid].clone();
             // SAFETY: row ranges are disjoint across threads.
             let dst = unsafe { out.slice_mut(range.clone()) };

@@ -100,6 +100,8 @@ impl<T: Scalar> CvrExec<T> {
                         if idx == end {
                             recs.push(FlushRec {
                                 step,
+                                // AUDIT(cast-ok): l < OMEGA (the SIMD
+                                // lane count), far below u32::MAX.
                                 lane: l as u32,
                                 row: *r as u32,
                             });
@@ -136,6 +138,9 @@ impl<T: Scalar> CvrExec<T> {
             for l in 0..OMEGA {
                 acc[l] = vs[l].mul_add(x[cs[l] as usize], acc[l]);
             }
+            // AUDIT(cast-ok): FlushRec stores steps as u32 by
+            // construction, so the step counter s fits u32 whenever a
+            // record can match at all.
             while ri < p.recs.len() && p.recs[ri].step == s as u32 {
                 let rec = p.recs[ri];
                 y[rec.row as usize - row0] = acc[rec.lane as usize];

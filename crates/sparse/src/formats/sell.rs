@@ -135,6 +135,8 @@ impl<T: Scalar> SpmvExecutor<T> for SellCSigmaExec<T> {
                     }
                 }
                 for (l, &a) in acc.iter().enumerate() {
+                    // AUDIT(index-ok): perm holds n_chunks·C entries and
+                    // chunk < n_chunks, l < C by construction.
                     let r = self.perm[chunk * C + l];
                     if r != u32::MAX {
                         // SAFETY: each original row appears in exactly one

@@ -55,6 +55,8 @@ impl<T: Scalar + MaskExpand, const R: usize> Spc5Exec<T, R> {
             for (lane, r) in (r0..r1).enumerate() {
                 let (rcols, rvals) = csr.row(r);
                 for (c, v) in rcols.iter().zip(rvals) {
+                    // AUDIT(cast-ok): lane < R (the block row count),
+                    // far below u32::MAX.
                     scratch.push((*c, lane as u32, *v));
                 }
             }

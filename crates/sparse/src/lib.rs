@@ -20,6 +20,7 @@ pub mod csr;
 pub mod dense;
 pub mod executor;
 pub mod formats;
+pub mod invariants;
 pub mod io;
 pub mod partition;
 pub mod pool;

@@ -254,6 +254,8 @@ where
     pool.run(|tid| {
         // SAFETY: ranges were validated pairwise disjoint and in bounds
         // above, and each slot takes only its own range.
+        // AUDIT(index-ok): the assert above requires ranges.len() ==
+        // pool.n_threads() and tid < n_threads by the dispatch contract.
         let dst = unsafe { shared.slice_mut(ranges[tid].clone()) };
         f(tid, dst);
     });

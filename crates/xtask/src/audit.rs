@@ -1,0 +1,1101 @@
+//! Static audit pass — the dataflow-flavored companion to `lint.rs`.
+//!
+//! Where the linter checks *local* textual contracts (SAFETY comments,
+//! panicking constructs), the audit pass reasons about *where data
+//! flows*: index values that get narrowed, slice accesses that feed
+//! `unsafe` code, feature flags that no manifest declares, and crate
+//! dependency edges that violate the workspace layering DAG. It shares
+//! the lexer, the `Diagnostic`/`Report` contract, the NDJSON writer,
+//! and the 0/1/2 exit-code convention with `lint.rs`.
+//!
+//! Rules:
+//!
+//! | rule                | scope                | suppression            |
+//! |---------------------|----------------------|------------------------|
+//! | `cast-truncation`   | hot-path files       | `// AUDIT(cast-ok): …` |
+//! | `unsafe-indexing`   | every file           | `// AUDIT(index-ok): …`|
+//! | `cfg-undeclared`    | every file           | `// AUDIT(cfg-ok): …`  |
+//! | `crate-layering`    | every `Cargo.toml`   | none — fix the edge    |
+//! | `audit-bad-annotation` | every comment     | none — fix the syntax  |
+//!
+//! `cast-truncation` runs a lightweight intra-procedural pass: inside
+//! each `fn` body it collects the set of *index-typed* bindings
+//! (`usize` parameters, `let`s fed by `.len()` / `as usize` / other
+//! index bindings, `for` binders over ranges and `.enumerate()`), then
+//! flags any `expr as {u8,u16,u32,i8,i16,i32}` whose operand mentions
+//! one of them. Kernel fast paths keep their unchecked casts by vetting
+//! each site with an `// AUDIT(cast-ok): <why>` annotation; everything
+//! else migrates to `try_from` at construction boundaries.
+//!
+//! `unsafe-indexing` flags `container[index]` expressions with a
+//! non-literal index either *inside* an `unsafe` block or *feeding*
+//! one (a `let` whose right-hand side indexes a slice and whose binding
+//! is consumed inside a later `unsafe` block of the same function).
+//!
+//! Test regions (`#[cfg(test)] mod … { … }`) are exempt from
+//! `cast-truncation`, `unsafe-indexing`, and `cfg-undeclared`: tests
+//! are not hot paths and routinely build fixture strings that would
+//! otherwise self-trigger the rules.
+
+use crate::lexer::{self, LineView};
+use crate::lint::{collect_rs_files, test_regions, Diagnostic, Report};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+pub const RULE_CAST_TRUNCATION: &str = "cast-truncation";
+pub const RULE_UNSAFE_INDEXING: &str = "unsafe-indexing";
+pub const RULE_CFG_UNDECLARED: &str = "cfg-undeclared";
+pub const RULE_LAYERING: &str = "crate-layering";
+pub const RULE_BAD_ANNOTATION: &str = "audit-bad-annotation";
+
+/// Annotation keys accepted by `// AUDIT(<key>): <why>`.
+pub const ANNOTATION_KEYS: &[&str] = &["cast-ok", "index-ok", "cfg-ok"];
+
+/// Narrowing integer cast targets on a 64-bit host.
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Files whose code is reachable from the SpMV kernel hot paths — the
+/// lint `HOT_PATH_FILES` set plus the executor layers that call into
+/// them and the competing-format executors.
+const HOT_PATH_AUDIT_FILES: &[&str] = &["kernels.rs", "lanes.rs", "expand.rs", "exec.rs"];
+
+fn basename(rel: &Path) -> &str {
+    rel.file_name().and_then(|n| n.to_str()).unwrap_or("")
+}
+
+fn hot_path_reachable(rel: &Path) -> bool {
+    HOT_PATH_AUDIT_FILES.contains(&basename(rel))
+        || rel
+            .components()
+            .any(|c| c.as_os_str().to_str() == Some("formats"))
+}
+
+// ---------------------------------------------------------------------------
+// Workspace layering DAG (ROADMAP: trace/simd at the bottom, sparse →
+// core → ct/recon → harness → bench on top; xtask is a tooling leaf).
+// An edge absent from this table is a layering violation even if cargo
+// accepts it. `[dev-dependencies]` are exempt: dev edges cannot create
+// build cycles and the workspace uses the self-dev-dep trick for
+// feature unification.
+// ---------------------------------------------------------------------------
+
+const LAYERING_DAG: &[(&str, &[&str])] = &[
+    ("cscv-trace", &[]),
+    ("cscv-simd", &["cscv-trace"]),
+    ("cscv-sparse", &["cscv-trace", "cscv-simd"]),
+    ("cscv-core", &["cscv-trace", "cscv-simd", "cscv-sparse"]),
+    (
+        "cscv-ct",
+        &["cscv-trace", "cscv-simd", "cscv-sparse", "cscv-core"],
+    ),
+    (
+        "cscv-recon",
+        &[
+            "cscv-trace",
+            "cscv-simd",
+            "cscv-sparse",
+            "cscv-core",
+            "cscv-ct",
+        ],
+    ),
+    (
+        "cscv-harness",
+        &[
+            "cscv-trace",
+            "cscv-simd",
+            "cscv-sparse",
+            "cscv-core",
+            "cscv-ct",
+            "cscv-recon",
+        ],
+    ),
+    (
+        "cscv-bench",
+        &[
+            "cscv-trace",
+            "cscv-simd",
+            "cscv-sparse",
+            "cscv-core",
+            "cscv-ct",
+            "cscv-recon",
+            "cscv-harness",
+        ],
+    ),
+    (
+        "cscv-xtask",
+        &[
+            "cscv-trace",
+            "cscv-simd",
+            "cscv-sparse",
+            "cscv-core",
+            "cscv-harness",
+        ],
+    ),
+    (
+        "cscv-repro",
+        &[
+            "cscv-trace",
+            "cscv-simd",
+            "cscv-sparse",
+            "cscv-core",
+            "cscv-ct",
+            "cscv-recon",
+            "cscv-harness",
+        ],
+    ),
+];
+
+fn allowed_deps(name: &str) -> Option<&'static [&'static str]> {
+    LAYERING_DAG
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, deps)| *deps)
+}
+
+// ---------------------------------------------------------------------------
+// Manifest parsing (hand-rolled single-pass TOML subset: we only need
+// `[package] name`, `[features]` keys and `[dependencies]` keys).
+// ---------------------------------------------------------------------------
+
+/// What the audit needs to know about one crate manifest.
+#[derive(Debug, Clone)]
+pub struct CrateMeta {
+    pub name: String,
+    /// Manifest path relative to the audit root (diagnostic target).
+    pub manifest_rel: PathBuf,
+    /// Declared `[features]` keys.
+    pub features: BTreeSet<String>,
+    /// Workspace-internal `[dependencies]` edges as `(line, crate)`.
+    pub deps: Vec<(usize, String)>,
+    pub manifest_lines: usize,
+}
+
+/// Parse the subset of a `Cargo.toml` the audit needs.
+pub fn parse_manifest(manifest_rel: &Path, src: &str) -> CrateMeta {
+    let mut meta = CrateMeta {
+        name: String::new(),
+        manifest_rel: manifest_rel.to_path_buf(),
+        features: BTreeSet::new(),
+        deps: Vec::new(),
+        manifest_lines: src.lines().count(),
+    };
+    let mut section = String::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        match section.as_str() {
+            "package" if key == "name" => {
+                meta.name = line[eq + 1..].trim().trim_matches('"').to_string();
+            }
+            "features" => {
+                meta.features.insert(key.to_string());
+            }
+            "dependencies" => {
+                // `cscv-trace.workspace = true` and
+                // `cscv-core = { path = "…" }` both start with the key.
+                let dep = key.split('.').next().unwrap_or(key).trim();
+                if dep.starts_with("cscv-") {
+                    meta.deps.push((idx + 1, dep.to_string()));
+                }
+            }
+            _ => {}
+        }
+    }
+    meta
+}
+
+/// Layering check over all workspace manifests.
+pub fn check_layering(metas: &[CrateMeta], out: &mut Vec<Diagnostic>) {
+    for meta in metas {
+        let Some(allowed) = allowed_deps(&meta.name) else {
+            out.push(Diagnostic {
+                file: meta.manifest_rel.clone(),
+                line: 1,
+                rule: RULE_LAYERING,
+                message: format!(
+                    "crate `{}` is not part of the declared layering DAG; \
+                     add it to LAYERING_DAG in xtask/src/audit.rs with its allowed dependencies",
+                    meta.name
+                ),
+            });
+            continue;
+        };
+        for (line, dep) in &meta.deps {
+            if !allowed.contains(&dep.as_str()) {
+                out.push(Diagnostic {
+                    file: meta.manifest_rel.clone(),
+                    line: *line,
+                    rule: RULE_LAYERING,
+                    message: format!(
+                        "dependency edge `{}` → `{}` violates the workspace layering DAG \
+                         (allowed: {})",
+                        meta.name,
+                        dep,
+                        if allowed.is_empty() {
+                            "none".to_string()
+                        } else {
+                            allowed.join(", ")
+                        }
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AUDIT(<key>): <why> annotations.
+// ---------------------------------------------------------------------------
+
+/// Parse all `AUDIT(<key>): <why>` occurrences in one comment string.
+/// Returns `(key, why)` pairs; a `None` why means the annotation is
+/// malformed (missing `):` or empty reason).
+fn annotations_in(comment: &str) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(p) = comment[from..].find("AUDIT(") {
+        let at = from + p;
+        let rest = &comment[at + "AUDIT(".len()..];
+        from = at + "AUDIT(".len();
+        let Some(close) = rest.find(')') else {
+            out.push((String::new(), None));
+            continue;
+        };
+        let key = rest[..close].trim().to_string();
+        // `AUDIT(<key>)`-style placeholders in prose are documentation,
+        // not annotations: a real key is ident chars and dashes only.
+        if !key.chars().all(|c| lexer::is_ident_char(c) || c == '-') {
+            continue;
+        }
+        let after = &rest[close + 1..];
+        let Some(tail) = after.strip_prefix(':') else {
+            out.push((key, None));
+            continue;
+        };
+        let why = tail.split("AUDIT(").next().unwrap_or("").trim().to_string();
+        if why.is_empty() {
+            out.push((key, None));
+        } else {
+            out.push((key, Some(why)));
+        }
+    }
+    out
+}
+
+/// True when line `idx` is vetted for `key`: a well-formed
+/// `AUDIT(<key>): <why>` sits on the same line or in the contiguous
+/// comment/attribute block directly above (same walk as the linter's
+/// SAFETY-comment rule).
+fn annotation_covers(lines: &[LineView], idx: usize, key: &str) -> bool {
+    let has = |comment: &str| {
+        annotations_in(comment)
+            .iter()
+            .any(|(k, why)| k == key && why.is_some())
+    };
+    if has(&lines[idx].comment) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        if l.is_comment_only() || l.is_attribute() {
+            if has(&l.comment) {
+                return true;
+            }
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+fn check_annotation_syntax(rel: &Path, lines: &[LineView], out: &mut Vec<Diagnostic>) {
+    for (i, l) in lines.iter().enumerate() {
+        for (key, why) in annotations_in(&l.comment) {
+            let known = ANNOTATION_KEYS.contains(&key.as_str());
+            if !known || why.is_none() {
+                out.push(Diagnostic {
+                    file: rel.to_path_buf(),
+                    line: i + 1,
+                    rule: RULE_BAD_ANNOTATION,
+                    message: if known {
+                        format!("AUDIT({key}) needs a non-empty reason: `// AUDIT({key}): <why>`")
+                    } else {
+                        format!(
+                            "unknown AUDIT key `{key}` (expected one of: {})",
+                            ANNOTATION_KEYS.join(", ")
+                        )
+                    },
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cfg-undeclared.
+// ---------------------------------------------------------------------------
+
+fn check_cfg_features(
+    rel: &Path,
+    lines: &[LineView],
+    in_test: &[bool],
+    declared: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, l) in lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        // Strings are kept in this view: `feature = "x"` lives inside
+        // the cfg attribute's token stream, and word-boundary matching
+        // rejects `target_feature`.
+        let hay = &l.code_with_strings;
+        for pos in lexer::word_positions(hay, "feature") {
+            let rest = hay[pos + "feature".len()..].trim_start();
+            let Some(rest) = rest.strip_prefix('=') else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let Some(rest) = rest.strip_prefix('"') else {
+                continue;
+            };
+            let Some(end) = rest.find('"') else { continue };
+            let name = &rest[..end];
+            if !declared.contains(name) && !annotation_covers(lines, i, "cfg-ok") {
+                out.push(Diagnostic {
+                    file: rel.to_path_buf(),
+                    line: i + 1,
+                    rule: RULE_CFG_UNDECLARED,
+                    message: format!(
+                        "feature `{name}` is not declared in the owning Cargo.toml's [features]"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Function spans and index-typed bindings (the intra-procedural part).
+// ---------------------------------------------------------------------------
+
+/// Line spans `(first, last)` of every `fn` body, header included.
+/// Nested functions yield their own (overlapping) spans.
+fn fn_spans(lines: &[LineView]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for i in 0..lines.len() {
+        for pos in lexer::word_positions(&lines[i].code, "fn") {
+            // Walk forward from the keyword looking for the body's `{`;
+            // a `;` first (at paren depth 0) means a trait method
+            // declaration or fn-pointer type — no body, no span.
+            let mut depth = 0i64;
+            let mut li = i;
+            let mut ci = pos + 2;
+            let (mut open_line, mut found) = (0usize, false);
+            'scan: while li < lines.len() {
+                let bytes = lines[li].code.as_bytes();
+                while ci < bytes.len() {
+                    match bytes[ci] {
+                        b'(' | b'<' | b'[' => depth += 1,
+                        b')' | b'>' | b']' => depth -= 1,
+                        b';' if depth <= 0 => break 'scan,
+                        b'{' => {
+                            open_line = li;
+                            found = true;
+                            break 'scan;
+                        }
+                        _ => {}
+                    }
+                    ci += 1;
+                }
+                li += 1;
+                ci = 0;
+            }
+            if !found {
+                continue;
+            }
+            // Brace-count from the opening line to the body's close.
+            let mut braces = 0i64;
+            let mut end = open_line;
+            for (j, l) in lines.iter().enumerate().skip(open_line) {
+                for b in l.code.bytes() {
+                    match b {
+                        b'{' => braces += 1,
+                        b'}' => braces -= 1,
+                        _ => {}
+                    }
+                }
+                end = j;
+                if braces <= 0 {
+                    break;
+                }
+            }
+            spans.push((i, end));
+        }
+    }
+    spans
+}
+
+/// Remove `[...]` segments so identifiers used *as* subscripts don't
+/// count as the expression's own operands (`masks[mi]` → `masks`).
+fn strip_subscripts(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut depth = 0usize;
+    for c in s.chars() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            c if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Identifiers (not numeric literals, not keywords-we-care-about) in `s`.
+fn idents(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if lexer::is_ident_char(c) {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out.retain(|w| !w.starts_with(|c: char| c.is_ascii_digit()));
+    out
+}
+
+/// Binder names introduced by a pattern like `x`, `mut x`, `(a, b)`,
+/// `&(mut a, b)`.
+fn binders(pat: &str) -> Vec<String> {
+    idents(pat)
+        .into_iter()
+        .filter(|w| w != "mut" && w != "ref" && w != "_")
+        .collect()
+}
+
+/// Collect the index-typed bindings of one `fn` span: `usize`
+/// parameters, `for` binders over ranges / `.enumerate()`, and `let`s
+/// whose initializer involves `.len()`, `as usize`, a `usize`
+/// annotation, or an already-known index binding. Two rounds reach the
+/// fixpoint for the chained-`let` depth seen in practice.
+fn index_vars(lines: &[LineView], span: (usize, usize)) -> BTreeSet<String> {
+    let mut vars: BTreeSet<String> = BTreeSet::new();
+    for round in 0..2 {
+        for l in &lines[span.0..=span.1] {
+            let code = &l.code;
+            if round == 0 {
+                // `name: usize` / `name: &usize` parameter or binding types.
+                let mut from = 0usize;
+                while let Some(p) = code[from..].find("usize") {
+                    let at = from + p;
+                    from = at + "usize".len();
+                    let before = code[..at].trim_end().trim_end_matches(['&', ' ']);
+                    let Some(before) = before.strip_suffix(':') else {
+                        continue;
+                    };
+                    if let Some(name) = idents(before).last() {
+                        vars.insert(name.clone());
+                    }
+                }
+                // `for <pat> in <iter>` over ranges / enumerate().
+                for pos in lexer::word_positions(code, "for") {
+                    let rest = &code[pos + 3..];
+                    let Some(in_at) = lexer::word_positions(rest, "in").first().copied() else {
+                        continue;
+                    };
+                    let pat = &rest[..in_at];
+                    let iter = &rest[in_at + 2..];
+                    let bs = binders(pat);
+                    if iter.contains(".enumerate()") {
+                        if let Some(first) = bs.first() {
+                            vars.insert(first.clone());
+                        }
+                    } else if iter.contains("..") && !bs.is_empty() {
+                        vars.insert(bs[0].clone());
+                    }
+                }
+            }
+            // `let <pat> = <rhs>` fed by index-ish expressions.
+            for pos in lexer::word_positions(code, "let") {
+                let rest = &code[pos + 3..];
+                let Some(eq) = rest.find('=') else { continue };
+                if rest.as_bytes().get(eq + 1) == Some(&b'=') {
+                    continue;
+                }
+                let (pat, rhs) = (&rest[..eq], &rest[eq + 1..]);
+                let indexy = rhs.contains(".len(")
+                    || lexer::word_positions(rhs, "usize")
+                        .iter()
+                        .any(|&p| rhs[..p].trim_end().ends_with("as"))
+                    || pat.contains("usize")
+                    || idents(&strip_subscripts(rhs))
+                        .iter()
+                        .any(|w| vars.contains(w));
+                if indexy {
+                    for b in binders(pat.split(':').next().unwrap_or(pat)) {
+                        vars.insert(b);
+                    }
+                }
+            }
+        }
+    }
+    vars
+}
+
+/// The expression text directly preceding an `as` keyword at byte
+/// `as_pos` — walks back over one postfix chain, balancing `()`/`[]`.
+fn operand_before(code: &str, as_pos: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut end = as_pos;
+    while end > 0 && bytes[end - 1].is_ascii_whitespace() {
+        end -= 1;
+    }
+    let mut j = end;
+    loop {
+        if j == 0 {
+            break;
+        }
+        let c = bytes[j - 1] as char;
+        if c == ')' || c == ']' {
+            match balance_back(bytes, j - 1) {
+                Some(open) => j = open,
+                None => break,
+            }
+        } else if lexer::is_ident_char(c) || c == '.' || c == ':' {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    code[j..end].trim().to_string()
+}
+
+fn balance_back(bytes: &[u8], close: usize) -> Option<usize> {
+    let (open_c, close_c) = match bytes[close] {
+        b')' => (b'(', b')'),
+        b']' => (b'[', b']'),
+        _ => return None,
+    };
+    let mut depth = 0i64;
+    let mut j = close + 1;
+    while j > 0 {
+        j -= 1;
+        if bytes[j] == close_c {
+            depth += 1;
+        } else if bytes[j] == open_c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+fn check_casts(rel: &Path, lines: &[LineView], in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    for span in fn_spans(lines) {
+        let vars = index_vars(lines, span);
+        for i in span.0..=span.1 {
+            if in_test[i] || flagged.contains(&i) {
+                continue;
+            }
+            let code = &lines[i].code;
+            for pos in lexer::word_positions(code, "as") {
+                let rest = code[pos + 2..].trim_start();
+                let ty = rest
+                    .chars()
+                    .take_while(|&c| lexer::is_ident_char(c))
+                    .collect::<String>();
+                if !NARROW_TYPES.contains(&ty.as_str()) {
+                    continue;
+                }
+                let operand = operand_before(code, pos);
+                // Parenthesized comparisons are bools: `(a == b) as u8`
+                // never truncates regardless of what it compares.
+                if ["==", "!=", "<=", ">=", "&&", "||"]
+                    .iter()
+                    .any(|op| operand.contains(op))
+                {
+                    continue;
+                }
+                let rooted = strip_subscripts(&operand);
+                let index_flow =
+                    operand.contains(".len(") || idents(&rooted).iter().any(|w| vars.contains(w));
+                if !index_flow || annotation_covers(lines, i, "cast-ok") {
+                    continue;
+                }
+                flagged.insert(i);
+                out.push(Diagnostic {
+                    file: rel.to_path_buf(),
+                    line: i + 1,
+                    rule: RULE_CAST_TRUNCATION,
+                    message: format!(
+                        "truncating cast `{operand} as {ty}` on index arithmetic in a \
+                         hot-path file; use try_from at a construction boundary or vet \
+                         with `// AUDIT(cast-ok): <why>`"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-indexing.
+// ---------------------------------------------------------------------------
+
+/// Per-line, per-byte mask of code inside `unsafe { … }` blocks
+/// (`unsafe fn`/`unsafe impl`/`unsafe trait` headers do not count).
+fn unsafe_masks(lines: &[LineView]) -> Vec<Vec<bool>> {
+    let mut mask: Vec<Vec<bool>> = lines.iter().map(|l| vec![false; l.code.len()]).collect();
+    for i in 0..lines.len() {
+        for pos in lexer::word_positions(&lines[i].code, "unsafe") {
+            // Find the next non-whitespace token; skip declarations.
+            let (mut li, mut ci) = (i, pos + "unsafe".len());
+            let mut opener: Option<(usize, usize)> = None;
+            'find: while li < lines.len() {
+                let bytes = lines[li].code.as_bytes();
+                while ci < bytes.len() {
+                    let c = bytes[ci] as char;
+                    if c == '{' {
+                        opener = Some((li, ci));
+                        break 'find;
+                    }
+                    if !c.is_ascii_whitespace() {
+                        break 'find; // `unsafe fn` / `unsafe impl` / …
+                    }
+                    ci += 1;
+                }
+                li += 1;
+                ci = 0;
+            }
+            let Some((oli, oci)) = opener else { continue };
+            let mut depth = 0i64;
+            let (mut li, mut ci) = (oli, oci);
+            'mark: while li < lines.len() {
+                let len = lines[li].code.len();
+                let bytes = lines[li].code.as_bytes();
+                while ci < len {
+                    match bytes[ci] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break 'mark;
+                            }
+                        }
+                        _ => {
+                            if depth > 0 {
+                                mask[li][ci] = true;
+                            }
+                        }
+                    }
+                    ci += 1;
+                }
+                li += 1;
+                ci = 0;
+            }
+        }
+    }
+    mask
+}
+
+/// Byte offsets of `container[index]` subscripts with a non-literal
+/// index on one line (array literals, attributes, and types don't
+/// match: their `[` is not preceded by an identifier or `)`/`]`).
+fn subscript_positions(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let mut k = i;
+        while k > 0 && bytes[k - 1].is_ascii_whitespace() {
+            k -= 1;
+        }
+        if k == 0 {
+            continue;
+        }
+        let prev = bytes[k - 1] as char;
+        if !(lexer::is_ident_char(prev) || prev == ')' || prev == ']') {
+            continue;
+        }
+        // `*const [T; W]`, `&mut [T]`, `dyn [..]`: the word before the
+        // bracket is a keyword, so this is a type or pattern position.
+        if lexer::is_ident_char(prev) {
+            let mut w = k;
+            while w > 0 && lexer::is_ident_char(bytes[w - 1] as char) {
+                w -= 1;
+            }
+            let word = &code[w..k];
+            if matches!(
+                word,
+                "const" | "mut" | "dyn" | "in" | "as" | "return" | "else" | "match" | "impl"
+            ) {
+                continue;
+            }
+        }
+        // `vec![`, `matches!(…)[…]` — macro bang just before the ident
+        // chain is fine to keep: macros returning slices are indexed too.
+        let mut depth = 0usize;
+        let mut inner = String::new();
+        for &c in &bytes[i..] {
+            match c {
+                b'[' => {
+                    depth += 1;
+                    if depth > 1 {
+                        inner.push('[');
+                    }
+                }
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    inner.push(']');
+                }
+                c => inner.push(c as char),
+            }
+        }
+        if idents(&inner).is_empty() {
+            continue; // literal or empty subscript: `x[0]`, `x[..]`
+        }
+        out.push(i);
+    }
+    out
+}
+
+fn check_unsafe_indexing(
+    rel: &Path,
+    lines: &[LineView],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mask = unsafe_masks(lines);
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    // Inside unsafe blocks.
+    for (i, l) in lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        for pos in subscript_positions(&l.code) {
+            if !mask[i][pos] {
+                continue;
+            }
+            if annotation_covers(lines, i, "index-ok") || !flagged.insert(i) {
+                break;
+            }
+            out.push(Diagnostic {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: RULE_UNSAFE_INDEXING,
+                message: "checked slice indexing inside an unsafe block; hoist the \
+                          bound outside, use get_unchecked under the block's SAFETY \
+                          argument, or vet with `// AUDIT(index-ok): <why>`"
+                    .to_string(),
+            });
+            break;
+        }
+    }
+    // Feeding unsafe blocks: `let x = a[i]; … unsafe { … x … }`.
+    for span in fn_spans(lines) {
+        for i in span.0..=span.1 {
+            if in_test[i] || flagged.contains(&i) {
+                continue;
+            }
+            let code = &lines[i].code;
+            let Some(let_pos) = lexer::word_positions(code, "let").first().copied() else {
+                continue;
+            };
+            let rest = &code[let_pos + 3..];
+            let Some(eq) = rest.find('=') else { continue };
+            let (pat, rhs) = (&rest[..eq], &rest[eq + 1..]);
+            if subscript_positions(rhs).is_empty() {
+                continue;
+            }
+            let names = binders(pat.split(':').next().unwrap_or(pat));
+            let feeds = names.iter().any(|n| {
+                (i..=span.1).any(|j| {
+                    lexer::word_positions(&lines[j].code, n)
+                        .iter()
+                        .any(|&p| mask[j].get(p).copied().unwrap_or(false))
+                })
+            });
+            if !feeds || annotation_covers(lines, i, "index-ok") {
+                continue;
+            }
+            flagged.insert(i);
+            out.push(Diagnostic {
+                file: rel.to_path_buf(),
+                line: i + 1,
+                rule: RULE_UNSAFE_INDEXING,
+                message: format!(
+                    "slice indexing feeds the unsafe block below (binding `{}`); \
+                     validate the bound where it is computed or vet with \
+                     `// AUDIT(index-ok): <why>`",
+                    names.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+/// Audit one source file. `declared_features` is the `[features]` key
+/// set of the crate that owns `rel`.
+pub fn audit_source(
+    rel: &Path,
+    source: &str,
+    declared_features: &BTreeSet<String>,
+) -> Vec<Diagnostic> {
+    let lines = lexer::analyze(source);
+    let in_test = test_regions(&lines);
+    let mut out = Vec::new();
+    check_annotation_syntax(rel, &lines, &mut out);
+    check_cfg_features(rel, &lines, &in_test, declared_features, &mut out);
+    if hot_path_reachable(rel) {
+        check_casts(rel, &lines, &in_test, &mut out);
+    }
+    check_unsafe_indexing(rel, &lines, &in_test, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.dedup_by(|a, b| (a.line, a.rule) == (b.line, b.rule));
+    out
+}
+
+/// Audit the whole workspace under `root`: every crate manifest (the
+/// layering DAG) and every `.rs` file under `crates/*/src` and the
+/// umbrella `src/` (casts, unsafe indexing, cfg flags, annotations).
+pub fn audit_root(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+    let mut metas: Vec<CrateMeta> = Vec::new();
+    let mut src_dirs: Vec<(PathBuf, usize)> = Vec::new(); // (dir, meta index)
+
+    let mut manifest_dirs = vec![root.to_path_buf()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut subdirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("read {}: {e}", crates_dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        subdirs.sort();
+        manifest_dirs.extend(subdirs);
+    }
+    for dir in manifest_dirs {
+        let manifest = dir.join("Cargo.toml");
+        if !manifest.is_file() {
+            continue;
+        }
+        let src = std::fs::read_to_string(&manifest)
+            .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+        let rel = manifest
+            .strip_prefix(root)
+            .unwrap_or(&manifest)
+            .to_path_buf();
+        let meta = parse_manifest(&rel, &src);
+        report.files_scanned += 1;
+        report.lines_scanned += meta.manifest_lines;
+        let src_dir = dir.join("src");
+        if src_dir.is_dir() {
+            src_dirs.push((src_dir, metas.len()));
+        }
+        metas.push(meta);
+    }
+    if metas.is_empty() {
+        return Err(format!(
+            "no Cargo.toml manifests under {} (expected crates/*/ or the workspace root)",
+            root.display()
+        ));
+    }
+    check_layering(&metas, &mut report.diagnostics);
+
+    for (src_dir, mi) in src_dirs {
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            report.files_scanned += 1;
+            report.lines_scanned += source.lines().count();
+            report
+                .diagnostics
+                .extend(audit_source(&rel, &source, &metas[mi].features));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit(src: &str, features: &[&str]) -> Vec<Diagnostic> {
+        let declared = features.iter().map(|s| s.to_string()).collect();
+        audit_source(Path::new("crates/core/src/kernels.rs"), src, &declared)
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn index_cast_in_hot_file_is_flagged() {
+        let src = "fn f(xs: &[f64]) -> u32 {\n    let n = xs.len();\n    n as u32\n}\n";
+        let d = audit(src, &[]);
+        assert_eq!(rules(&d), vec![RULE_CAST_TRUNCATION]);
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("n as u32"));
+    }
+
+    #[test]
+    fn loop_binder_cast_is_flagged_and_annotation_suppresses() {
+        let flagged =
+            "fn f(k: usize) {\n    for i in 0..k {\n        let _ = i as u32;\n    }\n}\n";
+        assert_eq!(rules(&audit(flagged, &[])), vec![RULE_CAST_TRUNCATION]);
+        let vetted = "fn f(k: usize) {\n    for i in 0..k {\n        // AUDIT(cast-ok): k is bounded by the u16 VxG count upstream.\n        let _ = i as u32;\n    }\n}\n";
+        assert!(audit(vetted, &[]).is_empty());
+    }
+
+    #[test]
+    fn widening_and_non_index_casts_pass() {
+        // u8 loads widened to u32, and a non-index bitmask narrowed.
+        let src = "fn f(masks: &[u8], mi: usize, bits: u64) -> u32 {\n    let m = masks[mi] as u32;\n    let _ = bits as f64;\n    m\n}\n";
+        assert!(audit(src, &[]).is_empty());
+    }
+
+    #[test]
+    fn cast_outside_hot_files_passes() {
+        let declared = BTreeSet::new();
+        let src = "fn f(xs: &[f64]) -> u32 {\n    xs.len() as u32\n}\n";
+        let d = audit_source(Path::new("crates/core/src/builder.rs"), src, &declared);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn indexing_inside_unsafe_is_flagged() {
+        let src = "fn f(xs: &[f64], i: usize) -> f64 {\n    unsafe {\n        xs[i]\n    }\n}\n";
+        let d = audit(src, &[]);
+        assert_eq!(rules(&d), vec![RULE_UNSAFE_INDEXING]);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn literal_subscript_and_unsafe_fn_pass() {
+        let src = "unsafe fn g(xs: &[f64]) -> f64 {\n    xs[0]\n}\n";
+        assert!(audit(src, &[]).is_empty());
+    }
+
+    #[test]
+    fn indexing_feeding_unsafe_is_flagged() {
+        let src = "fn f(xs: &[f64], off: &[usize], p: *mut f64) {\n    let q = off[1usize + 2];\n    let v = xs[q];\n    unsafe {\n        *p = v;\n    }\n}\n";
+        let d = audit(src, &[]);
+        assert!(rules(&d).contains(&RULE_UNSAFE_INDEXING));
+        assert!(d
+            .iter()
+            .any(|d| d.message.contains("feeds the unsafe block")));
+    }
+
+    #[test]
+    fn undeclared_cfg_feature_is_flagged_and_declared_passes() {
+        let src = "#[cfg(feature = \"mystery\")]\nfn f() {}\n";
+        let d = audit(src, &["trace"]);
+        assert_eq!(rules(&d), vec![RULE_CFG_UNDECLARED]);
+        assert!(audit(src, &["mystery"]).is_empty());
+    }
+
+    #[test]
+    fn target_feature_is_not_a_cargo_feature() {
+        let src = "#[cfg(target_feature = \"avx512f\")]\nfn f() {}\n";
+        assert!(audit(src, &[]).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(xs: &[f64]) -> u32 {\n        let n = xs.len();\n        unsafe { xs[n] };\n        n as u32\n    }\n}\n";
+        assert!(audit(src, &["test"]).is_empty());
+    }
+
+    #[test]
+    fn malformed_annotations_are_flagged() {
+        let empty_reason = "// AUDIT(cast-ok):\nfn f() {}\n";
+        assert_eq!(rules(&audit(empty_reason, &[])), vec![RULE_BAD_ANNOTATION]);
+        let unknown_key = "// AUDIT(lgtm): trust me\nfn f() {}\n";
+        let d = audit(unknown_key, &[]);
+        assert_eq!(rules(&d), vec![RULE_BAD_ANNOTATION]);
+        assert!(d[0].message.contains("unknown AUDIT key"));
+    }
+
+    #[test]
+    fn manifest_parse_reads_name_features_and_internal_deps() {
+        let toml = "[package]\nname = \"cscv-core\"\n\n[dependencies]\ncscv-trace.workspace = true\ncscv-sparse = { path = \"../sparse\" }\n\n[dev-dependencies]\ncscv-ct.workspace = true\n\n[features]\ntrace = [\"cscv-trace/trace\"]\ncheck-invariants = []\n";
+        let m = parse_manifest(Path::new("crates/core/Cargo.toml"), toml);
+        assert_eq!(m.name, "cscv-core");
+        assert_eq!(
+            m.features.iter().cloned().collect::<Vec<_>>(),
+            vec!["check-invariants".to_string(), "trace".to_string()]
+        );
+        // Dev edge (cscv-ct) is exempt from the DAG by design.
+        assert_eq!(
+            m.deps.iter().map(|(_, d)| d.as_str()).collect::<Vec<_>>(),
+            vec!["cscv-trace", "cscv-sparse"]
+        );
+    }
+
+    #[test]
+    fn layering_violation_is_flagged_with_manifest_line() {
+        let toml = "[package]\nname = \"cscv-sparse\"\n[dependencies]\ncscv-trace.workspace = true\ncscv-core.workspace = true\n";
+        let m = parse_manifest(Path::new("crates/sparse/Cargo.toml"), toml);
+        let mut out = Vec::new();
+        check_layering(&[m], &mut out);
+        assert_eq!(rules(&out), vec![RULE_LAYERING]);
+        assert_eq!(out[0].line, 5);
+        assert!(out[0].message.contains("`cscv-sparse` → `cscv-core`"));
+    }
+
+    #[test]
+    fn unknown_crate_is_a_layering_violation() {
+        let toml = "[package]\nname = \"cscv-rogue\"\n";
+        let m = parse_manifest(Path::new("crates/rogue/Cargo.toml"), toml);
+        let mut out = Vec::new();
+        check_layering(&[m], &mut out);
+        assert_eq!(rules(&out), vec![RULE_LAYERING]);
+    }
+
+    #[test]
+    fn dag_matches_workspace_reality() {
+        // Every crate in the DAG lists only crates that are themselves
+        // in the DAG, and the table is acyclic by construction (each
+        // entry's deps appear earlier).
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for (name, deps) in LAYERING_DAG {
+            for d in *deps {
+                assert!(seen.contains(d), "{name} depends on later/unknown {d}");
+            }
+            seen.insert(name);
+        }
+    }
+}

@@ -1,11 +1,21 @@
 //! `cscv-xtask` — the workspace's correctness- and perf-tooling crate.
 //!
-//! Three subsystems, free of external dependencies:
+//! Five subsystems, free of external dependencies:
 //!
 //! * [`lint`] (driven by the [`lexer`]) — a project-specific static
 //!   analysis pass run as `cargo run -p cscv-xtask -- lint` from `ci.sh`
 //!   and CI. See the lint module docs for the four rules; diagnostics
 //!   come out as a human table or NDJSON ([`ndjson`]).
+//! * [`audit`] — the deeper dataflow-flavored pass (`… -- audit`):
+//!   truncating casts on index arithmetic in hot paths, slice indexing
+//!   inside/feeding `unsafe` blocks, undeclared cfg features, and
+//!   crate-layering violations against the workspace DAG, with
+//!   `// AUDIT(<key>): <why>` annotations for vetted sites.
+//! * [`fuzz`] — structure-aware differential fuzzing (`… -- fuzz`):
+//!   randomized CT geometries and degenerate matrices round-tripped
+//!   through every sparse format with invariant validation after each
+//!   conversion and executor-vs-dense differential checks, shrinking
+//!   failures to a replayable seed.
 //! * [`sched`] — a minimal exhaustive-interleaving model checker (a
 //!   vendored loom-flavored scheduler) used by `tests/models.rs` to
 //!   verify the thread-pool dispatch/ack barrier and the trace-shard
@@ -16,6 +26,8 @@
 //!   trace-event JSON and collapsed flamegraph stacks, and diffs two
 //!   result directories with noise-aware min-of-reps comparison.
 
+pub mod audit;
+pub mod fuzz;
 pub mod lexer;
 pub mod lint;
 pub mod ndjson;

@@ -105,7 +105,7 @@ fn unsafe_allowed(rel: &Path) -> bool {
 
 /// Mark lines inside `#[cfg(test)] mod … { … }` regions (brace-counted
 /// on the blanked code view, so strings and comments cannot derail it).
-fn test_regions(lines: &[LineView]) -> Vec<bool> {
+pub(crate) fn test_regions(lines: &[LineView]) -> Vec<bool> {
     let mut in_test = vec![false; lines.len()];
     let mut i = 0usize;
     while i < lines.len() {
@@ -328,7 +328,7 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
     Ok(report)
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
     for entry in entries {
         let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;

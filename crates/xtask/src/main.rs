@@ -2,17 +2,20 @@
 //!
 //! ```text
 //! cscv-xtask lint [--root DIR] [--format table|ndjson]
+//! cscv-xtask audit [--root DIR] [--format table|ndjson]
+//! cscv-xtask fuzz [--iters N] [--seed S] [--corpus DIR]
 //! cscv-xtask perf-report DIR [--format table|ndjson] [--peak-gbs F]
 //!                            [--export-dir DIR]
 //! cscv-xtask perf-report --diff DIR_A DIR_B [--threshold F]
 //!                            [--format table|ndjson]
 //! ```
 //!
-//! Exit codes: 0 = clean, 1 = violations / perf regressions, 2 = usage
-//! or IO error.
+//! Exit codes: 0 = clean, 1 = violations / perf regressions / fuzz
+//! failures, 2 = usage or IO error.
 
+use cscv_xtask::audit::audit_root;
 use cscv_xtask::lint::{lint_root, Report};
-use cscv_xtask::{ndjson, perf};
+use cscv_xtask::{fuzz, ndjson, perf};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -25,12 +28,22 @@ enum Format {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cscv-xtask lint [--root DIR] [--format table|ndjson]\n\
+         \x20      cscv-xtask audit [--root DIR] [--format table|ndjson]\n\
+         \x20      cscv-xtask fuzz [--iters N] [--seed S] [--corpus DIR]\n\
          \x20      cscv-xtask perf-report DIR [--format table|ndjson] [--peak-gbs F] [--export-dir DIR]\n\
          \x20      cscv-xtask perf-report --diff DIR_A DIR_B [--threshold F] [--format table|ndjson]\n\n\
          lint        scans crates/*/src/**.rs (and the umbrella src/) for the\n\
          \x20           project rules: SAFETY comments on unsafe, the unsafe-module\n\
          \x20           whitelist, panicking constructs in kernel hot paths, and\n\
          \x20           trace-cfg fallbacks.\n\
+         audit       runs the deeper dataflow pass: truncating casts on index\n\
+         \x20           arithmetic in hot paths, slice indexing inside/feeding unsafe\n\
+         \x20           blocks, cfg features missing from the owning Cargo.toml, and\n\
+         \x20           crate-layering violations; vet sites with // AUDIT(<key>): why.\n\
+         fuzz        structure-aware differential fuzzing: random CT geometries and\n\
+         \x20           degenerate matrices round-tripped through every format with\n\
+         \x20           invariant validation and executor-vs-dense checks; failures\n\
+         \x20           shrink to a replayable seed (also replays --corpus DIR).\n\
          perf-report aggregates a benchmark result directory (manifests/*.ndjson,\n\
          \x20           optional trace/*.ndjson) into a roofline report classifying\n\
          \x20           each kernel as latency- or bandwidth-bound, optionally\n\
@@ -45,6 +58,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_cmd(&args[1..]),
+        Some("audit") => audit_cmd(&args[1..]),
+        Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("perf-report") => perf_cmd(&args[1..]),
         _ => usage(),
     }
@@ -78,7 +93,7 @@ fn lint_cmd(args: &[String]) -> ExitCode {
     }
     match lint_root(&root) {
         Ok(report) => {
-            emit(&report, format);
+            emit(&report, format, "lint");
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {
@@ -87,6 +102,76 @@ fn lint_cmd(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("cscv-xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn audit_cmd(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Table;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => return usage(),
+            },
+            "--format" => match parse_format(it.next().map(String::as_str)) {
+                Some(f) => format = f,
+                None => return usage(),
+            },
+            "--ndjson" => format = Format::Ndjson,
+            _ => return usage(),
+        }
+    }
+    match audit_root(&root) {
+        Ok(report) => {
+            emit(&report, format, "audit");
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("cscv-xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn fuzz_cmd(args: &[String]) -> ExitCode {
+    let mut cfg = fuzz::FuzzConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.iters = n,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => cfg.seed = s,
+                None => return usage(),
+            },
+            "--corpus" => match it.next() {
+                Some(d) => cfg.corpus = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    match fuzz::run(&cfg) {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            if outcome.failures.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("cscv-xtask fuzz: {e}");
             ExitCode::from(2)
         }
     }
@@ -187,7 +272,7 @@ fn perf_diff(
     })
 }
 
-fn emit(report: &Report, format: Format) {
+fn emit(report: &Report, format: Format, tool: &str) {
     match format {
         Format::Ndjson => {
             for d in &report.diagnostics {
@@ -198,7 +283,7 @@ fn emit(report: &Report, format: Format) {
         Format::Table => {
             if report.is_clean() {
                 println!(
-                    "cscv-xtask lint: OK — {} files, {} lines, 0 violations",
+                    "cscv-xtask {tool}: OK — {} files, {} lines, 0 violations",
                     report.files_scanned, report.lines_scanned
                 );
                 return;
@@ -224,7 +309,7 @@ fn emit(report: &Report, format: Format) {
                 );
             }
             println!(
-                "cscv-xtask lint: FAIL — {} files, {} lines, {} violation(s)",
+                "cscv-xtask {tool}: FAIL — {} files, {} lines, {} violation(s)",
                 report.files_scanned,
                 report.lines_scanned,
                 report.diagnostics.len()

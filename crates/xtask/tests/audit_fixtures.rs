@@ -1,0 +1,339 @@
+//! End-to-end audit tests over on-disk fixture workspaces, plus the
+//! acceptance check that the real workspace audits clean and the CLI's
+//! exit code / NDJSON contract for the `audit` subcommand.
+
+use cscv_xtask::audit::{
+    audit_root, RULE_BAD_ANNOTATION, RULE_CAST_TRUNCATION, RULE_CFG_UNDECLARED, RULE_LAYERING,
+    RULE_UNSAFE_INDEXING,
+};
+use std::path::{Path, PathBuf};
+
+/// A throwaway workspace tree under the target dir, removed on drop.
+/// Each test passes a unique name, so tests can run concurrently.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("auditfix-{name}"));
+        // Wipe any residue from an interrupted previous run.
+        let _ = std::fs::remove_dir_all(&root);
+        Fixture { root }
+    }
+
+    /// Write `source` at `<root>/<rel>`, creating parents.
+    fn file(&self, rel: &str, source: &str) -> &Self {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, source).unwrap();
+        self
+    }
+
+    /// A minimal manifest for `crates/demo` using a DAG-registered crate
+    /// name so layering stays quiet in tests about other rules.
+    fn demo_manifest(&self, features: &[&str]) -> &Self {
+        let mut toml = String::from("[package]\nname = \"cscv-sparse\"\n");
+        if !features.is_empty() {
+            toml.push_str("\n[features]\n");
+            for f in features {
+                toml.push_str(&format!("{f} = []\n"));
+            }
+        }
+        self.file("crates/demo/Cargo.toml", &toml)
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+const CAST_SOURCE: &str = concat!(
+    "pub fn f(xs: &[f64], i: usize) -> u32 {\n",
+    "    let idx = i + xs.len();\n",
+    "    idx as u32\n",
+    "}\n",
+);
+
+#[test]
+fn truncating_index_cast_in_hot_file_is_flagged() {
+    let fx = Fixture::new("cast-hot");
+    fx.demo_manifest(&[])
+        .file("crates/demo/src/kernels.rs", CAST_SOURCE);
+    let report = audit_root(&fx.root).unwrap();
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, RULE_CAST_TRUNCATION);
+    assert_eq!(d.file, Path::new("crates/demo/src/kernels.rs"));
+    assert_eq!(d.line, 3);
+}
+
+#[test]
+fn cast_annotation_suppresses_the_diagnostic() {
+    let fx = Fixture::new("cast-annotated");
+    fx.demo_manifest(&[]).file(
+        "crates/demo/src/kernels.rs",
+        concat!(
+            "pub fn f(xs: &[f64], i: usize) -> u32 {\n",
+            "    let idx = i + xs.len();\n",
+            "    // AUDIT(cast-ok): idx is bounded by the slice length.\n",
+            "    idx as u32\n",
+            "}\n",
+        ),
+    );
+    let report = audit_root(&fx.root).unwrap();
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn cast_rule_only_applies_to_hot_path_files() {
+    let fx = Fixture::new("cast-cold");
+    fx.demo_manifest(&[])
+        .file("crates/demo/src/io.rs", CAST_SOURCE);
+    let report = audit_root(&fx.root).unwrap();
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn unchecked_index_inside_unsafe_is_flagged() {
+    let fx = Fixture::new("unsafe-index");
+    fx.demo_manifest(&[]).file(
+        "crates/demo/src/pool.rs",
+        concat!(
+            "pub fn f(v: &[u32], i: usize) -> u32 {\n",
+            "    unsafe { v[i] }\n",
+            "}\n",
+        ),
+    );
+    let report = audit_root(&fx.root).unwrap();
+    let hits: Vec<_> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.line))
+        .collect();
+    assert_eq!(hits, [(RULE_UNSAFE_INDEXING, 2)]);
+}
+
+#[test]
+fn index_annotation_suppresses_the_diagnostic() {
+    let fx = Fixture::new("unsafe-index-annotated");
+    fx.demo_manifest(&[]).file(
+        "crates/demo/src/pool.rs",
+        concat!(
+            "pub fn f(v: &[u32], i: usize) -> u32 {\n",
+            "    // AUDIT(index-ok): caller guarantees i < v.len().\n",
+            "    unsafe { v[i] }\n",
+            "}\n",
+        ),
+    );
+    let report = audit_root(&fx.root).unwrap();
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn undeclared_cfg_feature_is_flagged_against_the_owning_manifest() {
+    let fx = Fixture::new("cfg-undeclared");
+    let source = concat!(
+        "#[cfg(feature = \"fast-math\")]\n",
+        "pub fn f() -> u32 {\n",
+        "    1\n",
+        "}\n",
+        "#[cfg(not(feature = \"fast-math\"))]\n",
+        "pub fn f() -> u32 {\n",
+        "    0\n",
+        "}\n",
+    );
+    fx.demo_manifest(&[]).file("crates/demo/src/io.rs", source);
+    let report = audit_root(&fx.root).unwrap();
+    let hits: Vec<_> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.line))
+        .collect();
+    assert_eq!(
+        hits,
+        [(RULE_CFG_UNDECLARED, 1), (RULE_CFG_UNDECLARED, 5)],
+        "{:?}",
+        report.diagnostics
+    );
+
+    // Declaring the feature in the owning manifest clears the rule.
+    let fx2 = Fixture::new("cfg-declared");
+    fx2.demo_manifest(&["fast-math"])
+        .file("crates/demo/src/io.rs", source);
+    let report = audit_root(&fx2.root).unwrap();
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn layering_dag_violation_is_flagged_at_the_dependency_line() {
+    let fx = Fixture::new("layering-violation");
+    fx.file(
+        "crates/trace/Cargo.toml",
+        concat!(
+            "[package]\n",
+            "name = \"cscv-trace\"\n",
+            "\n",
+            "[dependencies]\n",
+            "cscv-core = { path = \"../core\" }\n",
+        ),
+    );
+    let report = audit_root(&fx.root).unwrap();
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, RULE_LAYERING);
+    assert_eq!(d.file, Path::new("crates/trace/Cargo.toml"));
+    assert_eq!(d.line, 5);
+    assert!(d.message.contains("cscv-trace"), "{}", d.message);
+}
+
+#[test]
+fn unregistered_crate_name_is_a_layering_violation() {
+    let fx = Fixture::new("layering-unregistered");
+    fx.file(
+        "crates/rogue/Cargo.toml",
+        "[package]\nname = \"cscv-rogue\"\n",
+    );
+    let report = audit_root(&fx.root).unwrap();
+    let rules: Vec<_> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, [RULE_LAYERING]);
+    assert!(
+        report.diagnostics[0].message.contains("not part of"),
+        "{}",
+        report.diagnostics[0].message
+    );
+}
+
+#[test]
+fn dev_dependencies_are_exempt_from_the_dag() {
+    let fx = Fixture::new("layering-devdep");
+    fx.file(
+        "crates/trace/Cargo.toml",
+        concat!(
+            "[package]\n",
+            "name = \"cscv-trace\"\n",
+            "\n",
+            "[dev-dependencies]\n",
+            "cscv-core = { path = \"../core\" }\n",
+        ),
+    );
+    let report = audit_root(&fx.root).unwrap();
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn unknown_annotation_key_and_empty_reason_are_flagged() {
+    let fx = Fixture::new("bad-annotation");
+    fx.demo_manifest(&[]).file(
+        "crates/demo/src/io.rs",
+        concat!(
+            "// AUDIT(totally-new-key): not a registered key.\n",
+            "pub fn f() {}\n",
+            "// AUDIT(cast-ok):\n",
+            "pub fn g() {}\n",
+        ),
+    );
+    let report = audit_root(&fx.root).unwrap();
+    let hits: Vec<_> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.line))
+        .collect();
+    assert_eq!(
+        hits,
+        [(RULE_BAD_ANNOTATION, 1), (RULE_BAD_ANNOTATION, 3)],
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn missing_root_is_an_error() {
+    let fx = Fixture::new("empty");
+    fx.file("README.md", "not a workspace\n");
+    assert!(audit_root(&fx.root).is_err());
+}
+
+/// The acceptance criterion: the shipped workspace audits clean.
+#[test]
+fn real_workspace_is_audit_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = audit_root(&root).unwrap();
+    let rendered: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{} {} {}", d.file.display(), d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        report.is_clean(),
+        "workspace has audit violations:\n{}",
+        rendered.join("\n")
+    );
+    assert!(report.files_scanned > 50, "{} files", report.files_scanned);
+}
+
+mod cli {
+    //! Exit-code and output contract of the `audit` subcommand.
+    use super::Fixture;
+    use std::process::Command;
+
+    fn run(args: &[&str]) -> (Option<i32>, String, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_cscv-xtask"))
+            .args(args)
+            .output()
+            .expect("spawn cscv-xtask");
+        (
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+
+    #[test]
+    fn clean_tree_exits_zero() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let (code, stdout, _) = run(&["audit", "--root", root]);
+        assert_eq!(code, Some(0), "{stdout}");
+        assert!(stdout.contains("OK"), "{stdout}");
+    }
+
+    #[test]
+    fn violations_exit_one_with_file_line_diagnostics() {
+        let fx = Fixture::new("cli-violation");
+        fx.demo_manifest(&[])
+            .file("crates/demo/src/kernels.rs", super::CAST_SOURCE);
+        let (code, stdout, _) = run(&["audit", "--root", fx.root.to_str().unwrap()]);
+        assert_eq!(code, Some(1), "{stdout}");
+        let line = format!(
+            "{}:3",
+            std::path::Path::new("crates/demo/src/kernels.rs").display()
+        );
+        assert!(stdout.contains(&line), "{stdout}");
+        assert!(stdout.contains("cast-truncation"), "{stdout}");
+    }
+
+    #[test]
+    fn ndjson_output_is_line_per_record() {
+        let fx = Fixture::new("cli-ndjson");
+        fx.demo_manifest(&[])
+            .file("crates/demo/src/kernels.rs", super::CAST_SOURCE);
+        let (code, stdout, _) = run(&["audit", "--ndjson", "--root", fx.root.to_str().unwrap()]);
+        assert_eq!(code, Some(1), "{stdout}");
+        let lines: Vec<&str> = stdout.lines().collect();
+        assert_eq!(lines.len(), 2, "{stdout}");
+        assert!(lines[0].starts_with("{\"kind\":\"diagnostic\""), "{stdout}");
+        assert!(lines[1].starts_with("{\"kind\":\"summary\""), "{stdout}");
+        assert!(lines[1].contains("\"violations\":1"), "{stdout}");
+    }
+
+    #[test]
+    fn bad_root_exits_two() {
+        let fx = Fixture::new("cli-badroot");
+        fx.file("README.md", "no crates here\n");
+        let (code, _, stderr) = run(&["audit", "--root", fx.root.to_str().unwrap()]);
+        assert_eq!(code, Some(2), "{stderr}");
+        assert!(stderr.contains("no Cargo.toml"), "{stderr}");
+    }
+}

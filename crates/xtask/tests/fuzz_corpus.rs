@@ -1,0 +1,67 @@
+//! Tier-1 replay of the committed fuzz regression corpus, plus a short
+//! fixed-seed random run so the generator/oracle stack itself stays
+//! exercised in CI. Heavy exploration lives in the nightly
+//! `fuzz --iters 5000` job; this test pins the known-tricky structural
+//! families in `crates/xtask/fuzz_corpus/`.
+
+use cscv_xtask::fuzz::{run, CaseDesc, FuzzConfig};
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fuzz_corpus")
+}
+
+#[test]
+fn committed_corpus_replays_clean() {
+    let out = run(&FuzzConfig {
+        iters: 0,
+        seed: 1,
+        corpus: Some(corpus_dir()),
+    })
+    .unwrap();
+    assert_eq!(out.random_cases, 0);
+    assert!(
+        out.corpus_cases >= 7,
+        "expected the committed corpus families, got {}",
+        out.corpus_cases
+    );
+    assert!(out.failures.is_empty(), "{}", out.render());
+}
+
+#[test]
+fn corpus_descriptors_round_trip_through_the_serializer() {
+    // Guards the corpus files against format drift: every descriptor must
+    // parse and re-serialize to itself, so `shrunk-*.case` dumps written
+    // by a future fuzz run stay replayable.
+    let mut checked = 0;
+    for entry in std::fs::read_dir(corpus_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("case") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let desc = CaseDesc::parse(line).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert_eq!(desc.serialize(), line, "{}", path.display());
+            checked += 1;
+        }
+    }
+    assert!(checked >= 7, "only {checked} descriptors checked");
+}
+
+#[test]
+fn short_fixed_seed_random_run_is_clean() {
+    let out = run(&FuzzConfig {
+        iters: 25,
+        seed: 0xC5C7,
+        corpus: None,
+    })
+    .unwrap();
+    assert_eq!(out.random_cases, 25);
+    assert_eq!(out.session_seed, 0xC5C7);
+    assert!(out.failures.is_empty(), "{}", out.render());
+}
