@@ -12,15 +12,19 @@
 //!   fidelity and as the fallback when there are fewer view groups than
 //!   threads.
 
+use crate::builder::{try_build, BuildError};
 use crate::format::{Block, CscvMatrix, Variant};
 use crate::kernels::{
     gather, gather_multi, run_block_m, run_block_m_multi, run_block_m_t, run_block_m_t_multi,
     run_block_z, run_block_z_multi, run_block_z_t, run_block_z_t_multi, scatter_add,
 };
+use crate::layout::{ImageShape, SinoLayout};
+use crate::params::CscvParams;
 use cscv_simd::expand::{select_path, ExpandPath};
 use cscv_simd::{MaskExpand, Scalar};
+use cscv_sparse::numa::NumaTopology;
 use cscv_sparse::shared::{reduce_buffers_into, Scratch, SharedSliceMut};
-use cscv_sparse::{partition, SpmvExecutor, ThreadPool};
+use cscv_sparse::{partition, Csc, SpmvExecutor, ThreadPool};
 
 /// Tally one block-kernel pass into the trace counters (traced builds
 /// only — the `ENABLED` guard makes this whole body dead code
@@ -64,6 +68,35 @@ pub enum ParallelStrategy {
     ViewGroups,
     /// Paper's scheme: private `y` copies + parallel reduction.
     LocalCopies,
+}
+
+/// A complete executor configuration: everything that varies between two
+/// `CscvExec` instances built over the same CSC matrix. This is the unit
+/// the static heuristic produces and the autotuner searches over —
+/// `cscv-tune` persists it verbatim in the tuning cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    pub variant: Variant,
+    pub params: CscvParams,
+    pub strategy: ParallelStrategy,
+}
+
+impl ExecConfig {
+    /// The static heuristic for a variant: the paper's recommended
+    /// parameter defaults plus the default (ViewGroups) strategy. The
+    /// autotuner always includes this point in its grid, so a tuned
+    /// selection can never lose to it within a search.
+    pub fn heuristic(variant: Variant) -> Self {
+        let params = match variant {
+            Variant::Z => CscvParams::default_z(),
+            Variant::M => CscvParams::default_m(),
+        };
+        ExecConfig {
+            variant,
+            params,
+            strategy: ParallelStrategy::default(),
+        }
+    }
 }
 
 /// Prepared CSCV SpMV executor (Z or M per the matrix's variant).
@@ -141,9 +174,55 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
         }
     }
 
+    /// Build the CSCV matrix described by `cfg` and wrap it in an
+    /// executor — the one-call construction path used by the autotuner
+    /// and the `auto` entry points in `cscv-tune`.
+    pub fn from_csc(
+        csc: &Csc<T>,
+        layout: SinoLayout,
+        img: ImageShape,
+        cfg: ExecConfig,
+    ) -> Result<Self, BuildError> {
+        let m = try_build(csc, layout, img, cfg.params, cfg.variant)?;
+        Ok(Self::with_strategy(m, cfg.strategy))
+    }
+
+    /// The configuration this executor was built with.
+    pub fn config(&self) -> ExecConfig {
+        ExecConfig {
+            variant: self.m.variant,
+            params: self.m.params,
+            strategy: self.strategy,
+        }
+    }
+
     /// The underlying format object (stats, params).
     pub fn matrix(&self) -> &CscvMatrix<T> {
         &self.m
+    }
+
+    /// NUMA-aware placement with auto-detected topology: re-place the
+    /// matrix's value/index buffers partition-aligned with `pool` (first
+    /// touch by the owning thread) and pre-place the per-slot `ỹ` / `y`
+    /// scratch buffers on their threads' nodes. Returns whether any
+    /// placement ran — `false` (and zero work) on uniform topologies or
+    /// 1-slot pools. Results are byte-identical either way; only page
+    /// locality changes.
+    pub fn numa_place(&mut self, pool: &ThreadPool) -> bool {
+        self.numa_place_with(pool, &NumaTopology::detect())
+    }
+
+    /// NUMA-aware placement against an explicit topology (tests inject
+    /// synthetic multi-node layouts here).
+    pub fn numa_place_with(&mut self, pool: &ThreadPool, topo: &NumaTopology) -> bool {
+        if topo.is_uniform() || pool.n_threads() <= 1 {
+            return false;
+        }
+        let _span = cscv_trace::span::enter("numa.place");
+        crate::placement::localize_matrix(&mut self.m, pool, topo);
+        self.ytil_scratch.warm(pool, topo, self.m.max_ytil);
+        self.y_scratch.warm(pool, topo, self.m.n_rows);
+        true
     }
 
     /// Which mask-expansion path CSCV-M kernels use on this machine

@@ -1,0 +1,137 @@
+//! NUMA-aware placement of CSCV matrix buffers.
+//!
+//! The builder assembles every block's value/index vectors on the
+//! calling thread, so on a multi-socket machine all matrix pages sit on
+//! that thread's node and remote-socket pool threads stream `M(A)` over
+//! the interconnect. [`localize_matrix`] re-places the buffers after the
+//! fact: blocks are partitioned across pool slots by nnz — the same
+//! weighting the executors use to hand out work — and each slot clones
+//! its blocks' vectors into fresh allocations *from inside the pool*, so
+//! the copy is the first touch and Linux places the pages on the copying
+//! thread's node. See `cscv_sparse::numa` for the policy discussion.
+//!
+//! Placement changes page locality only, never values or layout, so
+//! results stay byte-identical; on uniform topologies it is skipped
+//! entirely.
+
+use crate::format::CscvMatrix;
+use cscv_simd::Scalar;
+use cscv_sparse::numa::NumaTopology;
+use cscv_sparse::shared::run_disjoint_mut;
+use cscv_sparse::{partition, ThreadPool};
+
+/// Clone into a fresh allocation (the copy is the first touch).
+fn realloc<U: Copy>(v: &[U]) -> Vec<U> {
+    let mut out = Vec::with_capacity(v.len());
+    out.extend_from_slice(v);
+    out
+}
+
+/// Re-place every block's value/index/mask buffers partition-aligned
+/// with `pool` (nnz-weighted, matching executor work assignment).
+/// Returns whether a placement pass actually ran — `false` on uniform
+/// topologies, 1-slot pools and empty matrices.
+pub fn localize_matrix<T: Scalar>(
+    m: &mut CscvMatrix<T>,
+    pool: &ThreadPool,
+    topo: &NumaTopology,
+) -> bool {
+    if topo.is_uniform() || pool.n_threads() <= 1 || m.blocks.is_empty() {
+        return false;
+    }
+    let weights: Vec<usize> = m.blocks.iter().map(|b| b.nnz.max(1)).collect();
+    let ranges = partition::split_by_weights(&weights, pool.n_threads());
+    run_disjoint_mut(pool, &mut m.blocks, &ranges, |_tid, blocks| {
+        for b in blocks {
+            b.vals = realloc(&b.vals);
+            b.masks = realloc(&b.masks);
+            b.map = realloc(&b.map);
+            b.vxg_q = realloc(&b.vxg_q);
+            b.vxg_count = realloc(&b.vxg_count);
+            b.cols = realloc(&b.cols);
+            b.val_ptr = realloc(&b.val_ptr);
+        }
+    });
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use crate::layout::{ImageShape, SinoLayout};
+    use crate::params::CscvParams;
+    use crate::Variant;
+    use cscv_sparse::numa::NumaNode;
+    use cscv_sparse::Coo;
+
+    fn two_node_topo() -> NumaTopology {
+        NumaTopology {
+            nodes: vec![
+                NumaNode {
+                    id: 0,
+                    cpus: vec![0, 1],
+                },
+                NumaNode {
+                    id: 1,
+                    cpus: vec![2, 3],
+                },
+            ],
+        }
+    }
+
+    fn small_matrix(variant: Variant) -> CscvMatrix<f64> {
+        let layout = SinoLayout {
+            n_views: 8,
+            n_bins: 12,
+        };
+        let img = ImageShape { nx: 6, ny: 6 };
+        let mut coo = Coo::new(layout.n_rows(), img.n_pixels());
+        for col in 0..img.n_pixels() {
+            for v in 0..8 {
+                coo.push(
+                    layout.row_index(v, (v * 2 + col) % 12),
+                    col,
+                    1.0 + col as f64,
+                );
+            }
+        }
+        build(
+            &coo.to_csc(),
+            layout,
+            img,
+            CscvParams::new(4, 4, 2),
+            variant,
+        )
+    }
+
+    #[test]
+    fn localize_preserves_matrix_exactly() {
+        for variant in [Variant::Z, Variant::M] {
+            let mut m = small_matrix(variant);
+            let before = m.clone();
+            let pool = ThreadPool::new(4);
+            assert!(localize_matrix(&mut m, &pool, &two_node_topo()));
+            assert_eq!(m.blocks.len(), before.blocks.len());
+            for (a, b) in m.blocks.iter().zip(&before.blocks) {
+                assert_eq!(a.vals, b.vals);
+                assert_eq!(a.masks, b.masks);
+                assert_eq!(a.map, b.map);
+                assert_eq!(a.vxg_q, b.vxg_q);
+                assert_eq!(a.vxg_count, b.vxg_count);
+                assert_eq!(a.cols, b.cols);
+                assert_eq!(a.val_ptr, b.val_ptr);
+            }
+            m.validate();
+        }
+    }
+
+    #[test]
+    fn localize_is_noop_on_uniform_or_serial() {
+        let mut m = small_matrix(Variant::Z);
+        let pool = ThreadPool::new(4);
+        assert!(!localize_matrix(&mut m, &pool, &NumaTopology::uniform()));
+        let serial = ThreadPool::new(1);
+        assert!(!localize_matrix(&mut m, &serial, &two_node_topo()));
+    }
+}

@@ -12,6 +12,7 @@
 //! driver in `cscv-bench` is a short loop; [`table`] renders aligned
 //! text tables and CSV.
 
+pub mod gen;
 pub mod manifest;
 pub mod membw;
 pub mod plotting;

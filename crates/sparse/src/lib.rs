@@ -22,6 +22,7 @@ pub mod executor;
 pub mod formats;
 pub mod invariants;
 pub mod io;
+pub mod numa;
 pub mod partition;
 pub mod pool;
 pub mod shared;

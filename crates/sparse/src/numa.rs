@@ -1,0 +1,266 @@
+//! NUMA topology detection and first-touch buffer placement.
+//!
+//! On multi-socket machines the default "allocate on the main thread,
+//! compute on the pool" pattern lands every buffer on the main thread's
+//! node and makes remote-socket threads pay interconnect latency on the
+//! SpMV hot path. Linux places a page on the node of the thread that
+//! *first writes* it, so placement needs no syscalls: allocate, then
+//! have each pool thread write its own partition before the kernels run
+//! (the MLEM repo's `-D_HPC_` trick).
+//!
+//! [`NumaTopology::detect`] parses `/sys/devices/system/node`; machines
+//! without that tree (or with one node) report a uniform topology and
+//! every placement helper degrades to a no-op, so single-socket results
+//! are byte-identical with or without placement.
+
+use crate::partition;
+use crate::pool::ThreadPool;
+use crate::shared::run_disjoint_mut;
+use cscv_simd::Scalar;
+use std::path::Path;
+
+/// One NUMA node: its id and the CPUs it owns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumaNode {
+    pub id: usize,
+    pub cpus: Vec<usize>,
+}
+
+/// The machine's NUMA layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumaTopology {
+    /// Nodes sorted by id. Never empty: unknown topologies collapse to
+    /// one node covering every CPU.
+    pub nodes: Vec<NumaNode>,
+}
+
+impl NumaTopology {
+    /// Detect from `/sys/devices/system/node`. Honors `CSCV_NUMA=0`
+    /// (or `off`) as a kill switch that forces the uniform topology.
+    pub fn detect() -> Self {
+        if matches!(
+            std::env::var("CSCV_NUMA").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        ) {
+            return Self::uniform();
+        }
+        Self::from_sysfs(Path::new("/sys/devices/system/node"))
+    }
+
+    /// The single-node fallback: one node owning every hardware thread.
+    pub fn uniform() -> Self {
+        NumaTopology {
+            nodes: vec![NumaNode {
+                id: 0,
+                cpus: (0..ThreadPool::max_parallelism()).collect(),
+            }],
+        }
+    }
+
+    /// Parse a sysfs-style node tree: `<root>/node<N>/cpulist` files
+    /// holding range lists like `0-3,8-11`. Unreadable or empty trees
+    /// yield the uniform topology (graceful no-op downstream).
+    pub fn from_sysfs(root: &Path) -> Self {
+        let Ok(entries) = std::fs::read_dir(root) else {
+            return Self::uniform();
+        };
+        let mut nodes = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(id_str) = name.strip_prefix("node") else {
+                continue;
+            };
+            let Ok(id) = id_str.parse::<usize>() else {
+                continue;
+            };
+            let Ok(list) = std::fs::read_to_string(entry.path().join("cpulist")) else {
+                continue;
+            };
+            let cpus = parse_cpulist(list.trim());
+            if !cpus.is_empty() {
+                nodes.push(NumaNode { id, cpus });
+            }
+        }
+        if nodes.is_empty() {
+            return Self::uniform();
+        }
+        nodes.sort_by_key(|n| n.id);
+        NumaTopology { nodes }
+    }
+
+    /// True when placement cannot matter (zero or one node).
+    pub fn is_uniform(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Node index (position in `nodes`, not node id) a pool slot maps to
+    /// under block assignment: slots are split across nodes in contiguous
+    /// runs, mirroring how `partition::even_chunks` hands out work.
+    pub fn node_of_slot(&self, slot: usize, n_slots: usize) -> usize {
+        let n = self.nodes.len().max(1);
+        if n_slots == 0 {
+            return 0;
+        }
+        let ranges = partition::even_chunks(n_slots, n);
+        ranges
+            .iter()
+            .position(|r| r.contains(&slot.min(n_slots - 1)))
+            .unwrap_or(0)
+    }
+}
+
+/// Parse a kernel cpulist (`"0-3,8,10-11"`) into sorted CPU numbers.
+/// Malformed pieces are skipped rather than failing the whole list.
+pub fn parse_cpulist(s: &str) -> Vec<usize> {
+    let mut cpus = Vec::new();
+    for piece in s.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = piece.split_once('-') {
+            if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                if lo <= hi && hi - lo < 4096 {
+                    cpus.extend(lo..=hi);
+                }
+            }
+        } else if let Ok(c) = piece.parse::<usize>() {
+            cpus.push(c);
+        }
+    }
+    cpus.sort_unstable();
+    cpus.dedup();
+    cpus
+}
+
+/// Allocate a zeroed buffer whose pages are first-touched partition-wise
+/// by the pool threads, so each thread's share of the buffer lands on
+/// that thread's node. On uniform topologies (or a 1-slot pool) the
+/// touch dispatch is skipped: `vec!` already zeroes and placement cannot
+/// matter.
+pub fn alloc_first_touch<T: Scalar>(pool: &ThreadPool, topo: &NumaTopology, len: usize) -> Vec<T> {
+    let mut v = vec![T::ZERO; len];
+    first_touch(pool, topo, &mut v);
+    v
+}
+
+/// Run the partition-aligned first-touch pass over an existing zeroed
+/// buffer (each pool thread writes its `even_chunks` share). A no-op on
+/// uniform topologies, 1-slot pools and empty buffers.
+///
+/// Note this *writes zeros* over the buffer — callers pass
+/// freshly-allocated (still logically zero) memory, never live data.
+pub fn first_touch<T: Scalar>(pool: &ThreadPool, topo: &NumaTopology, data: &mut [T]) {
+    if topo.is_uniform() || pool.n_threads() <= 1 || data.is_empty() {
+        return;
+    }
+    let ranges = partition::even_chunks(data.len(), pool.n_threads());
+    run_disjoint_mut(pool, data, &ranges, |_tid, dst| {
+        dst.fill(T::ZERO);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpulist_parsing() {
+        assert_eq!(parse_cpulist("0-3"), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpulist("0-1,4,6-7"), vec![0, 1, 4, 6, 7]);
+        assert_eq!(parse_cpulist("7,3,3"), vec![3, 7]);
+        assert_eq!(parse_cpulist(""), Vec::<usize>::new());
+        // Malformed pieces are skipped, valid ones kept.
+        assert_eq!(parse_cpulist("x,2,9-8,4-5"), vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn uniform_topology_is_single_node() {
+        let t = NumaTopology::uniform();
+        assert!(t.is_uniform());
+        assert_eq!(t.nodes.len(), 1);
+        assert!(!t.nodes[0].cpus.is_empty());
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "filesystem access")]
+    fn sysfs_parse_and_fallback() {
+        // A missing tree falls back to uniform.
+        let t = NumaTopology::from_sysfs(Path::new("/nonexistent/sysfs/tree"));
+        assert!(t.is_uniform());
+
+        // A synthetic two-node tree parses into two sorted nodes.
+        let dir = std::env::temp_dir().join(format!("cscv-numa-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for (node, list) in [("node1", "4-7"), ("node0", "0-3")] {
+            let nd = dir.join(node);
+            std::fs::create_dir_all(&nd).unwrap();
+            std::fs::write(nd.join("cpulist"), list).unwrap();
+        }
+        // Distractor entries must be ignored.
+        std::fs::create_dir_all(dir.join("possible")).unwrap();
+        let t = NumaTopology::from_sysfs(&dir);
+        assert!(!t.is_uniform());
+        assert_eq!(t.nodes.len(), 2);
+        assert_eq!(t.nodes[0].id, 0);
+        assert_eq!(t.nodes[0].cpus, vec![0, 1, 2, 3]);
+        assert_eq!(t.nodes[1].cpus, vec![4, 5, 6, 7]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "filesystem access via detect")]
+    fn detect_never_panics_and_is_nonempty() {
+        let t = NumaTopology::detect();
+        assert!(!t.nodes.is_empty());
+    }
+
+    #[test]
+    fn slot_to_node_block_assignment() {
+        let t = NumaTopology {
+            nodes: vec![
+                NumaNode {
+                    id: 0,
+                    cpus: vec![0, 1],
+                },
+                NumaNode {
+                    id: 1,
+                    cpus: vec![2, 3],
+                },
+            ],
+        };
+        // 4 slots over 2 nodes: first half node 0, second half node 1.
+        assert_eq!(t.node_of_slot(0, 4), 0);
+        assert_eq!(t.node_of_slot(1, 4), 0);
+        assert_eq!(t.node_of_slot(2, 4), 1);
+        assert_eq!(t.node_of_slot(3, 4), 1);
+        // Degenerate inputs stay in range.
+        assert_eq!(t.node_of_slot(9, 4), 1);
+        assert_eq!(t.node_of_slot(0, 0), 0);
+    }
+
+    #[test]
+    fn first_touch_preserves_zero_and_len() {
+        let pool = ThreadPool::new(3);
+        let topo = NumaTopology {
+            nodes: vec![
+                NumaNode {
+                    id: 0,
+                    cpus: vec![0],
+                },
+                NumaNode {
+                    id: 1,
+                    cpus: vec![1],
+                },
+            ],
+        };
+        let v: Vec<f64> = alloc_first_touch(&pool, &topo, 1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|&x| x == 0.0));
+        // Uniform topology: the no-op path also yields zeroed memory.
+        let v: Vec<f32> = alloc_first_touch(&pool, &NumaTopology::uniform(), 17);
+        assert_eq!(v.len(), 17);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+}

@@ -65,10 +65,22 @@ pub enum Counter {
     /// Batch swap-compaction events (a converged slice retired and the
     /// trailing active slice swapped into its slot).
     SwapCompactions,
+    /// Autotuner candidate configurations benchmarked (one per
+    /// (variant, S_VxG, strategy, threads, k) point actually measured).
+    TuneCandidates,
+    /// Autotuner benchmark samples executed (timed kernel invocations,
+    /// warmup excluded). A warm-cache tune run adds exactly zero.
+    TuneSamples,
+    /// Tuning-cache lookups answered from a persisted entry (exact
+    /// fingerprint-hash match or within the distance fallback).
+    TuneCacheHits,
+    /// Tuning-cache lookups that fell through to a fresh search (or to
+    /// the static heuristic when searching is not allowed).
+    TuneCacheMisses,
 }
 
 /// Number of counters in [`Counter`].
-pub const N_COUNTERS: usize = 16;
+pub const N_COUNTERS: usize = 20;
 
 /// Every counter, in declaration order (emit order).
 pub const ALL: [Counter; N_COUNTERS] = [
@@ -88,6 +100,10 @@ pub const ALL: [Counter; N_COUNTERS] = [
     Counter::PoolBusyNs,
     Counter::SolverIters,
     Counter::SwapCompactions,
+    Counter::TuneCandidates,
+    Counter::TuneSamples,
+    Counter::TuneCacheHits,
+    Counter::TuneCacheMisses,
 ];
 
 impl Counter {
@@ -110,6 +126,10 @@ impl Counter {
             Counter::PoolBusyNs => "pool_busy_ns",
             Counter::SolverIters => "solver_iters",
             Counter::SwapCompactions => "swap_compactions",
+            Counter::TuneCandidates => "tune_candidates",
+            Counter::TuneSamples => "tune_samples",
+            Counter::TuneCacheHits => "tune_cache_hits",
+            Counter::TuneCacheMisses => "tune_cache_misses",
         }
     }
 }

@@ -1,0 +1,116 @@
+//! View-strided row sampling for cheap candidate benchmarking.
+//!
+//! Tuning measures relative—not absolute—candidate cost, so it can run
+//! on a sub-matrix as long as the sub-matrix preserves the structure
+//! the configs are sensitive to. Sampling whole *views* (blocks of
+//! `n_bins` consecutive rows) does exactly that: every column keeps its
+//! bin trajectory and per-view band shape (P1/P2), per-column nnz just
+//! scales down uniformly (P3 intact), and the result is still a valid
+//! sinogram layout the CSCV builder accepts. Sampling random rows
+//! would instead shred the curve structure and bias the search.
+
+use cscv_core::SinoLayout;
+use cscv_simd::Scalar;
+use cscv_sparse::{Coo, Csc};
+
+/// Sample whole views so the result has at most ~`max_nnz` nonzeros
+/// (never fewer than one view). Matrices already at or under the
+/// budget are returned as-is.
+pub fn sample_views<T: Scalar>(
+    csc: &Csc<T>,
+    layout: SinoLayout,
+    max_nnz: usize,
+) -> (Csc<T>, SinoLayout) {
+    let nnz = csc.nnz();
+    if nnz <= max_nnz.max(1) || layout.n_views <= 1 {
+        return (csc.clone(), layout);
+    }
+    let stride = nnz.div_ceil(max_nnz.max(1)).min(layout.n_views);
+    let kept: Vec<usize> = (0..layout.n_views).step_by(stride.max(1)).collect();
+    let sub_layout = SinoLayout {
+        n_views: kept.len(),
+        n_bins: layout.n_bins,
+    };
+    let mut view_map = vec![usize::MAX; layout.n_views];
+    for (new, &old) in kept.iter().enumerate() {
+        view_map[old] = new;
+    }
+    let n_bins = layout.n_bins.max(1);
+    let (cp, ri, vs) = (csc.col_ptr(), csc.row_idx(), csc.vals());
+    let mut coo: Coo<T> = Coo::new(sub_layout.n_rows(), csc.n_cols());
+    for c in 0..csc.n_cols() {
+        for i in cp[c]..cp[c + 1] {
+            let r = ri[i] as usize;
+            let (view, bin) = (r / n_bins, r % n_bins);
+            if view_map[view] != usize::MAX {
+                coo.push(view_map[view] * n_bins + bin, c, vs[i]);
+            }
+        }
+    }
+    (coo.to_csc(), sub_layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscv_harness::gen::{generate, CaseDesc};
+
+    fn case() -> (Csc<f64>, SinoLayout) {
+        let d = CaseDesc::parse(
+            "kind=ct-banded views=32 bins=20 nx=10 ny=10 imgb=4 vvec=8 vxg=4 seed=3",
+        )
+        .unwrap();
+        let layout = SinoLayout {
+            n_views: d.n_views,
+            n_bins: d.n_bins,
+        };
+        (generate(&d).to_csc(), layout)
+    }
+
+    #[test]
+    fn small_matrices_pass_through_unchanged() {
+        let (csc, layout) = case();
+        let (sub, sub_layout) = sample_views(&csc, layout, csc.nnz());
+        assert_eq!(sub_layout, layout);
+        assert_eq!(sub.nnz(), csc.nnz());
+    }
+
+    #[test]
+    fn sampling_hits_the_budget_and_keeps_structure() {
+        let (csc, layout) = case();
+        let budget = csc.nnz() / 4;
+        let (sub, sub_layout) = sample_views(&csc, layout, budget);
+        assert!(sub_layout.n_views < layout.n_views);
+        assert_eq!(sub_layout.n_bins, layout.n_bins);
+        assert!(sub.nnz() <= budget + budget / 2, "≈budget, whole views");
+        assert!(sub.nnz() > 0);
+        assert_eq!(sub.n_cols(), csc.n_cols());
+        // Structure preservation: the sampled fingerprint stays near
+        // the full one on the shape axes the grid pruning reads.
+        let full = crate::fingerprint::Fingerprint::compute(&csc, layout);
+        let part = crate::fingerprint::Fingerprint::compute(&sub, sub_layout);
+        assert!((full.band_frac - part.band_frac).abs() < 0.15);
+        assert!((full.col_cv - part.col_cv).abs() < 0.3);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let (csc, layout) = case();
+        let (a, _) = sample_views(&csc, layout, 100);
+        let (b, _) = sample_views(&csc, layout, 100);
+        assert_eq!(a.row_idx(), b.row_idx());
+        assert_eq!(a.vals(), b.vals());
+    }
+
+    #[test]
+    fn single_view_is_never_reduced() {
+        let (csc, _) = case();
+        let layout = SinoLayout {
+            n_views: 1,
+            n_bins: csc.n_rows(),
+        };
+        let (sub, sub_layout) = sample_views(&csc, layout, 1);
+        assert_eq!(sub_layout.n_views, 1);
+        assert_eq!(sub.nnz(), csc.nnz());
+    }
+}

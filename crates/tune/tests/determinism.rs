@@ -1,0 +1,127 @@
+//! Determinism and warm-path guarantees.
+//!
+//! Two properties the design depends on:
+//!
+//! * **Reproducible selection** — the search has no hidden randomness:
+//!   two tune runs over the same matrix (same seed, same options) with
+//!   the deterministic cost model pick the same winner. Wall-clock
+//!   tuning can legitimately pick different near-tied winners across
+//!   runs; the *machinery* (fingerprint, sampling, grid order,
+//!   cache round-trip) must not.
+//! * **Warm cache ⇒ zero samples** — a repeat workload must skip the
+//!   benchmark entirely, asserted from the report here. The
+//!   counter-based version of the same claim lives in its own binary
+//!   (`tests/warm_counters.rs`): counters are process-global, so the
+//!   exact-delta assertions need a binary where no other test is
+//!   tuning concurrently.
+
+use cscv_core::layout::ImageShape;
+use cscv_core::SinoLayout;
+use cscv_harness::gen::{generate, CaseDesc};
+use cscv_sparse::Csc;
+use cscv_tune::{tune, CacheOutcome, ModelBench, Op, TuneCache, TuneOptions};
+
+const CASE: &str = "kind=ct-banded views=20 bins=16 nx=10 ny=10 imgb=4 vvec=8 vxg=4 seed=1234";
+
+fn case() -> (Csc<f64>, SinoLayout, ImageShape) {
+    let d = CaseDesc::parse(CASE).unwrap();
+    let layout = SinoLayout {
+        n_views: d.n_views,
+        n_bins: d.n_bins,
+    };
+    let img = ImageShape { nx: d.nx, ny: d.ny };
+    (generate(&d).to_csc(), layout, img)
+}
+
+fn opts(op: Op) -> TuneOptions {
+    TuneOptions {
+        op,
+        reps: 2,
+        warmup: 0,
+        max_threads: 4,
+        ..TuneOptions::default()
+    }
+}
+
+#[test]
+fn two_tune_runs_same_seed_pick_the_same_winner() {
+    let (csc, layout, img) = case();
+    for op in [Op::Spmv, Op::Spmm { k: 4 }, Op::SpmvT] {
+        let mut cache_a = TuneCache::in_memory();
+        let mut cache_b = TuneCache::in_memory();
+        let a = tune(&csc, layout, img, &opts(op), &mut cache_a, &mut ModelBench).unwrap();
+        let b = tune(&csc, layout, img, &opts(op), &mut cache_b, &mut ModelBench).unwrap();
+        assert_eq!(a.chosen, b.chosen, "{op:?}: selection must be reproducible");
+        assert_eq!(a.tuned_secs, b.tuned_secs);
+        assert_eq!(a.candidates_tried, b.candidates_tried);
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+}
+
+#[test]
+fn warm_cache_second_run_performs_zero_samples() {
+    let (csc, layout, img) = case();
+    let mut cache = TuneCache::in_memory();
+
+    let cold = tune(
+        &csc,
+        layout,
+        img,
+        &opts(Op::Spmv),
+        &mut cache,
+        &mut ModelBench,
+    )
+    .unwrap();
+    assert_eq!(cold.cache, CacheOutcome::Miss);
+    assert!(cold.samples_run > 0);
+
+    let warm = tune(
+        &csc,
+        layout,
+        img,
+        &opts(Op::Spmv),
+        &mut cache,
+        &mut ModelBench,
+    )
+    .unwrap();
+    assert_eq!(warm.cache, CacheOutcome::HitExact);
+    assert_eq!(warm.samples_run, 0);
+    assert_eq!(warm.candidates_tried, 0);
+    assert_eq!(warm.chosen, cold.chosen);
+}
+
+#[test]
+fn cache_survives_disk_round_trip_with_identical_selection() {
+    let (csc, layout, img) = case();
+    let path =
+        std::env::temp_dir().join(format!("cscv-tune-determinism-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let mut cache = TuneCache::load(&path);
+    let cold = tune(
+        &csc,
+        layout,
+        img,
+        &opts(Op::Spmv),
+        &mut cache,
+        &mut ModelBench,
+    )
+    .unwrap();
+    drop(cache); // tune() already saved; reload from disk cold
+
+    let mut reloaded = TuneCache::load(&path);
+    assert_eq!(reloaded.len(), 1);
+    let warm = tune(
+        &csc,
+        layout,
+        img,
+        &opts(Op::Spmv),
+        &mut reloaded,
+        &mut ModelBench,
+    )
+    .unwrap();
+    assert_eq!(warm.cache, CacheOutcome::HitExact);
+    assert_eq!(warm.samples_run, 0);
+    assert_eq!(warm.chosen, cold.chosen);
+    let _ = std::fs::remove_file(&path);
+}

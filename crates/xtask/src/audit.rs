@@ -122,6 +122,16 @@ const LAYERING_DAG: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "cscv-tune",
+        &[
+            "cscv-trace",
+            "cscv-simd",
+            "cscv-sparse",
+            "cscv-core",
+            "cscv-harness",
+        ],
+    ),
+    (
         "cscv-xtask",
         &[
             "cscv-trace",
@@ -129,6 +139,7 @@ const LAYERING_DAG: &[(&str, &[&str])] = &[
             "cscv-sparse",
             "cscv-core",
             "cscv-harness",
+            "cscv-tune",
         ],
     ),
     (
@@ -141,6 +152,7 @@ const LAYERING_DAG: &[(&str, &[&str])] = &[
             "cscv-ct",
             "cscv-recon",
             "cscv-harness",
+            "cscv-tune",
         ],
     ),
 ];

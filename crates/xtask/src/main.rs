@@ -8,6 +8,8 @@
 //!                            [--export-dir DIR]
 //! cscv-xtask perf-report --diff DIR_A DIR_B [--threshold F]
 //!                            [--format table|ndjson]
+//! cscv-xtask tune [DIR] [--cache FILE] [--format table|ndjson]
+//!                 [--reps N] [--warmup N] [--threads N] [--model]
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = violations / perf regressions / fuzz
@@ -15,7 +17,7 @@
 
 use cscv_xtask::audit::audit_root;
 use cscv_xtask::lint::{lint_root, Report};
-use cscv_xtask::{fuzz, ndjson, perf};
+use cscv_xtask::{fuzz, ndjson, perf, tune_cmd};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -31,7 +33,8 @@ fn usage() -> ExitCode {
          \x20      cscv-xtask audit [--root DIR] [--format table|ndjson]\n\
          \x20      cscv-xtask fuzz [--iters N] [--seed S] [--corpus DIR]\n\
          \x20      cscv-xtask perf-report DIR [--format table|ndjson] [--peak-gbs F] [--export-dir DIR]\n\
-         \x20      cscv-xtask perf-report --diff DIR_A DIR_B [--threshold F] [--format table|ndjson]\n\n\
+         \x20      cscv-xtask perf-report --diff DIR_A DIR_B [--threshold F] [--format table|ndjson]\n\
+         \x20      cscv-xtask tune [DIR] [--cache FILE] [--format table|ndjson] [--reps N] [--warmup N] [--threads N] [--model]\n\n\
          lint        scans crates/*/src/**.rs (and the umbrella src/) for the\n\
          \x20           project rules: SAFETY comments on unsafe, the unsafe-module\n\
          \x20           whitelist, panicking constructs in kernel hot paths, and\n\
@@ -49,7 +52,14 @@ fn usage() -> ExitCode {
          \x20           each kernel as latency- or bandwidth-bound, optionally\n\
          \x20           exporting Chrome traces + flamegraph stacks; with --diff it\n\
          \x20           compares two directories (min-of-reps, relative threshold)\n\
-         \x20           and exits 1 on regressions."
+         \x20           and exits 1 on regressions.\n\
+         tune        batch-runs the cscv-tune autotuner over a corpus of case\n\
+         \x20           descriptors (default crates/tune/tune_corpus), re-measures the\n\
+         \x20           chosen configs vs the static heuristic on the full matrices,\n\
+         \x20           and reports speedups; --cache persists selections so repeat\n\
+         \x20           runs skip the search, --model uses the deterministic cost\n\
+         \x20           model; exits 1 if a tuned config is slower than the heuristic\n\
+         \x20           beyond the noise band."
     );
     ExitCode::from(2)
 }
@@ -61,6 +71,7 @@ fn main() -> ExitCode {
         Some("audit") => audit_cmd(&args[1..]),
         Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("perf-report") => perf_cmd(&args[1..]),
+        Some("tune") => tune_cli(&args[1..]),
         _ => usage(),
     }
 }
@@ -270,6 +281,56 @@ fn perf_diff(
     } else {
         ExitCode::SUCCESS
     })
+}
+
+fn tune_cli(args: &[String]) -> ExitCode {
+    let mut cfg = tune_cmd::TuneCmdConfig::default();
+    let mut format = Format::Table;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache" => match it.next() {
+                Some(p) => cfg.cache = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--format" => match parse_format(it.next().map(String::as_str)) {
+                Some(f) => format = f,
+                None => return usage(),
+            },
+            "--reps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.reps = n,
+                None => return usage(),
+            },
+            "--warmup" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.warmup = n,
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.threads = n,
+                None => return usage(),
+            },
+            "--model" => cfg.model = true,
+            s if !s.starts_with('-') => cfg.corpus = PathBuf::from(s),
+            _ => return usage(),
+        }
+    }
+    match tune_cmd::run(&cfg) {
+        Ok(outcome) => {
+            match format {
+                Format::Table => print!("{}", outcome.render_table()),
+                Format::Ndjson => print!("{}", outcome.render_ndjson()),
+            }
+            if outcome.regressions().is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("cscv-xtask tune: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn emit(report: &Report, format: Format, tool: &str) {

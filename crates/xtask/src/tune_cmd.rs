@@ -1,0 +1,419 @@
+//! The `tune` subcommand: batch-tune a corpus of case descriptors.
+//!
+//! For every descriptor in the corpus (a `.case` file or a directory of
+//! them, same format the fuzzer replays), the command runs the
+//! `cscv-tune` search for each configured operation and then
+//! *re-measures* both the chosen config and the static heuristic on the
+//! full matrix with the harness's min-of-reps machinery — an
+//! independent verification, not the sampled numbers the search itself
+//! produced. The speedup column is heuristic-seconds over
+//! tuned-seconds from that re-measurement.
+//!
+//! Exit-code contract (the same as `lint`/`audit`/`fuzz`): 0 when every
+//! tuned config holds up, 1 when any tuned config is slower than the
+//! heuristic beyond the noise band, 2 for usage/IO errors (handled in
+//! `main.rs`).
+//!
+//! `--model` swaps the wall clock for the deterministic cost model and
+//! skips the re-measurement (the model already guarantees
+//! tuned ≤ heuristic); it exists so tests and smoke runs are
+//! machine-independent.
+
+use cscv_core::layout::ImageShape;
+use cscv_core::{CscvExec, ExecConfig, SinoLayout};
+use cscv_harness::gen::{generate, load_corpus, CaseDesc};
+use cscv_harness::{measure_spmv, SpmvMeasurement};
+use cscv_sparse::{Csc, ThreadPool};
+use cscv_trace::json::Json;
+use cscv_tune::{
+    tune, CacheOutcome, ModelBench, Op, TuneCache, TuneOptions, TunedConfig, WallClockBench,
+};
+use std::path::PathBuf;
+
+/// Relative slowdown vs the heuristic a tuned config may show before
+/// the run is declared a regression (measurement noise band).
+pub const NOISE_BAND: f64 = 0.25;
+
+#[derive(Debug, Clone)]
+pub struct TuneCmdConfig {
+    /// Corpus file or directory of `.case` descriptors.
+    pub corpus: PathBuf,
+    /// Persisted cache path; `None` tunes into a throwaway cache.
+    pub cache: Option<PathBuf>,
+    /// Timed reps per candidate (and per verification measurement).
+    pub reps: usize,
+    pub warmup: usize,
+    /// Use the deterministic cost model instead of the wall clock.
+    pub model: bool,
+    pub threads: usize,
+}
+
+impl Default for TuneCmdConfig {
+    fn default() -> Self {
+        TuneCmdConfig {
+            corpus: PathBuf::from("crates/tune/tune_corpus"),
+            cache: None,
+            reps: 5,
+            warmup: 1,
+            model: false,
+            threads: ThreadPool::max_parallelism(),
+        }
+    }
+}
+
+/// One (descriptor, operation) outcome.
+#[derive(Debug, Clone)]
+pub struct TuneRow {
+    pub case_name: String,
+    pub op: String,
+    pub scalar: String,
+    pub config: String,
+    /// Full-matrix min-of-reps seconds of the tuned config (sampled
+    /// search seconds under `--model`).
+    pub tuned_secs: f64,
+    /// Same measurement for the static heuristic.
+    pub heuristic_secs: f64,
+    pub candidates: usize,
+    pub samples: usize,
+    pub cache: String,
+}
+
+impl TuneRow {
+    /// `heuristic / tuned`: > 1 means the search won.
+    pub fn speedup(&self) -> f64 {
+        if self.tuned_secs > 0.0 {
+            self.heuristic_secs / self.tuned_secs
+        } else {
+            1.0
+        }
+    }
+
+    /// Tuned slower than the heuristic beyond the noise band?
+    pub fn is_regression(&self, band: f64) -> bool {
+        self.tuned_secs > self.heuristic_secs * (1.0 + band)
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct TuneOutcome {
+    pub rows: Vec<TuneRow>,
+}
+
+impl TuneOutcome {
+    pub fn regressions(&self) -> Vec<&TuneRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.is_regression(NOISE_BAND))
+            .collect()
+    }
+
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:<7} {:<6} {:<34} {:>11} {:>11} {:>8} {:>6} {:>8} {:>9}\n",
+            "case",
+            "op",
+            "scalar",
+            "config",
+            "tuned_s",
+            "heur_s",
+            "speedup",
+            "cands",
+            "samples",
+            "cache"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:<7} {:<6} {:<34} {:>11.3e} {:>11.3e} {:>7.2}x {:>6} {:>8} {:>9}\n",
+                r.case_name,
+                r.op,
+                r.scalar,
+                r.config,
+                r.tuned_secs,
+                r.heuristic_secs,
+                r.speedup(),
+                r.candidates,
+                r.samples,
+                r.cache,
+            ));
+        }
+        let n_reg = self.regressions().len();
+        out.push_str(&format!(
+            "cscv-xtask tune: {} — {} row(s), {} regression(s) beyond the {:.0}% band\n",
+            if n_reg == 0 { "OK" } else { "FAIL" },
+            self.rows.len(),
+            n_reg,
+            NOISE_BAND * 100.0
+        ));
+        out
+    }
+
+    pub fn render_ndjson(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            out.push_str(
+                &Json::obj(vec![
+                    ("type", "tune-row".into()),
+                    ("case", r.case_name.as_str().into()),
+                    ("op", r.op.as_str().into()),
+                    ("scalar", r.scalar.as_str().into()),
+                    ("config", r.config.as_str().into()),
+                    ("tuned_secs", r.tuned_secs.into()),
+                    ("heuristic_secs", r.heuristic_secs.into()),
+                    ("speedup", r.speedup().into()),
+                    ("candidates", (r.candidates as u64).into()),
+                    ("samples", (r.samples as u64).into()),
+                    ("cache", r.cache.as_str().into()),
+                    ("regression", Json::Bool(r.is_regression(NOISE_BAND))),
+                ])
+                .to_string(),
+            );
+            out.push('\n');
+        }
+        out.push_str(
+            &Json::obj(vec![
+                ("type", "tune-summary".into()),
+                ("rows", (self.rows.len() as u64).into()),
+                ("regressions", (self.regressions().len() as u64).into()),
+                ("noise_band", NOISE_BAND.into()),
+            ])
+            .to_string(),
+        );
+        out.push('\n');
+        out
+    }
+}
+
+fn case_name(d: &CaseDesc) -> String {
+    format!("{}-{}x{}-s{}", d.kind.name(), d.n_views, d.n_bins, d.seed)
+}
+
+fn outcome_name(o: CacheOutcome) -> String {
+    match o {
+        CacheOutcome::HitExact => "hit".into(),
+        CacheOutcome::HitNear(d) => format!("near({d:.2})"),
+        CacheOutcome::Miss => "miss".into(),
+    }
+}
+
+/// Full-matrix min-of-reps seconds of one config via the harness
+/// measurement path (records to the manifest if `CSCV_MANIFEST_DIR` is
+/// set, like every other measurement in the suite).
+fn measure_config(
+    csc: &Csc<f64>,
+    layout: SinoLayout,
+    img: ImageShape,
+    cfg: ExecConfig,
+    threads: usize,
+    warmup: usize,
+    reps: usize,
+) -> Result<f64, String> {
+    let exec = CscvExec::from_csc(csc, layout, img, cfg).map_err(|e| e.to_string())?;
+    let pool = ThreadPool::new(threads);
+    let x: Vec<f64> = (0..csc.n_cols())
+        .map(|i| 0.5 + (i % 17) as f64 * 0.03125)
+        .collect();
+    let mut y = vec![0.0; csc.n_rows()];
+    let m: SpmvMeasurement = measure_spmv(&exec, &x, &mut y, &pool, warmup, reps.max(1));
+    Ok(m.secs_min)
+}
+
+/// Run the batch tune over the corpus. The per-descriptor operation
+/// set is fixed (single-RHS SpMV for f64) — the quantity the paper's
+/// tables key on; the library API tunes any (op, scalar) pair.
+pub fn run(cfg: &TuneCmdConfig) -> Result<TuneOutcome, String> {
+    let descs = load_corpus(&cfg.corpus)?;
+    if descs.is_empty() {
+        return Err(format!("no case descriptors in {}", cfg.corpus.display()));
+    }
+    let mut cache = match &cfg.cache {
+        Some(p) => TuneCache::load(p),
+        None => TuneCache::in_memory(),
+    };
+    let mut outcome = TuneOutcome::default();
+    for desc in &descs {
+        let layout = SinoLayout {
+            n_views: desc.n_views,
+            n_bins: desc.n_bins,
+        };
+        let img = ImageShape {
+            nx: desc.nx,
+            ny: desc.ny,
+        };
+        let csc: Csc<f64> = generate(desc).to_csc();
+        let opts = TuneOptions {
+            op: Op::Spmv,
+            reps: cfg.reps,
+            warmup: cfg.warmup,
+            max_threads: cfg.threads,
+            ..TuneOptions::default()
+        };
+        let report = if cfg.model {
+            tune(&csc, layout, img, &opts, &mut cache, &mut ModelBench)?
+        } else {
+            tune(&csc, layout, img, &opts, &mut cache, &mut WallClockBench)?
+        };
+
+        // Independent verification on the full matrix: the search's
+        // sampled numbers selected the config; these measurements judge
+        // it. Skipped under --model (no wall clock to consult).
+        let (tuned_secs, heuristic_secs) = if cfg.model {
+            (report.tuned_secs, report.heuristic_secs)
+        } else {
+            let heuristic = TunedConfig::heuristic(opts.op, cfg.threads);
+            (
+                measure_config(
+                    &csc,
+                    layout,
+                    img,
+                    report.chosen.exec_config(),
+                    report.chosen.threads,
+                    cfg.warmup,
+                    cfg.reps,
+                )?,
+                measure_config(
+                    &csc,
+                    layout,
+                    img,
+                    heuristic.exec_config(),
+                    heuristic.threads,
+                    cfg.warmup,
+                    cfg.reps,
+                )?,
+            )
+        };
+
+        outcome.rows.push(TuneRow {
+            case_name: case_name(desc),
+            op: opts.op.key(),
+            scalar: "f64".into(),
+            config: report.chosen.describe(),
+            tuned_secs,
+            heuristic_secs,
+            candidates: report.candidates_tried,
+            samples: report.samples_run,
+            cache: outcome_name(report.cache),
+        });
+    }
+    cache.save();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_corpus(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cscv-tune-cmd-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("banded.case"),
+            "kind=ct-banded views=16 bins=16 nx=8 ny=8 imgb=4 vvec=8 vxg=4 seed=3\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("random.case"),
+            "kind=uniform-random views=16 bins=16 nx=8 ny=8 imgb=4 vvec=8 vxg=4 seed=3\n",
+        )
+        .unwrap();
+        dir
+    }
+
+    fn model_cfg(corpus: PathBuf) -> TuneCmdConfig {
+        TuneCmdConfig {
+            corpus,
+            reps: 1,
+            warmup: 0,
+            model: true,
+            threads: 2,
+            ..TuneCmdConfig::default()
+        }
+    }
+
+    #[test]
+    fn batch_tune_produces_one_row_per_descriptor() {
+        let dir = write_corpus("rows");
+        let outcome = run(&model_cfg(dir.clone())).unwrap();
+        assert_eq!(outcome.rows.len(), 2);
+        for r in &outcome.rows {
+            assert!(
+                r.speedup() >= 1.0,
+                "{}: model argmin cannot lose",
+                r.case_name
+            );
+            assert_eq!(r.cache, "miss", "fresh cache, distinct structures");
+            assert!(r.candidates > 1);
+        }
+        assert!(outcome.regressions().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_cache_second_run_skips_the_search() {
+        let dir = write_corpus("warm");
+        let cache = dir.join("cache.json");
+        let mut cfg = model_cfg(dir.clone());
+        cfg.cache = Some(cache.clone());
+        run(&cfg).unwrap();
+        assert!(cache.is_file(), "cache must persist between runs");
+        let second = run(&cfg).unwrap();
+        for r in &second.rows {
+            assert_eq!(r.cache, "hit", "{}", r.case_name);
+            assert_eq!(r.samples, 0, "warm run must take zero samples");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn renderers_cover_all_rows() {
+        let dir = write_corpus("render");
+        let outcome = run(&model_cfg(dir.clone())).unwrap();
+        let table = outcome.render_table();
+        assert!(table.contains("ct-banded-16x16-s3"));
+        assert!(table.contains("uniform-random-16x16-s3"));
+        assert!(table.contains("OK"));
+        let ndjson = outcome.render_ndjson();
+        let lines: Vec<&str> = ndjson.lines().collect();
+        assert_eq!(lines.len(), 3, "2 rows + summary");
+        let summary = Json::parse(lines[2]).unwrap();
+        assert_eq!(
+            summary.get("type").and_then(Json::as_str),
+            Some("tune-summary")
+        );
+        assert_eq!(summary.get("regressions").and_then(Json::as_f64), Some(0.0));
+        for line in &lines[..2] {
+            let row = Json::parse(line).unwrap();
+            assert_eq!(row.get("regression"), Some(&Json::Bool(false)));
+            assert!(row.get("speedup").and_then(Json::as_f64).unwrap() >= 1.0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_corpus_is_an_error() {
+        let cfg = model_cfg(PathBuf::from("/nonexistent/corpus"));
+        assert!(run(&cfg).is_err());
+    }
+
+    #[test]
+    fn regression_detection_applies_the_noise_band() {
+        let row = TuneRow {
+            case_name: "x".into(),
+            op: "spmv".into(),
+            scalar: "f64".into(),
+            config: "cfg".into(),
+            tuned_secs: 1.2,
+            heuristic_secs: 1.0,
+            candidates: 1,
+            samples: 1,
+            cache: "miss".into(),
+        };
+        assert!(!row.is_regression(NOISE_BAND), "within the band");
+        let slow = TuneRow {
+            tuned_secs: 1.3,
+            ..row
+        };
+        assert!(slow.is_regression(NOISE_BAND));
+    }
+}
