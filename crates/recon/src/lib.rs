@@ -21,11 +21,14 @@
 //!   matrix is streamed once per register-tile chunk instead of once per
 //!   slice (the multi-RHS amortization the batched SpMM kernels exist
 //!   for);
-//! * [`metrics`] — RMSE / PSNR / relative error image quality metrics.
+//! * [`metrics`] — RMSE / PSNR / relative error image quality metrics;
+//! * [`driver`] — a solver selector plus the trajectory/bitwise
+//!   comparison predicates the sharded-equivalence gates run on.
 
 pub mod art;
 pub mod batch;
 pub mod cgls;
+pub mod driver;
 pub mod landweber;
 pub mod metrics;
 pub mod operators;
@@ -34,6 +37,7 @@ pub mod sirt;
 
 pub use batch::{cgls_batch, landweber_batch, sirt_batch, BatchReconResult};
 pub use cgls::cgls;
+pub use driver::{bitwise_equal, run_solver, trajectory_max_rel_diff, Solver};
 pub use landweber::landweber;
 pub use operators::{LinearOperator, SpmvOperator};
 pub use sirt::sirt;

@@ -1,0 +1,644 @@
+//! The coordinator side: launch workers, run collectives, merge.
+//!
+//! A [`Cluster`] owns one framed connection per worker. Every collective
+//! is issued to all workers before any reply is read (workers compute
+//! concurrently), and replies are always drained in **shard order**, so
+//! the data flow is a function of the partition alone:
+//!
+//! * [`Cluster::spmv`] — broadcast `x`, place each shard's contiguous
+//!   `y` rows. Placement only, no floating-point merge: bitwise equal to
+//!   the single-process product for any worker count.
+//! * [`Cluster::spmv_t`] — scatter `y` slices, expand each worker's
+//!   halo-trimmed partial to full width, and merge with
+//!   [`tree_reduce`] — a fixed-order pairwise reduction whose addition
+//!   order depends only on shard indices, never on arrival timing.
+//!   One shard degenerates to a copy (byte-identical to local).
+//!
+//! Two launch modes share the protocol code path end to end:
+//! [`Launch::Threads`] drives in-process workers over socketpairs (fast,
+//! used by the equivalence tests), [`Launch::Process`] spawns real
+//! worker processes (`cscv-xtask shard-worker`) against a listening
+//! Unix socket — the mode the `shard-smoke` CI job gates.
+
+use crate::plan::{slice_rows, ShardPlan};
+use crate::protocol::Msg;
+use crate::wire::Conn;
+use crate::worker;
+use cscv_core::layout::ImageShape;
+use cscv_core::SinoLayout;
+use cscv_sparse::Csr;
+use std::io;
+use std::ops::Range;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How worker endpoints are brought up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Launch {
+    /// In-process worker threads over socketpairs. Exercises the full
+    /// protocol (framing, trimming, reduction) without process spawns.
+    Threads,
+    /// Spawn `cmd` once per shard with `--socket <path>` appended; each
+    /// child connects back to the coordinator's listening socket. `cmd`
+    /// is typically `[current_exe, "shard-worker"]`.
+    Process { cmd: Vec<String> },
+}
+
+/// Per-worker figures for reports (`-- shard` table / NDJSON rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    pub shard: usize,
+    pub rows: Range<usize>,
+    pub nnz: usize,
+    /// Executor the worker built ("CSCV-Z", "MKL-CSR(analog)", …).
+    pub exec: String,
+    /// Column-support (halo) window.
+    pub col_lo: usize,
+    pub col_hi: usize,
+    pub busy_ns: u64,
+    pub spmv_calls: u64,
+    pub spmv_t_calls: u64,
+}
+
+/// Cluster-wide traffic and merge-cost figures.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    pub workers: Vec<WorkerReport>,
+    /// Coordinator-side bytes written across all connections.
+    pub bytes_tx: u64,
+    /// Coordinator-side bytes read across all connections.
+    pub bytes_rx: u64,
+    /// Nanoseconds spent in [`tree_reduce`] merges.
+    pub reduce_ns: u64,
+    /// Wall-clock covered by the cluster, connect to shutdown.
+    pub wall_ns: u64,
+}
+
+/// Fixed-order pairwise tree reduction: fold `bufs[i + s]` into
+/// `bufs[i]` for strides `s = 1, 2, 4, …` — the addition order is a
+/// function of the indices alone, so the merged vector is identical
+/// across runs regardless of how replies arrived. A single buffer is
+/// returned untouched (no floating-point op at all).
+pub fn tree_reduce(mut bufs: Vec<Vec<f64>>) -> Vec<f64> {
+    assert!(!bufs.is_empty(), "tree_reduce needs at least one buffer");
+    let n = bufs.len();
+    let mut s = 1;
+    while s < n {
+        let mut i = 0;
+        while i + s < n {
+            let (head, tail) = bufs.split_at_mut(i + s);
+            let dst = &mut head[i];
+            let src = &tail[0];
+            debug_assert_eq!(dst.len(), src.len());
+            for (d, v) in dst.iter_mut().zip(src) {
+                *d += v;
+            }
+            i += 2 * s;
+        }
+        s *= 2;
+    }
+    bufs.swap_remove(0)
+}
+
+/// Process-global sequence for unique socket paths (pid alone is not
+/// enough: one process may start many clusters).
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+enum Endpoint {
+    Thread(std::thread::JoinHandle<()>),
+    Process(Child),
+}
+
+/// A running shard cluster: one connection per worker, replies drained
+/// in shard order.
+pub struct Cluster {
+    conns: Vec<Conn<UnixStream>>,
+    endpoints: Vec<Endpoint>,
+    ranges: Vec<Range<usize>>,
+    shard_nnz: Vec<usize>,
+    windows: Vec<(usize, usize)>,
+    execs: Vec<String>,
+    n_rows: usize,
+    n_cols: usize,
+    reduce_ns: u64,
+    started: Instant,
+    socket_path: Option<PathBuf>,
+}
+
+/// Collective-input dimension check: a mismatched vector is the
+/// caller's bug, but reported as an error (not a panic or a poisoned
+/// worker) so a driver can surface it and keep the cluster usable.
+fn check_len(what: &str, got: usize, want: usize) -> io::Result<()> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{what}: length {got}, expected {want}"),
+        ))
+    }
+}
+
+impl Cluster {
+    /// Partition `csr` by `plan`, bring up one worker per shard via
+    /// `launch`, ship each its sub-matrix, and wait for every
+    /// [`Msg::MatrixAck`]. `layout` is the full sinogram layout; a shard
+    /// is handed a view-aligned sub-layout iff both of its boundaries
+    /// fall on a multiple of `layout.n_bins` — always the case when
+    /// `plan.block_rows == layout.n_bins`, and trivially for a one-shard
+    /// plan (otherwise that worker uses the CSR pair).
+    pub fn start(
+        csr: &Csr<f64>,
+        plan: &ShardPlan,
+        layout: SinoLayout,
+        img: ImageShape,
+        threads_per_worker: usize,
+        launch: &Launch,
+    ) -> io::Result<Cluster> {
+        let started = Instant::now();
+        let n = plan.n_shards();
+        assert!(n >= 1, "cluster needs at least one shard");
+
+        let (mut conns, endpoints, socket_path) = connect_all(n, launch)?;
+        let mut shard_nnz = Vec::with_capacity(n);
+        for (i, conn) in conns.iter_mut().enumerate() {
+            let range = plan.ranges[i].clone();
+            let shard = slice_rows(csr, range.clone());
+            shard_nnz.push(shard.nnz());
+            Msg::Hello {
+                shard: i as u64,
+                n_shards: n as u64,
+                threads: threads_per_worker as u64,
+            }
+            .send(conn)?;
+            let view_aligned = layout.n_bins > 0
+                && range.start.is_multiple_of(layout.n_bins)
+                && range.end.is_multiple_of(layout.n_bins);
+            let (n_views, n_bins) = if view_aligned {
+                (range.len() / layout.n_bins, layout.n_bins)
+            } else {
+                (0, 0)
+            };
+            Msg::Matrix {
+                n_cols: csr.n_cols() as u64,
+                row0: range.start as u64,
+                n_views: n_views as u64,
+                n_bins: n_bins as u64,
+                nx: img.nx as u64,
+                ny: img.ny as u64,
+                row_ptr: shard.row_ptr().iter().map(|&p| p as u64).collect(),
+                col_idx: shard.col_idx().to_vec(),
+                vals: shard.vals().to_vec(),
+            }
+            .send(conn)?;
+        }
+        let mut windows = Vec::with_capacity(n);
+        let mut execs = Vec::with_capacity(n);
+        for conn in conns.iter_mut() {
+            let Msg::MatrixAck {
+                col_lo,
+                col_hi,
+                exec,
+            } = Msg::recv(conn)?
+            else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "expected MatrixAck",
+                ));
+            };
+            windows.push((col_lo as usize, col_hi as usize));
+            execs.push(exec);
+        }
+        Ok(Cluster {
+            conns,
+            endpoints,
+            ranges: plan.ranges.clone(),
+            shard_nnz,
+            windows,
+            execs,
+            n_rows: csr.n_rows(),
+            n_cols: csr.n_cols(),
+            reduce_ns: 0,
+            started,
+            socket_path,
+        })
+    }
+
+    pub fn n_workers(&self) -> usize {
+        self.conns.len()
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Executor names the workers reported, in shard order.
+    pub fn exec_names(&self) -> &[String] {
+        &self.execs
+    }
+
+    /// Forward collective `y = A x`: broadcast, then place each shard's
+    /// contiguous rows. No merge arithmetic.
+    pub fn spmv(&mut self, x: &[f64], y: &mut [f64]) -> io::Result<()> {
+        check_len("spmv x", x.len(), self.n_cols)?;
+        check_len("spmv y", y.len(), self.n_rows)?;
+        for conn in self.conns.iter_mut() {
+            Msg::Spmv { x: x.to_vec() }.send(conn)?;
+        }
+        for (i, conn) in self.conns.iter_mut().enumerate() {
+            let Msg::SpmvOut { y: part } = Msg::recv(conn)? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "expected SpmvOut",
+                ));
+            };
+            let range = self.ranges[i].clone();
+            if part.len() != range.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "SpmvOut length mismatch",
+                ));
+            }
+            y[range].copy_from_slice(&part);
+        }
+        Ok(())
+    }
+
+    /// Adjoint collective `x = Aᵀ y`: scatter row slices, expand the
+    /// halo-trimmed partials, merge in fixed shard order.
+    pub fn spmv_t(&mut self, y: &[f64], x: &mut [f64]) -> io::Result<()> {
+        check_len("spmv_t y", y.len(), self.n_rows)?;
+        check_len("spmv_t x", x.len(), self.n_cols)?;
+        for (i, conn) in self.conns.iter_mut().enumerate() {
+            Msg::SpmvT {
+                y: y[self.ranges[i].clone()].to_vec(),
+            }
+            .send(conn)?;
+        }
+        let mut partials = Vec::with_capacity(self.conns.len());
+        for (i, conn) in self.conns.iter_mut().enumerate() {
+            let Msg::SpmvTOut { col_lo, partial } = Msg::recv(conn)? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "expected SpmvTOut",
+                ));
+            };
+            let (lo, hi) = self.windows[i];
+            if col_lo as usize != lo || partial.len() != hi - lo {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "SpmvTOut window mismatch",
+                ));
+            }
+            let mut full = vec![0.0; self.n_cols];
+            full[lo..hi].copy_from_slice(&partial);
+            partials.push(full);
+        }
+        let t0 = Instant::now();
+        let merged = tree_reduce(partials);
+        self.reduce_ns += t0.elapsed().as_nanos() as u64;
+        x.copy_from_slice(&merged);
+        Ok(())
+    }
+
+    /// `|A|` row and column sums: rows by placement, columns by the same
+    /// fixed-order reduction as the adjoint.
+    pub fn abs_sums(&mut self) -> io::Result<(Vec<f64>, Vec<f64>)> {
+        for conn in self.conns.iter_mut() {
+            Msg::AbsSums.send(conn)?;
+        }
+        let mut rows = vec![0.0; self.n_rows];
+        let mut partials = Vec::with_capacity(self.conns.len());
+        for (i, conn) in self.conns.iter_mut().enumerate() {
+            let Msg::AbsSumsOut { row, col_lo, col } = Msg::recv(conn)? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "expected AbsSumsOut",
+                ));
+            };
+            let range = self.ranges[i].clone();
+            if row.len() != range.len() || col_lo as usize != self.windows[i].0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "AbsSumsOut shape mismatch",
+                ));
+            }
+            rows[range].copy_from_slice(&row);
+            let (lo, hi) = self.windows[i];
+            if col.len() != hi - lo {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "AbsSumsOut window mismatch",
+                ));
+            }
+            let mut full = vec![0.0; self.n_cols];
+            full[lo..hi].copy_from_slice(&col);
+            partials.push(full);
+        }
+        let t0 = Instant::now();
+        let cols = tree_reduce(partials);
+        self.reduce_ns += t0.elapsed().as_nanos() as u64;
+        Ok((rows, cols))
+    }
+
+    /// Snapshot worker and traffic statistics (workers keep serving).
+    pub fn stats(&mut self) -> io::Result<ClusterStats> {
+        for conn in self.conns.iter_mut() {
+            Msg::Stats.send(conn)?;
+        }
+        let mut workers = Vec::with_capacity(self.conns.len());
+        for (i, conn) in self.conns.iter_mut().enumerate() {
+            let Msg::StatsOut {
+                busy_ns,
+                spmv_calls,
+                spmv_t_calls,
+                ..
+            } = Msg::recv(conn)?
+            else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "expected StatsOut",
+                ));
+            };
+            workers.push(WorkerReport {
+                shard: i,
+                rows: self.ranges[i].clone(),
+                nnz: self.shard_nnz[i],
+                exec: self.execs[i].clone(),
+                col_lo: self.windows[i].0,
+                col_hi: self.windows[i].1,
+                busy_ns,
+                spmv_calls,
+                spmv_t_calls,
+            });
+        }
+        Ok(ClusterStats {
+            workers,
+            bytes_tx: self.conns.iter().map(|c| c.bytes_tx).sum(),
+            bytes_rx: self.conns.iter().map(|c| c.bytes_rx).sum(),
+            reduce_ns: self.reduce_ns,
+            wall_ns: self.started.elapsed().as_nanos() as u64,
+        })
+    }
+
+    /// Collect final statistics, shut every worker down cleanly, and
+    /// reap the endpoints. Also publishes the `shard.*` trace counters
+    /// (traced builds), exactly once per cluster.
+    pub fn shutdown(mut self) -> io::Result<ClusterStats> {
+        let stats = self.stats()?;
+        for conn in self.conns.iter_mut() {
+            Msg::Shutdown.send(conn)?;
+        }
+        for conn in self.conns.iter_mut() {
+            if !matches!(Msg::recv(conn)?, Msg::ShutdownAck) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "expected ShutdownAck",
+                ));
+            }
+        }
+        for ep in self.endpoints.drain(..) {
+            match ep {
+                Endpoint::Thread(h) => {
+                    h.join()
+                        .map_err(|_| io::Error::other("worker thread panicked"))?;
+                }
+                Endpoint::Process(mut child) => {
+                    let status = child.wait()?;
+                    if !status.success() {
+                        return Err(io::Error::other(format!("worker exited with {status}")));
+                    }
+                }
+            }
+        }
+        if let Some(path) = self.socket_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+        let final_bytes_tx: u64 = self.conns.iter().map(|c| c.bytes_tx).sum();
+        let final_bytes_rx: u64 = self.conns.iter().map(|c| c.bytes_rx).sum();
+        if cscv_trace::ENABLED {
+            use cscv_trace::counters::{add, Counter};
+            add(Counter::ShardBytesTx, final_bytes_tx);
+            add(Counter::ShardBytesRx, final_bytes_rx);
+            add(Counter::ShardReduceNs, self.reduce_ns);
+            add(
+                Counter::ShardWorkerBusyNs,
+                stats.workers.iter().map(|w| w.busy_ns).sum(),
+            );
+        }
+        Ok(ClusterStats {
+            bytes_tx: final_bytes_tx,
+            bytes_rx: final_bytes_rx,
+            wall_ns: self.started.elapsed().as_nanos() as u64,
+            ..stats
+        })
+    }
+}
+
+impl Drop for Cluster {
+    /// Best-effort cleanup when `shutdown` was skipped (e.g. a test
+    /// failure unwound past it): kill children, drop the socket file.
+    fn drop(&mut self) {
+        for ep in self.endpoints.drain(..) {
+            match ep {
+                Endpoint::Thread(_) => {} // unblocks when its socket drops
+                Endpoint::Process(mut child) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+            }
+        }
+        if let Some(path) = self.socket_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Bring up `n` worker endpoints and return their connections in shard
+/// order (accept order defines shard identity for processes).
+#[allow(clippy::type_complexity)]
+fn connect_all(
+    n: usize,
+    launch: &Launch,
+) -> io::Result<(Vec<Conn<UnixStream>>, Vec<Endpoint>, Option<PathBuf>)> {
+    match launch {
+        Launch::Threads => {
+            let mut conns = Vec::with_capacity(n);
+            let mut endpoints = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (ours, theirs) = UnixStream::pair()?;
+                endpoints.push(Endpoint::Thread(std::thread::spawn(move || {
+                    let mut conn = Conn::new(theirs);
+                    let mut cache = worker::env_cache();
+                    // Errors surface on the coordinator side as broken
+                    // frames; the thread itself just stops serving.
+                    let _ = worker::serve(&mut conn, &mut cache);
+                })));
+                conns.push(Conn::new(ours));
+            }
+            Ok((conns, endpoints, None))
+        }
+        Launch::Process { cmd } => {
+            assert!(!cmd.is_empty(), "process launch needs a command");
+            let path = std::env::temp_dir().join(format!(
+                "cscv-shard-{}-{}.sock",
+                std::process::id(),
+                SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_file(&path);
+            let listener = UnixListener::bind(&path)?;
+            let mut endpoints = Vec::with_capacity(n);
+            for _ in 0..n {
+                let child = Command::new(&cmd[0])
+                    .args(&cmd[1..])
+                    .arg("--socket")
+                    .arg(&path)
+                    .spawn()?;
+                endpoints.push(Endpoint::Process(child));
+            }
+            let mut conns = Vec::with_capacity(n);
+            listener.set_nonblocking(true)?;
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while conns.len() < n {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false)?;
+                        conns.push(Conn::new(stream));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if Instant::now() > deadline {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "workers did not connect within 60s",
+                            ));
+                        }
+                        // A worker that died before connecting would
+                        // hang the accept loop; fail fast instead.
+                        for ep in endpoints.iter_mut() {
+                            if let Endpoint::Process(child) = ep {
+                                if let Some(status) = child.try_wait()? {
+                                    return Err(io::Error::other(format!(
+                                        "worker exited before connecting: {status}"
+                                    )));
+                                }
+                            }
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok((conns, endpoints, Some(path)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PartitionMethod, ShardPlan};
+    use cscv_sparse::Coo;
+
+    #[test]
+    fn tree_reduce_is_fixed_order_and_copy_for_one() {
+        let a = vec![1.0, 2.0];
+        assert_eq!(tree_reduce(vec![a.clone()]), a);
+        // Orderings that would differ under naive accumulation still
+        // produce the tree's fixed result: ((a+b)+(c+d)).
+        let bufs = vec![vec![1e100], vec![-1e100], vec![1.0], vec![-1.0]];
+        assert_eq!(tree_reduce(bufs), vec![0.0]);
+        // Five buffers: ((a+b)+(c+d)) + e.
+        let bufs = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0], vec![5.0]];
+        assert_eq!(tree_reduce(bufs), vec![15.0]);
+    }
+
+    fn banded_csr(n_rows: usize, n_cols: usize) -> Csr<f64> {
+        let mut coo = Coo::new(n_rows, n_cols);
+        for r in 0..n_rows {
+            for k in 0..3usize {
+                let c = (r * 7 + k * 3) % n_cols;
+                coo.push(r, c, 1.0 + (r % 5) as f64 * 0.25 + k as f64 * 0.5);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn thread_cluster_matches_serial_products() {
+        let csr = banded_csr(48, 30);
+        let plan = ShardPlan::new(
+            &(0..48).map(|r| csr.row(r).0.len()).collect::<Vec<_>>(),
+            3,
+            1,
+            PartitionMethod::Stripe,
+        );
+        let layout = SinoLayout {
+            n_views: 0,
+            n_bins: 0,
+        };
+        let img = ImageShape { nx: 6, ny: 5 };
+        let mut cluster = Cluster::start(&csr, &plan, layout, img, 1, &Launch::Threads).unwrap();
+        assert_eq!(cluster.n_workers(), 3);
+
+        let x: Vec<f64> = (0..30).map(|i| (i as f64) * 0.5 - 4.0).collect();
+        let mut y = vec![0.0; 48];
+        cluster.spmv(&x, &mut y).unwrap();
+        let mut y_ref = vec![0.0; 48];
+        csr.spmv_serial(&x, &mut y_ref);
+        assert_eq!(y, y_ref);
+
+        let yin: Vec<f64> = (0..48).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let mut xt = vec![0.0; 30];
+        cluster.spmv_t(&yin, &mut xt).unwrap();
+        let mut xt_ref = vec![0.0; 30];
+        for r in 0..48 {
+            let (cols, vals) = csr.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                xt_ref[*c as usize] += v * yin[r];
+            }
+        }
+        for (a, b) in xt.iter().zip(&xt_ref) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+
+        let (rows, cols) = cluster.abs_sums().unwrap();
+        assert_eq!(rows.len(), 48);
+        assert_eq!(cols.len(), 30);
+        assert!(rows.iter().all(|&v| v > 0.0));
+
+        let stats = cluster.shutdown().unwrap();
+        assert_eq!(stats.workers.len(), 3);
+        assert!(stats.bytes_tx > 0 && stats.bytes_rx > 0);
+        assert_eq!(stats.workers.iter().map(|w| w.spmv_calls).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn single_shard_cluster_is_byte_identical_to_backend() {
+        let csr = banded_csr(32, 20);
+        let plan = ShardPlan::new(&vec![3usize; 32], 1, 1, PartitionMethod::Stripe);
+        let img = ImageShape { nx: 5, ny: 4 };
+        let layout = SinoLayout {
+            n_views: 0,
+            n_bins: 0,
+        };
+        let mut cluster = Cluster::start(&csr, &plan, layout, img, 1, &Launch::Threads).unwrap();
+        let mut cache = cscv_tune::TuneCache::in_memory();
+        let backend = crate::worker::ShardBackend::build(csr, None, img, 1, &mut cache);
+
+        let y: Vec<f64> = (0..32).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut xt = vec![0.0; 20];
+        cluster.spmv_t(&y, &mut xt).unwrap();
+        let xt_ref = backend.spmv_t(&y);
+        for (a, b) in xt.iter().zip(&xt_ref) {
+            assert_eq!(a.to_bits(), b.to_bits(), "one shard must be bitwise equal");
+        }
+        cluster.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,43 @@
+//! Sharded multi-process CT reconstruction (ROADMAP item 1).
+//!
+//! The paper's CSCV SpMV is the *intra-node* kernel; this crate is the
+//! first inter-process layer on top of it. An assembled system matrix is
+//! partitioned into contiguous **row shards** ([`plan`]), a coordinator
+//! hands each shard to a worker *process* over a framed Unix-socket
+//! protocol ([`wire`], [`protocol`]), and the workers execute their
+//! shard through the existing executor stack — a [`cscv_core::CscvExec`]
+//! autotuned via `CscvExec::auto` when the shard is view-aligned, the
+//! tuned CSR pair otherwise ([`worker`]).
+//!
+//! Data flow per solver iteration (row decomposition, as in the
+//! MLEM/LAIK row-block scheme):
+//!
+//! * **Forward** `y = A x`: broadcast the full `x`, gather each shard's
+//!   contiguous `y` slice. Placement only — no floating-point merge, so
+//!   the forward product is bitwise equal to the single-process result
+//!   for any shard count.
+//! * **Adjoint** `x = Aᵀ y`: scatter each shard's `y` slice, gather
+//!   full-width partial `x̃` vectors (trimmed to each shard's column
+//!   support — the halo window), and merge them with a **fixed-order
+//!   tree reduction** ([`cluster::tree_reduce`]). The reduction order
+//!   depends only on the shard indices, never on reply arrival order,
+//!   so repeated runs are deterministic and `shards = 1` is
+//!   byte-identical to the local executor.
+//!
+//! [`ShardedOperator`] packages a running [`cluster::Cluster`] as a
+//! [`cscv_recon::LinearOperator`], so every solver in `cscv-recon`
+//! (SIRT, CGLS, Landweber, …) runs unmodified across processes.
+//! `cscv-xtask shard` drives the whole stack end to end and gates
+//! single- vs multi-process residual equivalence.
+
+pub mod cluster;
+pub mod operator;
+pub mod plan;
+pub mod protocol;
+pub mod wire;
+pub mod worker;
+
+pub use cluster::{Cluster, ClusterStats, Launch};
+pub use operator::{LocalOperator, ShardedOperator};
+pub use plan::{slice_rows, PartitionMethod, ShardPlan};
+pub use worker::WorkerStats;

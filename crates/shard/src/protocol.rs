@@ -1,0 +1,347 @@
+//! The coordinator↔worker message set.
+//!
+//! A deliberately small RPC surface: every collective a solver needs is
+//! one request/reply pair, and every request is issued to *all* workers
+//! before any reply is read, so workers compute concurrently while the
+//! coordinator drains replies in fixed shard order.
+//!
+//! ```text
+//! coordinator                         worker
+//!   Hello{shard,n_shards,threads} ──▶
+//!   Matrix{shard CSR + layout}    ──▶  builds CscvExec / CSR pair
+//!                                 ◀──  MatrixAck{col window, exec name}
+//!   Spmv{x}                       ──▶  y_s = A_s x
+//!                                 ◀──  SpmvOut{y_s}
+//!   SpmvT{y_s}                    ──▶  x̃_s = A_sᵀ y_s
+//!                                 ◀──  SpmvTOut{x̃_s[window]}
+//!   AbsSums                       ──▶
+//!                                 ◀──  AbsSumsOut{row sums, col sums[window]}
+//!   Stats                         ──▶
+//!                                 ◀──  StatsOut{busy ns, bytes, calls}
+//!   Shutdown                      ──▶
+//!                                 ◀──  ShutdownAck
+//! ```
+//!
+//! Layouts are fixed little-endian ([`crate::wire`]); `Msg::encode` /
+//! [`Msg::decode`] are exact inverses (round-trip tested below).
+
+use crate::wire::{Dec, Enc};
+use std::io;
+
+/// Frame tags (one per variant; `Err` is 255 so it stands out in dumps).
+mod tag {
+    pub const HELLO: u8 = 1;
+    pub const MATRIX: u8 = 2;
+    pub const MATRIX_ACK: u8 = 3;
+    pub const SPMV: u8 = 4;
+    pub const SPMV_OUT: u8 = 5;
+    pub const SPMV_T: u8 = 6;
+    pub const SPMV_T_OUT: u8 = 7;
+    pub const ABS_SUMS: u8 = 8;
+    pub const ABS_SUMS_OUT: u8 = 9;
+    pub const STATS: u8 = 10;
+    pub const STATS_OUT: u8 = 11;
+    pub const SHUTDOWN: u8 = 12;
+    pub const SHUTDOWN_ACK: u8 = 13;
+    pub const ERR: u8 = 255;
+}
+
+/// One protocol message. See the module docs for the exchange order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Coordinator → worker, first frame: identity and pool width.
+    Hello {
+        shard: u64,
+        n_shards: u64,
+        threads: u64,
+    },
+    /// Coordinator → worker: the shard's rows as a rebased CSR, plus
+    /// the view-aligned sinogram layout (`n_views = 0` means "not
+    /// view-aligned; use the CSR executor pair") and image shape.
+    Matrix {
+        n_cols: u64,
+        /// First global row of this shard (placement offset).
+        row0: u64,
+        n_views: u64,
+        n_bins: u64,
+        nx: u64,
+        ny: u64,
+        row_ptr: Vec<u64>,
+        col_idx: Vec<u32>,
+        vals: Vec<f64>,
+    },
+    /// Worker → coordinator: column support window (the adjoint halo)
+    /// and the executor the worker built.
+    MatrixAck {
+        col_lo: u64,
+        col_hi: u64,
+        exec: String,
+    },
+    /// Coordinator → worker: full input vector for `y_s = A_s x`.
+    Spmv { x: Vec<f64> },
+    /// Worker → coordinator: this shard's contiguous output rows.
+    SpmvOut { y: Vec<f64> },
+    /// Coordinator → worker: this shard's slice of `y` for `x̃ = A_sᵀ y`.
+    SpmvT { y: Vec<f64> },
+    /// Worker → coordinator: partial `x̃` trimmed to the column window.
+    SpmvTOut { col_lo: u64, partial: Vec<f64> },
+    /// Coordinator → worker: request SIRT weighting sums.
+    AbsSums,
+    /// Worker → coordinator: `|A_s|` row sums (shard rows) and column
+    /// sums trimmed to the column window.
+    AbsSumsOut {
+        row: Vec<f64>,
+        col_lo: u64,
+        col: Vec<f64>,
+    },
+    /// Coordinator → worker: request execution statistics.
+    Stats,
+    /// Worker → coordinator: cumulative execution statistics.
+    StatsOut {
+        busy_ns: u64,
+        bytes_rx: u64,
+        bytes_tx: u64,
+        spmv_calls: u64,
+        spmv_t_calls: u64,
+    },
+    /// Coordinator → worker: drain and exit after acknowledging.
+    Shutdown,
+    /// Worker → coordinator: final frame before exit.
+    ShutdownAck,
+    /// Either direction: protocol failure with a reason.
+    Err { msg: String },
+}
+
+impl Msg {
+    /// Serialize to `(tag, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut e = Enc::new();
+        match self {
+            Msg::Hello {
+                shard,
+                n_shards,
+                threads,
+            } => (
+                tag::HELLO,
+                e.u64(*shard).u64(*n_shards).u64(*threads).finish(),
+            ),
+            Msg::Matrix {
+                n_cols,
+                row0,
+                n_views,
+                n_bins,
+                nx,
+                ny,
+                row_ptr,
+                col_idx,
+                vals,
+            } => (
+                tag::MATRIX,
+                e.u64(*n_cols)
+                    .u64(*row0)
+                    .u64(*n_views)
+                    .u64(*n_bins)
+                    .u64(*nx)
+                    .u64(*ny)
+                    .u64s(row_ptr)
+                    .u32s(col_idx)
+                    .f64s(vals)
+                    .finish(),
+            ),
+            Msg::MatrixAck {
+                col_lo,
+                col_hi,
+                exec,
+            } => (
+                tag::MATRIX_ACK,
+                e.u64(*col_lo).u64(*col_hi).str(exec).finish(),
+            ),
+            Msg::Spmv { x } => (tag::SPMV, e.f64s(x).finish()),
+            Msg::SpmvOut { y } => (tag::SPMV_OUT, e.f64s(y).finish()),
+            Msg::SpmvT { y } => (tag::SPMV_T, e.f64s(y).finish()),
+            Msg::SpmvTOut { col_lo, partial } => {
+                (tag::SPMV_T_OUT, e.u64(*col_lo).f64s(partial).finish())
+            }
+            Msg::AbsSums => (tag::ABS_SUMS, e.finish()),
+            Msg::AbsSumsOut { row, col_lo, col } => (
+                tag::ABS_SUMS_OUT,
+                e.f64s(row).u64(*col_lo).f64s(col).finish(),
+            ),
+            Msg::Stats => (tag::STATS, e.finish()),
+            Msg::StatsOut {
+                busy_ns,
+                bytes_rx,
+                bytes_tx,
+                spmv_calls,
+                spmv_t_calls,
+            } => (
+                tag::STATS_OUT,
+                e.u64(*busy_ns)
+                    .u64(*bytes_rx)
+                    .u64(*bytes_tx)
+                    .u64(*spmv_calls)
+                    .u64(*spmv_t_calls)
+                    .finish(),
+            ),
+            Msg::Shutdown => (tag::SHUTDOWN, e.finish()),
+            Msg::ShutdownAck => (tag::SHUTDOWN_ACK, e.finish()),
+            Msg::Err { msg } => (tag::ERR, e.str(msg).finish()),
+        }
+    }
+
+    /// Parse a frame back into a message.
+    pub fn decode(t: u8, payload: &[u8]) -> io::Result<Msg> {
+        let mut d = Dec::new(payload);
+        let msg = match t {
+            tag::HELLO => Msg::Hello {
+                shard: d.u64()?,
+                n_shards: d.u64()?,
+                threads: d.u64()?,
+            },
+            tag::MATRIX => Msg::Matrix {
+                n_cols: d.u64()?,
+                row0: d.u64()?,
+                n_views: d.u64()?,
+                n_bins: d.u64()?,
+                nx: d.u64()?,
+                ny: d.u64()?,
+                row_ptr: d.u64s()?,
+                col_idx: d.u32s()?,
+                vals: d.f64s()?,
+            },
+            tag::MATRIX_ACK => Msg::MatrixAck {
+                col_lo: d.u64()?,
+                col_hi: d.u64()?,
+                exec: d.str()?,
+            },
+            tag::SPMV => Msg::Spmv { x: d.f64s()? },
+            tag::SPMV_OUT => Msg::SpmvOut { y: d.f64s()? },
+            tag::SPMV_T => Msg::SpmvT { y: d.f64s()? },
+            tag::SPMV_T_OUT => Msg::SpmvTOut {
+                col_lo: d.u64()?,
+                partial: d.f64s()?,
+            },
+            tag::ABS_SUMS => Msg::AbsSums,
+            tag::ABS_SUMS_OUT => Msg::AbsSumsOut {
+                row: d.f64s()?,
+                col_lo: d.u64()?,
+                col: d.f64s()?,
+            },
+            tag::STATS => Msg::Stats,
+            tag::STATS_OUT => Msg::StatsOut {
+                busy_ns: d.u64()?,
+                bytes_rx: d.u64()?,
+                bytes_tx: d.u64()?,
+                spmv_calls: d.u64()?,
+                spmv_t_calls: d.u64()?,
+            },
+            tag::SHUTDOWN => Msg::Shutdown,
+            tag::SHUTDOWN_ACK => Msg::ShutdownAck,
+            tag::ERR => Msg::Err { msg: d.str()? },
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown frame tag {other}"),
+                ))
+            }
+        };
+        d.finish()?;
+        Ok(msg)
+    }
+
+    /// Send over a connection.
+    pub fn send<S: io::Read + io::Write>(&self, conn: &mut crate::wire::Conn<S>) -> io::Result<()> {
+        let (t, payload) = self.encode();
+        conn.send(t, &payload)
+    }
+
+    /// Receive from a connection; a received [`Msg::Err`] becomes an
+    /// `io::Error` so callers can `?` through protocol failures.
+    pub fn recv<S: io::Read + io::Write>(conn: &mut crate::wire::Conn<S>) -> io::Result<Msg> {
+        let (t, payload) = conn.recv()?;
+        match Msg::decode(t, &payload)? {
+            Msg::Err { msg } => Err(io::Error::other(format!("peer error: {msg}"))),
+            m => Ok(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(m: Msg) {
+        let (t, payload) = m.encode();
+        let back = Msg::decode(t, &payload).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        round_trip(Msg::Hello {
+            shard: 2,
+            n_shards: 4,
+            threads: 3,
+        });
+        round_trip(Msg::Matrix {
+            n_cols: 9,
+            row0: 12,
+            n_views: 3,
+            n_bins: 2,
+            nx: 3,
+            ny: 3,
+            row_ptr: vec![0, 2, 2, 5, 6, 6, 7],
+            col_idx: vec![0, 3, 1, 2, 8, 4, 5],
+            vals: vec![1.0, -2.0, 0.5, 3.25, -0.0, 7.0, 9.0],
+        });
+        round_trip(Msg::MatrixAck {
+            col_lo: 1,
+            col_hi: 9,
+            exec: "CSCV-Z".into(),
+        });
+        round_trip(Msg::Spmv {
+            x: vec![1.0, 2.0, 3.0],
+        });
+        round_trip(Msg::SpmvOut { y: vec![-1.5] });
+        round_trip(Msg::SpmvT { y: vec![0.25, 0.5] });
+        round_trip(Msg::SpmvTOut {
+            col_lo: 4,
+            partial: vec![8.0, 9.0],
+        });
+        round_trip(Msg::AbsSums);
+        round_trip(Msg::AbsSumsOut {
+            row: vec![1.0],
+            col_lo: 0,
+            col: vec![2.0, 3.0],
+        });
+        round_trip(Msg::Stats);
+        round_trip(Msg::StatsOut {
+            busy_ns: 123,
+            bytes_rx: 456,
+            bytes_tx: 789,
+            spmv_calls: 10,
+            spmv_t_calls: 11,
+        });
+        round_trip(Msg::Shutdown);
+        round_trip(Msg::ShutdownAck);
+        round_trip(Msg::Err { msg: "boom".into() });
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_rejected() {
+        assert!(Msg::decode(200, &[]).is_err());
+        let (t, mut payload) = Msg::AbsSums.encode();
+        payload.push(0);
+        assert!(Msg::decode(t, &payload).is_err());
+    }
+
+    #[test]
+    fn recv_turns_err_frames_into_io_errors() {
+        let (a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut ca = crate::wire::Conn::new(a);
+        let mut cb = crate::wire::Conn::new(b);
+        Msg::Err { msg: "nope".into() }.send(&mut ca).unwrap();
+        let e = Msg::recv(&mut cb).unwrap_err();
+        assert!(e.to_string().contains("nope"));
+    }
+}

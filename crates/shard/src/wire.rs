@@ -1,0 +1,295 @@
+//! Framed length-prefixed transport and the little-endian codec.
+//!
+//! Every message on a coordinator↔worker socket is one frame:
+//!
+//! ```text
+//! ┌─────────┬──────────────────┬──────────────┐
+//! │ tag: u8 │ len: u64 (LE)    │ payload[len] │
+//! └─────────┴──────────────────┴──────────────┘
+//! ```
+//!
+//! Tags identify the [`crate::protocol::Msg`] variant; payloads are
+//! fixed-layout little-endian scalars and arrays (no self-describing
+//! encoding — both ends are the same binary, and the fixed layout keeps
+//! the hot vectors a single `memcpy` each way). `len` is bounded by
+//! [`MAX_FRAME`] so a corrupt header fails fast instead of allocating
+//! terabytes.
+//!
+//! Byte counts flow through [`Conn`], which both sides use to report
+//! traffic (the `shard_bytes_tx` / `shard_bytes_rx` trace counters and
+//! the `-- shard` report columns).
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload (16 GiB): large enough for any shard
+/// this suite assembles, small enough to reject corrupt headers.
+pub const MAX_FRAME: u64 = 1 << 34;
+
+/// Bytes added to every payload by the frame header.
+pub const FRAME_OVERHEAD: u64 = 1 + 8;
+
+/// Write one frame; returns the total bytes put on the wire.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<u64> {
+    let mut header = [0u8; 9];
+    header[0] = tag;
+    header[1..9].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(FRAME_OVERHEAD + payload.len() as u64)
+}
+
+/// Read one frame; returns `(tag, payload, bytes read)`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>, u64)> {
+    let mut header = [0u8; 9];
+    r.read_exact(&mut header)?;
+    let tag = header[0];
+    let len = u64::from_le_bytes(header[1..9].try_into().expect("9-byte header"));
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok((tag, payload, FRAME_OVERHEAD + len))
+}
+
+/// A framed connection that tallies traffic in both directions.
+#[derive(Debug)]
+pub struct Conn<S> {
+    stream: S,
+    /// Bytes written to the stream (headers included).
+    pub bytes_tx: u64,
+    /// Bytes read from the stream (headers included).
+    pub bytes_rx: u64,
+}
+
+impl<S: Read + Write> Conn<S> {
+    pub fn new(stream: S) -> Conn<S> {
+        Conn {
+            stream,
+            bytes_tx: 0,
+            bytes_rx: 0,
+        }
+    }
+
+    /// Send one frame, tallying the bytes.
+    pub fn send(&mut self, tag: u8, payload: &[u8]) -> io::Result<()> {
+        self.bytes_tx += write_frame(&mut self.stream, tag, payload)?;
+        Ok(())
+    }
+
+    /// Receive one frame, tallying the bytes.
+    pub fn recv(&mut self) -> io::Result<(u8, Vec<u8>)> {
+        let (tag, payload, n) = read_frame(&mut self.stream)?;
+        self.bytes_rx += n;
+        Ok((tag, payload))
+    }
+}
+
+/// Little-endian payload encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Enc {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// A `[u64]` slice, length-prefixed.
+    pub fn u64s(&mut self, vs: &[u64]) -> &mut Enc {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// A `[u32]` slice, length-prefixed.
+    pub fn u32s(&mut self, vs: &[u32]) -> &mut Enc {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// An `[f64]` slice, length-prefixed. Bit-exact: values round-trip
+    /// through `to_bits`, so NaN payloads and signed zeros survive.
+    pub fn f64s(&mut self, vs: &[f64]) -> &mut Enc {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self
+    }
+
+    /// A UTF-8 string, length-prefixed.
+    pub fn str(&mut self, s: &str) -> &mut Enc {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    pub fn finish(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed frame: {what}"),
+    )
+}
+
+/// Little-endian payload decoder (the inverse of [`Enc`]).
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(bad("truncated payload"));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    pub fn u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn len_prefix(&mut self, elem_bytes: usize) -> io::Result<usize> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| bad("length overflows usize"))?;
+        if n.checked_mul(elem_bytes).is_none_or(|b| b > self.buf.len()) {
+            return Err(bad("array length exceeds payload"));
+        }
+        Ok(n)
+    }
+
+    pub fn u64s(&mut self) -> io::Result<Vec<u64>> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    pub fn u32s(&mut self) -> io::Result<Vec<u32>> {
+        let n = self.len_prefix(4)?;
+        (0..n)
+            .map(|_| {
+                let b = self.take(4)?;
+                Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            })
+            .collect()
+    }
+
+    pub fn f64s(&mut self) -> io::Result<Vec<f64>> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| Ok(f64::from_bits(self.u64()?))).collect()
+    }
+
+    pub fn str(&mut self) -> io::Result<String> {
+        let n = self.len_prefix(1)?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| bad("non-UTF-8 string"))
+    }
+
+    /// Fails unless the whole payload was consumed — catches layout
+    /// drift between encoder and decoder.
+    pub fn finish(self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, 7, b"hello").unwrap();
+        assert_eq!(n, FRAME_OVERHEAD + 5);
+        let (tag, payload, read) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!((tag, payload.as_slice()), (7, b"hello".as_slice()));
+        assert_eq!(read, n);
+    }
+
+    #[test]
+    fn oversize_frame_rejected() {
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn codec_round_trip_bit_exact() {
+        let f = [0.5, -0.0, f64::NAN, 1.0e-308, f64::INFINITY];
+        let payload = Enc::new()
+            .u64(42)
+            .u64s(&[1, 2, 3])
+            .u32s(&[9, 8])
+            .f64s(&f)
+            .str("cscv")
+            .finish();
+        let mut d = Dec::new(&payload);
+        assert_eq!(d.u64().unwrap(), 42);
+        assert_eq!(d.u64s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(d.u32s().unwrap(), vec![9, 8]);
+        let back = d.f64s().unwrap();
+        for (a, b) in back.iter().zip(&f) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-exact f64 round trip");
+        }
+        assert_eq!(d.str().unwrap(), "cscv");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn decoder_rejects_lying_lengths() {
+        // Claims 1000 f64s but carries none.
+        let payload = Enc::new().u64(1000).finish();
+        let mut d = Dec::new(&payload);
+        assert!(d.f64s().is_err());
+        // Trailing garbage is caught by finish().
+        let payload = Enc::new().u64(1).u64(7).finish();
+        let mut d = Dec::new(&payload);
+        assert_eq!(d.u64().unwrap(), 1);
+        assert!(d.finish().is_err());
+    }
+
+    #[test]
+    fn conn_tallies_both_directions() {
+        // A loopback pair over in-memory pipes via UnixStream.
+        let (a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut ca = Conn::new(a);
+        let mut cb = Conn::new(b);
+        ca.send(3, &[1, 2, 3, 4]).unwrap();
+        let (tag, payload) = cb.recv().unwrap();
+        assert_eq!(tag, 3);
+        assert_eq!(payload, vec![1, 2, 3, 4]);
+        assert_eq!(ca.bytes_tx, FRAME_OVERHEAD + 4);
+        assert_eq!(cb.bytes_rx, FRAME_OVERHEAD + 4);
+    }
+}

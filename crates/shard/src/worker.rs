@@ -1,0 +1,481 @@
+//! The worker side: own one shard, answer collectives.
+//!
+//! A worker receives its shard as a rebased CSR ([`crate::protocol::Msg::Matrix`]),
+//! builds the best executor the shard admits, and then answers the
+//! coordinator's collectives until told to shut down. Executor choice:
+//!
+//! * **View-aligned shard** (`n_views > 0` in the Matrix message, i.e.
+//!   the shard's rows are whole sinogram views): convert to CSC and
+//!   build a [`CscvExec`] through `CscvExec::auto` — the consult-only
+//!   tuned path from `cscv-tune`, which reuses any persisted tuning
+//!   cache (`CSCV_TUNE_CACHE`) and degrades to the static heuristic on
+//!   a miss. Forward and adjoint both run the CSCV kernels.
+//! * **Anything else** (non-aligned boundaries, empty shards): the
+//!   tuned CSR executor for the forward product and a serial
+//!   scatter loop for the adjoint.
+//!
+//! Determinism: the CSCV adjoint is tile-disjoint (each column written
+//! by exactly one thread, fixed in-tile order) and the CSR adjoint is
+//! serial, so a worker's replies depend only on its inputs — never on
+//! thread scheduling. That is what lets the coordinator's fixed-order
+//! reduction make whole sharded solves reproducible.
+
+use crate::protocol::Msg;
+use crate::wire::Conn;
+use cscv_core::layout::ImageShape;
+use cscv_core::{CscvExec, ExecConfig, SinoLayout, Variant};
+use cscv_sparse::formats::CsrExec;
+use cscv_sparse::{Csr, SpmvExecutor, ThreadPool};
+use cscv_tune::{AutoExec, Op, TuneCache};
+use std::io::{self, Read, Write};
+use std::time::Instant;
+
+/// Cumulative per-worker execution statistics, reported via
+/// [`Msg::StatsOut`] and surfaced as the `shard.*` trace counters and
+/// `-- shard` report columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Nanoseconds spent inside executor calls (build + products).
+    pub busy_ns: u64,
+    /// Forward products answered.
+    pub spmv_calls: u64,
+    /// Adjoint products answered.
+    pub spmv_t_calls: u64,
+}
+
+/// The executor a worker built for its shard.
+enum Exec {
+    Cscv(Box<CscvExec<f64>>),
+    Csr(CsrExec<f64>),
+}
+
+/// One shard's compute state: the executor, the retained CSR (adjoint
+/// fallback and |A| sums), and the column-support window.
+pub struct ShardBackend {
+    csr: Csr<f64>,
+    exec: Exec,
+    /// Column-support window `[col_lo, col_hi)`: the smallest range
+    /// containing every column index in the shard. Adjoint replies and
+    /// column-sum replies are trimmed to it (the halo window).
+    pub col_lo: usize,
+    pub col_hi: usize,
+    pool: ThreadPool,
+}
+
+impl ShardBackend {
+    /// Build the backend for a shard. `layout`/`img` describe the
+    /// shard's sinogram slice and the image; pass `None` for layout when
+    /// the shard is not view-aligned to force the CSR pair.
+    pub fn build(
+        csr: Csr<f64>,
+        layout: Option<SinoLayout>,
+        img: ImageShape,
+        threads: usize,
+        cache: &mut TuneCache,
+    ) -> ShardBackend {
+        let pool = ThreadPool::new(threads.max(1));
+        let (col_lo, col_hi) = col_window(&csr);
+        let exec = match layout {
+            Some(l)
+                if l.n_views > 0
+                    && l.n_bins > 0
+                    && csr.n_rows() == l.n_views * l.n_bins
+                    && img.nx * img.ny == csr.n_cols()
+                    && csr.nnz() > 0 =>
+            {
+                let csc = csr.to_csc();
+                // `auto` panics if even the heuristic config cannot
+                // build; pre-check so odd shards degrade to CSR instead.
+                match CscvExec::from_csc(&csc, l, img, ExecConfig::heuristic(Variant::Z)) {
+                    Ok(_) => Exec::Cscv(Box::new(CscvExec::auto(&csc, l, img, Op::Spmv, cache))),
+                    Err(_) => Exec::Csr(CsrExec::new(csr.clone())),
+                }
+            }
+            _ => Exec::Csr(CsrExec::new(csr.clone())),
+        };
+        ShardBackend {
+            csr,
+            exec,
+            col_lo,
+            col_hi,
+            pool,
+        }
+    }
+
+    /// Executor name for reports ("CSCV-Z", "MKL-CSR(analog)", …).
+    pub fn exec_name(&self) -> String {
+        match &self.exec {
+            Exec::Cscv(e) => e.name(),
+            Exec::Csr(e) => e.name(),
+        }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.csr.n_rows()
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.csr.n_cols()
+    }
+
+    /// Forward product for this shard's rows: `y_s = A_s x`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.csr.n_rows()];
+        match &self.exec {
+            Exec::Cscv(e) => e.spmv(x, &mut y, &self.pool),
+            Exec::Csr(e) => e.spmv(x, &mut y, &self.pool),
+        }
+        y
+    }
+
+    /// Full-width adjoint partial: `x̃ = A_sᵀ y_s` (zeros outside the
+    /// column window). Deterministic — see the module docs.
+    pub fn spmv_t(&self, y: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.csr.n_cols()];
+        match &self.exec {
+            Exec::Cscv(e) => e.spmv_transpose(y, &mut x, &self.pool),
+            Exec::Csr(_) => {
+                for (r, &yr) in y[..self.csr.n_rows()].iter().enumerate() {
+                    let (cols, vals) = self.csr.row(r);
+                    for (c, v) in cols.iter().zip(vals) {
+                        x[*c as usize] += v * yr;
+                    }
+                }
+            }
+        }
+        x
+    }
+
+    /// `|A_s|` row sums (one per shard row) and full-width column sums.
+    pub fn abs_sums(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut row = vec![0.0; self.csr.n_rows()];
+        let mut col = vec![0.0; self.csr.n_cols()];
+        for (r, row_r) in row.iter_mut().enumerate() {
+            let (cols, vals) = self.csr.row(r);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v.abs();
+                col[*c as usize] += v.abs();
+            }
+            *row_r = acc;
+        }
+        (row, col)
+    }
+}
+
+/// Smallest `[lo, hi)` containing every column index (0..0 when empty).
+fn col_window(csr: &Csr<f64>) -> (usize, usize) {
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for &c in csr.col_idx() {
+        lo = lo.min(c as usize);
+        hi = hi.max(c as usize + 1);
+    }
+    if lo > hi {
+        (0, 0)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn proto_err(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("protocol: {what}"))
+}
+
+/// Decode and validate a [`Msg::Matrix`] payload into a CSR plus the
+/// optional view-aligned layout.
+fn decode_matrix(m: Msg) -> io::Result<(Csr<f64>, Option<SinoLayout>, ImageShape)> {
+    let Msg::Matrix {
+        n_cols,
+        row0: _,
+        n_views,
+        n_bins,
+        nx,
+        ny,
+        row_ptr,
+        col_idx,
+        vals,
+    } = m
+    else {
+        return Err(proto_err("expected Matrix"));
+    };
+    if row_ptr.is_empty() {
+        return Err(proto_err("empty row_ptr"));
+    }
+    if col_idx.len() != vals.len() {
+        return Err(proto_err("col_idx/vals length mismatch"));
+    }
+    if row_ptr.windows(2).any(|w| w[0] > w[1]) || row_ptr[0] != 0 {
+        return Err(proto_err("row_ptr not monotone from 0"));
+    }
+    if *row_ptr.last().expect("nonempty") != col_idx.len() as u64 {
+        return Err(proto_err("row_ptr/nnz mismatch"));
+    }
+    let n_cols = n_cols as usize;
+    if col_idx.iter().any(|&c| c as usize >= n_cols) {
+        return Err(proto_err("column index out of range"));
+    }
+    let csr = Csr::from_parts(
+        row_ptr.len() - 1,
+        n_cols,
+        row_ptr.iter().map(|&p| p as usize).collect(),
+        col_idx,
+        vals,
+    );
+    let layout = (n_views > 0 && n_bins > 0).then_some(SinoLayout {
+        n_views: n_views as usize,
+        n_bins: n_bins as usize,
+    });
+    let img = ImageShape {
+        nx: nx as usize,
+        ny: ny as usize,
+    };
+    Ok((csr, layout, img))
+}
+
+/// Serve one coordinator connection to completion: handshake, build,
+/// then answer collectives until [`Msg::Shutdown`]. Returns the final
+/// stats on clean shutdown.
+pub fn serve<S: Read + Write>(
+    conn: &mut Conn<S>,
+    cache: &mut TuneCache,
+) -> io::Result<WorkerStats> {
+    let Msg::Hello { threads, .. } = Msg::recv(conn)? else {
+        return Err(proto_err("expected Hello"));
+    };
+    let t0 = Instant::now();
+    let (csr, layout, img) = decode_matrix(Msg::recv(conn)?)?;
+    let mut stats = WorkerStats::default();
+    let backend = ShardBackend::build(csr, layout, img, threads as usize, cache);
+    stats.busy_ns += t0.elapsed().as_nanos() as u64;
+    Msg::MatrixAck {
+        col_lo: backend.col_lo as u64,
+        col_hi: backend.col_hi as u64,
+        exec: backend.exec_name(),
+    }
+    .send(conn)?;
+
+    loop {
+        match Msg::recv(conn)? {
+            Msg::Spmv { x } => {
+                if x.len() != backend.n_cols() {
+                    Msg::Err {
+                        msg: "spmv input width mismatch".into(),
+                    }
+                    .send(conn)?;
+                    return Err(proto_err("spmv input width mismatch"));
+                }
+                let t0 = Instant::now();
+                let y = backend.spmv(&x);
+                stats.busy_ns += t0.elapsed().as_nanos() as u64;
+                stats.spmv_calls += 1;
+                Msg::SpmvOut { y }.send(conn)?;
+            }
+            Msg::SpmvT { y } => {
+                if y.len() != backend.n_rows() {
+                    Msg::Err {
+                        msg: "spmv_t input height mismatch".into(),
+                    }
+                    .send(conn)?;
+                    return Err(proto_err("spmv_t input height mismatch"));
+                }
+                let t0 = Instant::now();
+                let x = backend.spmv_t(&y);
+                stats.busy_ns += t0.elapsed().as_nanos() as u64;
+                stats.spmv_t_calls += 1;
+                Msg::SpmvTOut {
+                    col_lo: backend.col_lo as u64,
+                    partial: x[backend.col_lo..backend.col_hi].to_vec(),
+                }
+                .send(conn)?;
+            }
+            Msg::AbsSums => {
+                let t0 = Instant::now();
+                let (row, col) = backend.abs_sums();
+                stats.busy_ns += t0.elapsed().as_nanos() as u64;
+                Msg::AbsSumsOut {
+                    row,
+                    col_lo: backend.col_lo as u64,
+                    col: col[backend.col_lo..backend.col_hi].to_vec(),
+                }
+                .send(conn)?;
+            }
+            Msg::Stats => {
+                Msg::StatsOut {
+                    busy_ns: stats.busy_ns,
+                    bytes_rx: conn.bytes_rx,
+                    bytes_tx: conn.bytes_tx,
+                    spmv_calls: stats.spmv_calls,
+                    spmv_t_calls: stats.spmv_t_calls,
+                }
+                .send(conn)?;
+            }
+            Msg::Shutdown => {
+                Msg::ShutdownAck.send(conn)?;
+                return Ok(stats);
+            }
+            other => {
+                let msg = format!("unexpected message {other:?}");
+                Msg::Err { msg: msg.clone() }.send(conn)?;
+                return Err(proto_err(&msg));
+            }
+        }
+    }
+}
+
+/// The tuning cache workers consult: `CSCV_TUNE_CACHE` when set (shared
+/// with the coordinator so every process resolves the same config —
+/// part of the `workers = 1` byte-identity story), else in-memory.
+pub fn env_cache() -> TuneCache {
+    match std::env::var_os("CSCV_TUNE_CACHE") {
+        Some(p) => TuneCache::load(std::path::Path::new(&p)),
+        None => TuneCache::in_memory(),
+    }
+}
+
+/// Worker-process entry point: connect to the coordinator's Unix socket
+/// and serve until shutdown. This is what
+/// `cscv-xtask shard-worker --socket PATH` runs.
+pub fn run_process(socket: &str) -> io::Result<()> {
+    let stream = std::os::unix::net::UnixStream::connect(socket)?;
+    let mut conn = Conn::new(stream);
+    let mut cache = env_cache();
+    serve(&mut conn, &mut cache)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscv_sparse::Coo;
+
+    fn toy_csr() -> Csr<f64> {
+        let mut coo = Coo::new(4, 6);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 2, -1.0);
+        coo.push(2, 1, 0.5);
+        coo.push(2, 4, 3.0);
+        coo.push(3, 4, 1.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn col_window_trims_to_support() {
+        assert_eq!(col_window(&toy_csr()), (1, 5));
+        let empty: Csr<f64> = Coo::new(3, 9).to_csr();
+        assert_eq!(col_window(&empty), (0, 0));
+    }
+
+    #[test]
+    fn csr_backend_products_match_reference() {
+        let csr = toy_csr();
+        let img = ImageShape { nx: 3, ny: 2 };
+        let mut cache = TuneCache::in_memory();
+        let b = ShardBackend::build(csr.clone(), None, img, 2, &mut cache);
+        assert_eq!(b.exec_name(), "MKL-CSR(analog)");
+
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut y_ref = vec![0.0; 4];
+        csr.spmv_serial(&x, &mut y_ref);
+        assert_eq!(b.spmv(&x), y_ref);
+
+        let y = [1.0, -2.0, 0.25, 4.0];
+        let xt = b.spmv_t(&y);
+        let mut xt_ref = vec![0.0; 6];
+        for r in 0..4 {
+            let (cols, vals) = csr.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                xt_ref[*c as usize] += v * y[r];
+            }
+        }
+        assert_eq!(xt, xt_ref);
+
+        let (rs, cs) = b.abs_sums();
+        assert_eq!(rs, vec![2.0, 1.0, 3.5, 1.0]);
+        assert_eq!(cs[1], 2.5);
+        assert_eq!(cs[4], 4.0);
+    }
+
+    #[test]
+    fn serve_answers_a_full_session() {
+        use std::os::unix::net::UnixStream;
+        let (a, b) = UnixStream::pair().unwrap();
+        let worker = std::thread::spawn(move || {
+            let mut conn = Conn::new(b);
+            let mut cache = TuneCache::in_memory();
+            serve(&mut conn, &mut cache).unwrap()
+        });
+
+        let mut conn = Conn::new(a);
+        Msg::Hello {
+            shard: 0,
+            n_shards: 1,
+            threads: 1,
+        }
+        .send(&mut conn)
+        .unwrap();
+        let csr = toy_csr();
+        Msg::Matrix {
+            n_cols: 6,
+            row0: 0,
+            n_views: 0,
+            n_bins: 0,
+            nx: 3,
+            ny: 2,
+            row_ptr: csr.row_ptr().iter().map(|&p| p as u64).collect(),
+            col_idx: csr.col_idx().to_vec(),
+            vals: csr.vals().to_vec(),
+        }
+        .send(&mut conn)
+        .unwrap();
+        let Msg::MatrixAck { col_lo, col_hi, .. } = Msg::recv(&mut conn).unwrap() else {
+            panic!("expected MatrixAck");
+        };
+        assert_eq!((col_lo, col_hi), (1, 5));
+
+        Msg::Spmv { x: vec![1.0; 6] }.send(&mut conn).unwrap();
+        let Msg::SpmvOut { y } = Msg::recv(&mut conn).unwrap() else {
+            panic!("expected SpmvOut");
+        };
+        assert_eq!(y, vec![2.0, -1.0, 3.5, 1.0]);
+
+        Msg::SpmvT { y: vec![1.0; 4] }.send(&mut conn).unwrap();
+        let Msg::SpmvTOut { col_lo, partial } = Msg::recv(&mut conn).unwrap() else {
+            panic!("expected SpmvTOut");
+        };
+        assert_eq!(col_lo, 1);
+        assert_eq!(partial, vec![2.5, -1.0, 0.0, 4.0]);
+
+        Msg::Stats.send(&mut conn).unwrap();
+        let Msg::StatsOut {
+            spmv_calls,
+            spmv_t_calls,
+            ..
+        } = Msg::recv(&mut conn).unwrap()
+        else {
+            panic!("expected StatsOut");
+        };
+        assert_eq!((spmv_calls, spmv_t_calls), (1, 1));
+
+        Msg::Shutdown.send(&mut conn).unwrap();
+        assert!(matches!(Msg::recv(&mut conn).unwrap(), Msg::ShutdownAck));
+        let stats = worker.join().unwrap();
+        assert_eq!(stats.spmv_calls, 1);
+    }
+
+    #[test]
+    fn malformed_matrix_is_rejected() {
+        let m = Msg::Matrix {
+            n_cols: 2,
+            row0: 0,
+            n_views: 0,
+            n_bins: 0,
+            nx: 2,
+            ny: 1,
+            row_ptr: vec![0, 1],
+            col_idx: vec![5], // out of range for n_cols = 2
+            vals: vec![1.0],
+        };
+        assert!(decode_matrix(m).is_err());
+    }
+}

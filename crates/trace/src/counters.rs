@@ -77,10 +77,26 @@ pub enum Counter {
     /// Tuning-cache lookups that fell through to a fresh search (or to
     /// the static heuristic when searching is not allowed).
     TuneCacheMisses,
+    /// Bytes the shard coordinator wrote to worker sockets (frame
+    /// headers included). One forward SpMV broadcast adds roughly
+    /// `n_shards · M(x)` plus framing.
+    ShardBytesTx,
+    /// Bytes the shard coordinator read back from worker sockets
+    /// (frame headers included). Adjoint replies shrink with the halo
+    /// windows: each worker sends only its column-support slice.
+    ShardBytesRx,
+    /// Nanoseconds the coordinator spent in the fixed-order tree
+    /// reduction of partial `ỹ` vectors (adjoint merges and column-sum
+    /// merges; forward gathers are placement-only and add zero).
+    ShardReduceNs,
+    /// Nanoseconds shard workers reported spending inside their local
+    /// executors (summed over workers; divide by the coordinator's
+    /// request wall time for the busy fraction).
+    ShardWorkerBusyNs,
 }
 
 /// Number of counters in [`Counter`].
-pub const N_COUNTERS: usize = 20;
+pub const N_COUNTERS: usize = 24;
 
 /// Every counter, in declaration order (emit order).
 pub const ALL: [Counter; N_COUNTERS] = [
@@ -104,6 +120,10 @@ pub const ALL: [Counter; N_COUNTERS] = [
     Counter::TuneSamples,
     Counter::TuneCacheHits,
     Counter::TuneCacheMisses,
+    Counter::ShardBytesTx,
+    Counter::ShardBytesRx,
+    Counter::ShardReduceNs,
+    Counter::ShardWorkerBusyNs,
 ];
 
 impl Counter {
@@ -130,6 +150,10 @@ impl Counter {
             Counter::TuneSamples => "tune_samples",
             Counter::TuneCacheHits => "tune_cache_hits",
             Counter::TuneCacheMisses => "tune_cache_misses",
+            Counter::ShardBytesTx => "shard_bytes_tx",
+            Counter::ShardBytesRx => "shard_bytes_rx",
+            Counter::ShardReduceNs => "shard_reduce_ns",
+            Counter::ShardWorkerBusyNs => "shard_worker_busy_ns",
         }
     }
 }

@@ -132,14 +132,30 @@ const LAYERING_DAG: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "cscv-shard",
+        &[
+            "cscv-trace",
+            "cscv-simd",
+            "cscv-sparse",
+            "cscv-core",
+            "cscv-ct",
+            "cscv-recon",
+            "cscv-harness",
+            "cscv-tune",
+        ],
+    ),
+    (
         "cscv-xtask",
         &[
             "cscv-trace",
             "cscv-simd",
             "cscv-sparse",
             "cscv-core",
+            "cscv-ct",
+            "cscv-recon",
             "cscv-harness",
             "cscv-tune",
+            "cscv-shard",
         ],
     ),
     (
@@ -153,6 +169,7 @@ const LAYERING_DAG: &[(&str, &[&str])] = &[
             "cscv-recon",
             "cscv-harness",
             "cscv-tune",
+            "cscv-shard",
         ],
     ),
 ];

@@ -38,4 +38,5 @@ pub mod lint;
 pub mod ndjson;
 pub mod perf;
 pub mod sched;
+pub mod shard_cmd;
 pub mod tune_cmd;

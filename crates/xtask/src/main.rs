@@ -10,6 +10,11 @@
 //!                            [--format table|ndjson]
 //! cscv-xtask tune [DIR] [--cache FILE] [--format table|ndjson]
 //!                 [--reps N] [--warmup N] [--threads N] [--model]
+//! cscv-xtask shard [--case FILE] [--workers LIST] [--solver NAME|all]
+//!                  [--iters N] [--method stripe|bisect] [--threads N]
+//!                  [--launch process|threads] [--tol F]
+//!                  [--format table|ndjson]
+//! cscv-xtask shard-worker --socket PATH   (internal: worker process)
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = violations / perf regressions / fuzz
@@ -17,7 +22,7 @@
 
 use cscv_xtask::audit::audit_root;
 use cscv_xtask::lint::{lint_root, Report};
-use cscv_xtask::{fuzz, ndjson, perf, tune_cmd};
+use cscv_xtask::{fuzz, ndjson, perf, shard_cmd, tune_cmd};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -34,7 +39,8 @@ fn usage() -> ExitCode {
          \x20      cscv-xtask fuzz [--iters N] [--seed S] [--corpus DIR]\n\
          \x20      cscv-xtask perf-report DIR [--format table|ndjson] [--peak-gbs F] [--export-dir DIR]\n\
          \x20      cscv-xtask perf-report --diff DIR_A DIR_B [--threshold F] [--format table|ndjson]\n\
-         \x20      cscv-xtask tune [DIR] [--cache FILE] [--format table|ndjson] [--reps N] [--warmup N] [--threads N] [--model]\n\n\
+         \x20      cscv-xtask tune [DIR] [--cache FILE] [--format table|ndjson] [--reps N] [--warmup N] [--threads N] [--model]\n\
+         \x20      cscv-xtask shard [--case FILE] [--workers LIST] [--solver NAME|all] [--iters N] [--method stripe|bisect] [--threads N] [--launch process|threads] [--tol F] [--format table|ndjson]\n\n\
          lint        scans crates/*/src/**.rs (and the umbrella src/) for the\n\
          \x20           project rules: SAFETY comments on unsafe, the unsafe-module\n\
          \x20           whitelist, panicking constructs in kernel hot paths, and\n\
@@ -59,7 +65,14 @@ fn usage() -> ExitCode {
          \x20           and reports speedups; --cache persists selections so repeat\n\
          \x20           runs skip the search, --model uses the deterministic cost\n\
          \x20           model; exits 1 if a tuned config is slower than the heuristic\n\
-         \x20           beyond the noise band."
+         \x20           beyond the noise band.\n\
+         shard       sharded multi-process reconstruction gate: assembles the case's\n\
+         \x20           system matrix, partitions it into row shards, launches one\n\
+         \x20           worker per shard (processes over Unix sockets by default),\n\
+         \x20           runs each solver sharded and single-process, and compares —\n\
+         \x20           --workers 1 must match bit for bit, more must stay within\n\
+         \x20           --tol (default 1e-10) per residual-trajectory entry; exits 1\n\
+         \x20           on any equivalence failure."
     );
     ExitCode::from(2)
 }
@@ -72,6 +85,8 @@ fn main() -> ExitCode {
         Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("perf-report") => perf_cmd(&args[1..]),
         Some("tune") => tune_cli(&args[1..]),
+        Some("shard") => shard_cli(&args[1..]),
+        Some("shard-worker") => shard_worker_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -328,6 +343,116 @@ fn tune_cli(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("cscv-xtask tune: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn shard_cli(args: &[String]) -> ExitCode {
+    // Under `--features trace` this dumps the run's counters (including
+    // the shard.* set the coordinator publishes at cluster shutdown) to
+    // `CSCV_TRACE_OUT` as NDJSON on exit — the CI artifact.
+    let _trace = cscv_trace::report_guard();
+    let mut cfg = shard_cmd::ShardCmdConfig::default();
+    let mut format = Format::Table;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--case" => match it.next() {
+                Some(p) => cfg.case = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--workers" => {
+                let parsed: Option<Vec<usize>> = it
+                    .next()
+                    .map(|v| v.split(',').map(|w| w.trim().parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(ws) if !ws.is_empty() && ws.iter().all(|&w| w > 0) => cfg.workers = ws,
+                    _ => return usage(),
+                }
+            }
+            "--solver" => match it.next() {
+                Some(s) if s == "all" => cfg.solvers = cscv_recon::Solver::ALL.to_vec(),
+                Some(s) => match cscv_recon::Solver::parse(s) {
+                    Some(solver) => cfg.solvers = vec![solver],
+                    None => return usage(),
+                },
+                None => return usage(),
+            },
+            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => cfg.iters = Some(n),
+                _ => return usage(),
+            },
+            "--method" => match it
+                .next()
+                .and_then(|m| cscv_shard::PartitionMethod::parse(m))
+            {
+                Some(m) => cfg.method = m,
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => cfg.threads = n,
+                _ => return usage(),
+            },
+            "--launch" => match it.next().map(String::as_str) {
+                Some("process") => cfg.threads_launch = false,
+                Some("threads") => cfg.threads_launch = true,
+                _ => return usage(),
+            },
+            "--tol" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) if t > 0.0 => cfg.tol = t,
+                _ => return usage(),
+            },
+            "--format" => match parse_format(it.next().map(String::as_str)) {
+                Some(f) => format = f,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    match shard_cmd::run(&cfg) {
+        Ok(outcome) => {
+            match format {
+                Format::Table => print!("{}", outcome.render_table()),
+                Format::Ndjson => print!("{}", outcome.render_ndjson()),
+            }
+            if outcome.failures().is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("cscv-xtask shard: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Hidden entry point: one worker process of a shard cluster. The
+/// coordinator (`shard_cli` with `--launch process`, the default) spawns
+/// `cscv-xtask shard-worker --socket PATH` per shard; everything else —
+/// shard identity, the matrix, solver traffic — arrives over the socket.
+fn shard_worker_cmd(args: &[String]) -> ExitCode {
+    let mut socket: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(p.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(socket) = socket else {
+        return usage();
+    };
+    match cscv_shard::worker::run_process(&socket) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cscv-xtask shard-worker: {e}");
             ExitCode::from(2)
         }
     }

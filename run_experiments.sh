@@ -15,7 +15,23 @@ set -u
 cd "$(dirname "$0")"
 OUT=bench_results
 R="cargo run --release -q -p cscv-bench --bin"
-run() { echo "== $1 =="; shift; local t0=$SECONDS; "$@"; echo "[elapsed $((SECONDS-t0))s]"; }
+# Call sites redirect each driver's output into its table file, so keep a
+# dup of the console for failure reporting.
+exec 3>&1
+# Run one driver; a non-zero exit aborts the whole script with that
+# driver's status. A missing table discovered at paper-assembly time is
+# far worse than a red run — never continue past a failed driver.
+run() {
+    local name=$1; shift
+    echo "== $name =="
+    local t0=$SECONDS status=0
+    "$@" || status=$?
+    echo "[elapsed $((SECONDS-t0))s]"
+    if [ "$status" -ne 0 ]; then
+        echo "run_experiments.sh: driver '$name' failed with exit $status (see its output file under $OUT/)" >&3
+        exit "$status"
+    fi
+}
 # Like `run`, but routes the driver's trace dump to $OUT/trace/<name>.ndjson
 # in --smoke-trace mode.
 runt() {
