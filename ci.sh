@@ -24,6 +24,13 @@
 #                                  --workers 1,2,4`): workers=1 must be
 #                                  byte-identical to single-process,
 #                                  2 and 4 within 1e-10 per residual entry
+#   ci.sh --sanitizers           + run the curated concurrency subset
+#                                  (cscv-sparse + cscv-core lib tests)
+#                                  under ThreadSanitizer and
+#                                  AddressSanitizer with the vetted
+#                                  suppressions file; deterministic
+#                                  (CSCV_NUMA=0, fixed seeds), needs a
+#                                  nightly toolchain with rust-src
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -35,6 +42,7 @@ UPDATE_BASELINE=0
 MIRI=0
 FUZZ=0
 SHARD_SMOKE=0
+SANITIZERS=0
 for arg in "$@"; do
     case "$arg" in
         --perf-smoke) PERF_SMOKE=1 ;;
@@ -42,6 +50,7 @@ for arg in "$@"; do
         --miri) MIRI=1 ;;
         --fuzz) FUZZ=1 ;;
         --shard-smoke) SHARD_SMOKE=1 ;;
+        --sanitizers) SANITIZERS=1 ;;
         *) echo "ci.sh: unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -62,6 +71,9 @@ cargo run -q -p cscv-xtask -- lint
 
 step "cscv-xtask audit (index casts, unchecked indexing, cfg flags, crate layering)"
 cargo run -q -p cscv-xtask -- audit
+
+step "cscv-xtask analyze (inter-procedural rules + findings ratchet)"
+cargo run -q -p cscv-xtask -- analyze
 
 step "cscv-xtask fuzz (regression corpus replay)"
 cargo run -q -p cscv-xtask -- fuzz --iters 0 --corpus crates/xtask/fuzz_corpus
@@ -92,6 +104,35 @@ if [ "$MIRI" = 1 ]; then
             -p cscv-sparse -p cscv-simd -p cscv-core -p cscv-trace --lib
     else
         step "miri not installed — skipping (rustup component add miri)"
+    fi
+fi
+
+if [ "$SANITIZERS" = 1 ]; then
+    # Curated concurrency subset: the pool/shared-slice machinery in
+    # cscv-sparse and the executors in cscv-core. Deterministic on
+    # purpose — CSCV_NUMA=0 removes topology-dependent placement, and
+    # the lib tests use fixed seeds throughout — so a red sanitizer run
+    # reproduces on any machine. TSan suppressions are the vetted,
+    # justified list in crates/xtask/sanitizer_suppressions.txt;
+    # halt_on_error=1 makes the first report fatal instead of a warning.
+    if rustup run nightly cargo --version >/dev/null 2>&1; then
+        step "cargo test under ThreadSanitizer (cscv-sparse, cscv-core libs)"
+        CSCV_NUMA=0 \
+        TSAN_OPTIONS="suppressions=$PWD/crates/xtask/sanitizer_suppressions.txt halt_on_error=1" \
+        RUSTFLAGS="-Zsanitizer=thread" \
+            rustup run nightly cargo test -q -Zbuild-std \
+            --target x86_64-unknown-linux-gnu \
+            -p cscv-sparse -p cscv-core --lib
+
+        step "cargo test under AddressSanitizer (cscv-sparse, cscv-core libs)"
+        CSCV_NUMA=0 \
+        ASAN_OPTIONS="halt_on_error=1" \
+        RUSTFLAGS="-Zsanitizer=address" \
+            rustup run nightly cargo test -q -Zbuild-std \
+            --target x86_64-unknown-linux-gnu \
+            -p cscv-sparse -p cscv-core --lib
+    else
+        step "nightly toolchain not installed — skipping sanitizers (rustup toolchain install nightly --component rust-src)"
     fi
 fi
 

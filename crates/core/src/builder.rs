@@ -210,8 +210,10 @@ pub fn try_build_with_curves<T: Scalar>(
         // Group count <= n_views <= n_rows <= i32::MAX and tile count <=
         // n_pixels <= u32::MAX — both ceilings established above, so
         // these conversions cannot truncate.
+        // AUDIT(panic-ok): ceiling established above — group count <= i32::MAX.
         let group_id = u32::try_from(gi).expect("group index fits u32");
         for (ti, tile) in tile_list.iter().enumerate() {
+            // AUDIT(panic-ok): ceiling established above — tile count <= u32::MAX.
             let tile_id = u32::try_from(ti).expect("tile index fits u32");
             if let Some(block) = build_block(
                 csc, &layout, &img, tile, views, group_id, tile_id, params, variant, curves,
@@ -311,6 +313,7 @@ fn build_block<T: Scalar>(
         let entries = col_block_entries(csc, layout, col, views);
         block_nnz += entries.len();
         // col < n_pixels <= u32::MAX (checked in try_build_with_curves).
+        // AUDIT(panic-ok): ceiling established in try_build_with_curves — col < n_pixels <= u32::MAX.
         raw.push((u32::try_from(col).expect("column fits u32"), entries));
     }
     if block_nnz == 0 {

@@ -148,6 +148,7 @@ impl<T: Scalar + MaskExpand> CscvExec<T> {
             .unwrap_or(0);
         let mut tile_blocks: Vec<Vec<u32>> = vec![Vec::new(); n_tiles];
         for (bi, b) in m.blocks.iter().enumerate() {
+            // AUDIT(panic-ok): CSCV-U32-FIT — the builder caps the block count below u32::MAX; the expect documents that invariant at the narrowing site.
             let bi = u32::try_from(bi).expect("block index fits u32 (CSCV-U32-FIT)");
             tile_blocks[b.tile as usize].push(bi);
         }

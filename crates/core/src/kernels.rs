@@ -29,6 +29,7 @@ fn lane_block<T: Scalar, const W: usize>(vals: &[T], p: usize) -> &[T; W] {
 
 /// CSCV-Z block kernel: `ỹ += x ⊗ block` with padding zeros kept.
 /// `ytil` must hold at least `blk.ytil_len()` elements; it is zeroed here.
+// AUDIT(panic-ok): checked indexing is the bounds guard here — block tables are validated at construction (CSCV-BOUNDS), so a panic is a builder bug, never input-dependent.
 pub fn run_block_z<T: Scalar, const W: usize>(
     blk: &Block<T>,
     s_vxg: usize,
@@ -61,6 +62,7 @@ pub fn run_block_z<T: Scalar, const W: usize>(
 
 /// Read one occupancy mask (1 byte for `W ≤ 8`, 2 bytes LE for `W = 16`).
 #[inline(always)]
+// AUDIT(panic-ok): checked indexing is the bounds guard here — block tables are validated at construction (CSCV-BOUNDS), so a panic is a builder bug, never input-dependent.
 fn read_mask<const W: usize>(masks: &[u8], mi: usize) -> u32 {
     if W > 8 {
         // Two-byte masks straddle the stream tail when the last lane
@@ -87,6 +89,7 @@ fn read_mask<const W: usize>(masks: &[u8], mi: usize) -> u32 {
 /// CSCV-M block kernel: padding zeros removed; each lane block is
 /// re-inflated by mask expansion before the FMA. `HW` selects the
 /// hardware `vexpand` path (caller verified availability).
+// AUDIT(panic-ok): checked indexing is the bounds guard here — block tables are validated at construction (CSCV-BOUNDS), so a panic is a builder bug, never input-dependent.
 pub fn run_block_m<T: Scalar + MaskExpand, const W: usize, const HW: bool>(
     blk: &Block<T>,
     s_vxg: usize,
@@ -135,6 +138,7 @@ pub fn run_block_m<T: Scalar + MaskExpand, const W: usize, const HW: bool>(
 /// Scatter-add a computed `ỹ` into an output slice whose index 0
 /// corresponds to global row `row_offset` (paper Alg. 3 line 11, the
 /// inverse mapping `ι_k⁻¹`).
+// AUDIT(panic-ok): checked indexing is the bounds guard here — block tables are validated at construction (CSCV-BOUNDS), so a panic is a builder bug, never input-dependent.
 pub fn scatter_add<T: Scalar>(blk: &Block<T>, ytil: &[T], dst: &mut [T], row_offset: usize) {
     for (slot, &row) in blk.map.iter().enumerate() {
         if row >= 0 {
@@ -146,6 +150,7 @@ pub fn scatter_add<T: Scalar>(blk: &Block<T>, ytil: &[T], dst: &mut [T], row_off
 
 /// Gather the block's `ỹ` view of a global `y` (forward mapping `ι_k`;
 /// invalid slots read as zero). The transpose kernels' prologue.
+// AUDIT(panic-ok): checked indexing is the bounds guard here — block tables are validated at construction (CSCV-BOUNDS), so a panic is a builder bug, never input-dependent.
 pub fn gather<T: Scalar>(blk: &Block<T>, y: &[T], ytil: &mut [T]) {
     let ytil = &mut ytil[..blk.ytil_len()];
     for (slot, &row) in blk.map.iter().enumerate() {
@@ -157,6 +162,7 @@ pub fn gather<T: Scalar>(blk: &Block<T>, y: &[T], ytil: &mut [T]) {
 /// future-work `x = Aᵀy` back-projection, here implemented). `ytil` must
 /// already hold the gathered `ỹ` (see [`gather`]); per member column the
 /// kernel accumulates a `W`-lane dot product, horizontally summed once.
+// AUDIT(panic-ok): checked indexing is the bounds guard here — block tables are validated at construction (CSCV-BOUNDS), so a panic is a builder bug, never input-dependent.
 pub fn run_block_z_t<T: Scalar, const W: usize>(
     blk: &Block<T>,
     s_vxg: usize,
@@ -189,6 +195,7 @@ pub fn run_block_z_t<T: Scalar, const W: usize>(
 }
 
 /// Transpose CSCV-M block kernel (mask-expanded values).
+// AUDIT(panic-ok): checked indexing is the bounds guard here — block tables are validated at construction (CSCV-BOUNDS), so a panic is a builder bug, never input-dependent.
 pub fn run_block_m_t<T: Scalar + MaskExpand, const W: usize, const HW: bool>(
     blk: &Block<T>,
     s_vxg: usize,
@@ -257,6 +264,7 @@ fn gather_xs<T: Scalar, const K: usize>(x: &[T], n_cols: usize, c: usize) -> [T;
 /// sides in one pass over the value stream. `x` holds `K` column-major
 /// RHS vectors of length `n_cols`; `ytil` must hold at least
 /// `K · blk.ytil_len()` elements (interleaved layout) and is zeroed here.
+// AUDIT(panic-ok): checked indexing is the bounds guard here — block tables are validated at construction (CSCV-BOUNDS), so a panic is a builder bug, never input-dependent.
 pub fn run_block_z_multi<T: Scalar, const W: usize, const K: usize>(
     blk: &Block<T>,
     s_vxg: usize,
@@ -291,6 +299,7 @@ pub fn run_block_z_multi<T: Scalar, const W: usize, const K: usize>(
 /// Batched CSCV-M block kernel: each lane block is mask-expanded ONCE
 /// and folded into all `K` accumulators — the decompression cost is
 /// amortized across the batch exactly like the value-stream traffic.
+// AUDIT(panic-ok): checked indexing is the bounds guard here — block tables are validated at construction (CSCV-BOUNDS), so a panic is a builder bug, never input-dependent.
 pub fn run_block_m_multi<T: Scalar + MaskExpand, const W: usize, const HW: bool, const K: usize>(
     blk: &Block<T>,
     s_vxg: usize,
@@ -340,6 +349,7 @@ pub fn run_block_m_multi<T: Scalar + MaskExpand, const W: usize, const HW: bool,
 /// Scatter-add a batched interleaved `ỹ` into `K` output segments.
 /// `dst` holds `K` column-major segments of `seg_len` rows each (RHS `k`
 /// at `dst[k·seg_len ..]`); segment index 0 is global row `row_offset`.
+// AUDIT(panic-ok): checked indexing is the bounds guard here — block tables are validated at construction (CSCV-BOUNDS), so a panic is a builder bug, never input-dependent.
 pub fn scatter_add_multi<T: Scalar, const W: usize, const K: usize>(
     blk: &Block<T>,
     ytil: &[T],
@@ -361,6 +371,7 @@ pub fn scatter_add_multi<T: Scalar, const W: usize, const K: usize>(
 /// Gather the block's batched `ỹ` view of `K` column-major `y` segments
 /// of `n_rows` each (invalid slots read as zero). Prologue of the
 /// batched transpose kernels.
+// AUDIT(panic-ok): checked indexing is the bounds guard here — block tables are validated at construction (CSCV-BOUNDS), so a panic is a builder bug, never input-dependent.
 pub fn gather_multi<T: Scalar, const W: usize, const K: usize>(
     blk: &Block<T>,
     y: &[T],
@@ -384,6 +395,7 @@ pub fn gather_multi<T: Scalar, const W: usize, const K: usize>(
 /// `K` right-hand sides in one value-stream pass. `ytil` must hold the
 /// interleaved gathered batch (see [`gather_multi`]); per member column
 /// the sink receives the `K` horizontal sums at once.
+// AUDIT(panic-ok): checked indexing is the bounds guard here — block tables are validated at construction (CSCV-BOUNDS), so a panic is a builder bug, never input-dependent.
 pub fn run_block_z_t_multi<T: Scalar, const W: usize, const K: usize>(
     blk: &Block<T>,
     s_vxg: usize,
@@ -420,6 +432,7 @@ pub fn run_block_z_t_multi<T: Scalar, const W: usize, const K: usize>(
 
 /// Batched transpose CSCV-M kernel (each mask expansion shared by all
 /// `K` right-hand sides).
+// AUDIT(panic-ok): checked indexing is the bounds guard here — block tables are validated at construction (CSCV-BOUNDS), so a panic is a builder bug, never input-dependent.
 pub fn run_block_m_t_multi<
     T: Scalar + MaskExpand,
     const W: usize,

@@ -80,6 +80,9 @@ pub fn append(record: &Json) {
 /// (−1 = unset). A shard worker sets this once at startup so every
 /// measurement it records is attributable to its shard; single-process
 /// drivers never touch it and their records stay unchanged.
+// ATOMIC(statistic): a tag copied into measurement records — set once
+// by the worker before measuring on the same thread; readers that race
+// the store merely emit an untagged record, so Relaxed is sufficient.
 static SHARD_CONTEXT: AtomicI64 = AtomicI64::new(-1);
 
 /// Tag all subsequent spmv/spmm records with `"shard"`/`"shards"`.

@@ -32,7 +32,8 @@ use std::ops::Range;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::process::{Child, Command};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How worker endpoints are brought up.
@@ -105,10 +106,19 @@ pub fn tree_reduce(mut bufs: Vec<Vec<f64>>) -> Vec<f64> {
 
 /// Process-global sequence for unique socket paths (pid alone is not
 /// enough: one process may start many clusters).
+// ATOMIC(statistic): unique-id allocator — fetch_add only needs
+// uniqueness, never cross-thread ordering.
 static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
 
 enum Endpoint {
-    Thread(std::thread::JoinHandle<()>),
+    Thread {
+        handle: std::thread::JoinHandle<()>,
+        // ATOMIC(flag): the worker publishes "serve() completed" with a
+        // Release store; the coordinator's Acquire load after join()
+        // observes the worker's final writes, distinguishing a clean
+        // protocol shutdown from a thread that bailed mid-serve.
+        served: Arc<AtomicBool>,
+    },
     Process(Child),
 }
 
@@ -406,9 +416,15 @@ impl Cluster {
         }
         for ep in self.endpoints.drain(..) {
             match ep {
-                Endpoint::Thread(h) => {
-                    h.join()
+                Endpoint::Thread { handle, served } => {
+                    handle
+                        .join()
                         .map_err(|_| io::Error::other("worker thread panicked"))?;
+                    if !served.load(Ordering::Acquire) {
+                        return Err(io::Error::other(
+                            "worker thread exited without completing serve()",
+                        ));
+                    }
                 }
                 Endpoint::Process(mut child) => {
                     let status = child.wait()?;
@@ -448,7 +464,7 @@ impl Drop for Cluster {
     fn drop(&mut self) {
         for ep in self.endpoints.drain(..) {
             match ep {
-                Endpoint::Thread(_) => {} // unblocks when its socket drops
+                Endpoint::Thread { .. } => {} // unblocks when its socket drops
                 Endpoint::Process(mut child) => {
                     let _ = child.kill();
                     let _ = child.wait();
@@ -474,13 +490,18 @@ fn connect_all(
             let mut endpoints = Vec::with_capacity(n);
             for _ in 0..n {
                 let (ours, theirs) = UnixStream::pair()?;
-                endpoints.push(Endpoint::Thread(std::thread::spawn(move || {
+                let served = Arc::new(AtomicBool::new(false));
+                let served_w = Arc::clone(&served);
+                let handle = std::thread::spawn(move || {
                     let mut conn = Conn::new(theirs);
                     let mut cache = worker::env_cache();
                     // Errors surface on the coordinator side as broken
                     // frames; the thread itself just stops serving.
-                    let _ = worker::serve(&mut conn, &mut cache);
-                })));
+                    if worker::serve(&mut conn, &mut cache).is_ok() {
+                        served_w.store(true, Ordering::Release);
+                    }
+                });
+                endpoints.push(Endpoint::Thread { handle, served });
                 conns.push(Conn::new(ours));
             }
             Ok((conns, endpoints, None))

@@ -76,6 +76,7 @@ impl ThreadPool {
                             }
                         }
                     })
+                    // AUDIT(panic-ok): thread spawn fails only on resource exhaustion during pool construction, before any dispatched work exists to lose.
                     .expect("spawn pool worker");
                 job_txs.push(tx);
                 handles.push(handle);
@@ -154,10 +155,12 @@ impl ThreadPool {
                 task: TaskPtr(raw),
                 thread_idx: idx,
             })
+            // AUDIT(panic-ok): a worker that dropped its channel already died mid-run; aborting beats returning a silently partial reduction.
             .expect("worker alive");
         }
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
         for _ in 0..self.n_threads {
+            // AUDIT(panic-ok): all ack senders live in `handles`; recv fails only if a worker died without acking, which is unrecoverable.
             match guard.ack_rx.recv().expect("worker alive") {
                 Ok(()) => {}
                 Err(p) => panic = Some(p),
@@ -225,10 +228,13 @@ mod tests {
         let count = AtomicUsize::new(0);
         for _ in 0..50 {
             pool.run(|_| {
-                count.fetch_add(1, Ordering::Relaxed);
+                // SeqCst: the assertion must observe every increment
+                // directly, not only transitively through the ack
+                // barrier's acquire/release edges.
+                count.fetch_add(1, Ordering::SeqCst);
             });
         }
-        assert_eq!(count.load(Ordering::Relaxed), 150);
+        assert_eq!(count.load(Ordering::SeqCst), 150);
     }
 
     #[test]

@@ -71,6 +71,7 @@ mod claims {
             while i < v.len() && v[i].start <= end {
                 let c = &v[i];
                 if c.start < end && start < c.end && c.thread != me {
+                    // AUDIT(panic-ok): deliberate — an overlapping claim is a data race in the making; a diagnostic panic beats silent UB.
                     panic!(
                         "SharedSliceMut aliasing violation: thread {:?} ({me:?}) claimed \
                          [{start}..{end}) at {site}, overlapping [{}..{}) claimed by \

@@ -13,6 +13,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+// ATOMIC(statistic): per-thread trace counters — each thread bumps only
+// its own shard with Relaxed fetch_add and aggregation folds whatever it
+// observes; no cross-thread ordering protocol exists or is needed.
 pub(crate) type CounterShard = [AtomicU64; N_COUNTERS];
 
 struct Slot {

@@ -1,0 +1,885 @@
+//! The analyzer's rule families, over the symbol model, the call graph
+//! and the dataflow facts:
+//!
+//! * `unsafe-provenance` — raw pointers/slices derived from
+//!   `SharedSliceMut::get_raw`/`slice_mut` must not escape: returned to
+//!   callers, stored into fields/statics/collections, captured by a
+//!   `spawn(…)` closure, or used across a `claims_barrier()`.
+//!   Suppression: `// AUDIT(escape-ok): <why>`.
+//! * `panic-reachability` — hot-path functions (`kernels.rs`,
+//!   `lanes.rs`, `expand.rs`, `exec.rs`) must not *transitively* reach a
+//!   panicking construct through any non-test call path; the shortest
+//!   witness chain is reported. Suppression: `// AUDIT(panic-ok): <why>`
+//!   on the source line, or on a fn header to accept the whole subtree.
+//! * `atomic-role` / `atomic-ordering` / `fence-unpaired` — every
+//!   non-test atomic declaration carries an `// ATOMIC(<role>)`; ops on
+//!   handoff/flag atomics must use acquire/release-or-stronger
+//!   orderings; a release fence needs an acquire counterpart somewhere.
+//!   Suppression for ordering: `// AUDIT(order-ok): <why>`.
+//! * `ipc-cast-truncation` — the PR 5 narrowing-cast rule with the
+//!   *inter-procedural* index set: flags casts the intra-procedural
+//!   audit cannot see (index values that crossed a call edge, and
+//!   helpers outside the hot-path files reached from them).
+//!   Suppression: `// AUDIT(cast-ok): <why>` (shared with the audit).
+//! * `audit-stale-annotation` — any `AUDIT(<key>)`/`ATOMIC(<role>)`
+//!   annotation that no longer suppresses or classifies anything is
+//!   itself a finding, so argued-away suppressions cannot rot silently.
+
+use super::callgraph::CallGraph;
+use super::dataflow::{covering_annotation_line, IndexTaint, PanicSources, RawTaint};
+use super::symbols::{Role, Workspace};
+use super::{
+    Finding, RULE_ATOMIC_ORDERING, RULE_ATOMIC_ROLE, RULE_FENCE, RULE_IPC_CAST, RULE_PANIC_REACH,
+    RULE_PROVENANCE, RULE_STALE,
+};
+use crate::{audit, lexer};
+use std::collections::{BTreeMap, VecDeque};
+
+fn basename(rel: &std::path::Path) -> &str {
+    rel.file_name().and_then(|n| n.to_str()).unwrap_or("")
+}
+
+/// Roots of the panic-reachability walk: the audit hot-path file set.
+fn is_panic_root_file(rel: &std::path::Path) -> bool {
+    audit::HOT_PATH_AUDIT_FILES.contains(&basename(rel))
+}
+
+// ---------------------------------------------------------------------------
+// panic-reachability
+// ---------------------------------------------------------------------------
+
+/// Functions that can reach (ignoring all suppression) a function with a
+/// raw panic source — backward closure over the call graph.
+pub fn reaches_raw_panic(ws: &Workspace, cg: &CallGraph, ps: &PanicSources) -> Vec<bool> {
+    let mut reach = vec![false; ws.fns.len()];
+    let mut queue: VecDeque<usize> = (0..ws.fns.len()).filter(|&f| ps.raw(f)).collect();
+    for &f in &queue {
+        reach[f] = true;
+    }
+    while let Some(cur) = queue.pop_front() {
+        for &caller in &cg.ins[cur] {
+            if !reach[caller] {
+                reach[caller] = true;
+                queue.push_back(caller);
+            }
+        }
+    }
+    reach
+}
+
+pub fn panic_reachability(
+    ws: &Workspace,
+    cg: &CallGraph,
+    ps: &PanicSources,
+    out: &mut Vec<Finding>,
+) {
+    for (root, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let sf = &ws.files[f.file];
+        if !is_panic_root_file(&sf.rel) {
+            continue;
+        }
+        if ps.blocked.contains_key(&root) {
+            continue; // vetted subtree; staleness is checked separately
+        }
+        // BFS skipping vetted (header-annotated) functions.
+        let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        prev.insert(root, root);
+        queue.push_back(root);
+        let mut hit: Option<usize> = None;
+        'bfs: while let Some(cur) = queue.pop_front() {
+            if ps.effective(cur).is_some() {
+                hit = Some(cur);
+                break 'bfs;
+            }
+            for e in &cg.out[cur] {
+                if prev.contains_key(&e.callee) || ps.blocked.contains_key(&e.callee) {
+                    continue;
+                }
+                prev.insert(e.callee, cur);
+                queue.push_back(e.callee);
+            }
+        }
+        let Some(target) = hit else { continue };
+        let mut chain = vec![target];
+        let mut node = target;
+        while node != root {
+            node = prev[&node];
+            chain.push(node);
+        }
+        chain.reverse();
+        let chain_quals: Vec<String> = chain.iter().map(|&id| ws.fns[id].qual.clone()).collect();
+        let src = ps.effective(target).expect("target has a source");
+        let tf = &ws.fns[target];
+        let t_file = &ws.files[tf.file];
+        let via = if chain.len() == 1 {
+            "directly".to_string()
+        } else {
+            format!("via {}", chain_quals.join(" → "))
+        };
+        let kind_tag = match &src.kind {
+            super::dataflow::SourceKind::Direct(w) => w.to_string(),
+            super::dataflow::SourceKind::Indexing => "indexing".to_string(),
+        };
+        out.push(Finding {
+            rule: RULE_PANIC_REACH,
+            file: sf.rel.clone(),
+            line: f.line + 1,
+            symbol: f.qual.clone(),
+            message: format!(
+                "hot-path fn `{}` can reach a panic {via}: `{}` {} at {}:{}; \
+                 validate at the boundary or vet with `// AUDIT(panic-ok): <why>`",
+                f.name,
+                tf.name,
+                src.describe(),
+                t_file.rel.display(),
+                src.line + 1,
+            ),
+            chain: chain_quals,
+            salient: format!("{}|{}|{kind_tag}", f.qual, tf.qual),
+            suppressed_at: None,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-provenance
+// ---------------------------------------------------------------------------
+
+pub fn provenance(ws: &Workspace, rt: &RawTaint, out: &mut Vec<Finding>) {
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let sf = &ws.files[f.file];
+        let lines = &sf.lines;
+        let end = f.end.min(lines.len().saturating_sub(1));
+        let vars = &rt.vars[id];
+        let mut push = |line: usize, kind: &str, what: &str, message: String| {
+            let suppressed_at = covering_annotation_line(lines, line, "escape-ok")
+                .or_else(|| covering_annotation_line(lines, f.line, "escape-ok"))
+                .map(|l| l + 1);
+            out.push(Finding {
+                rule: RULE_PROVENANCE,
+                file: sf.rel.clone(),
+                line: line + 1,
+                symbol: f.qual.clone(),
+                message,
+                chain: Vec::new(),
+                salient: format!("{kind}|{}|{what}", f.qual),
+                suppressed_at,
+            });
+        };
+        // (a) returned: raw-returning fns that derive from the shared
+        // buffer API hand their claim past its epoch.
+        if rt.returns_raw[id] {
+            let anchor = rt.seed_lines[id].first().copied().unwrap_or(f.line);
+            push(
+                anchor,
+                "return",
+                &f.name,
+                format!(
+                    "`{}` returns a raw pointer/slice derived from \
+                     SharedSliceMut::get_raw/slice_mut — the claim outlives its epoch; \
+                     keep the claim inside the closure or vet with \
+                     `// AUDIT(escape-ok): <why>`",
+                    f.name
+                ),
+            );
+        }
+        if vars.is_empty() {
+            continue;
+        }
+        let barrier_lines: Vec<usize> = (f.line..=end)
+            .filter(|&li| {
+                !sf.in_test[li]
+                    && !lexer::word_positions(&lines[li].code, "claims_barrier").is_empty()
+            })
+            .collect();
+        for li in f.line..=end {
+            if sf.in_test[li] || ws.enclosing_fn(f.file, li) != Some(id) {
+                continue;
+            }
+            let code = &lines[li].code;
+            // (b) stored: `field.path = tainted` / `STATIC = tainted` /
+            // `coll.push(tainted)`.
+            if lexer::word_positions(code, "let").is_empty() {
+                if let Some(eq) = assignment_pos(code) {
+                    let (lhs, rhs) = (code[..eq].trim(), code[eq + 1..].trim());
+                    let stored_to_place = !lhs.starts_with('*')
+                        && (lhs.contains('.')
+                            || lhs
+                                .chars()
+                                .filter(|c| c.is_ascii_alphabetic())
+                                .all(|c| c.is_ascii_uppercase()));
+                    if stored_to_place {
+                        if let Some(v) = first_tainted(rhs, vars) {
+                            push(
+                                li,
+                                "store",
+                                &v,
+                                format!(
+                                    "raw claim `{v}` is stored into `{lhs}` — it outlives the \
+                                     claim epoch; copy the data, not the pointer, or vet with \
+                                     `// AUDIT(escape-ok): <why>`"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            for needle in [".push(", ".insert("] {
+                if let Some(p) = code.find(needle) {
+                    let arg = &code[p + needle.len()..];
+                    let arg = arg.split(')').next().unwrap_or("");
+                    for piece in arg.split(',') {
+                        let piece = piece.trim();
+                        if vars.contains_key(piece) {
+                            push(
+                                li,
+                                "store",
+                                piece,
+                                format!(
+                                    "raw claim `{piece}` is stored into a collection — it \
+                                     outlives the claim epoch; vet with \
+                                     `// AUDIT(escape-ok): <why>`"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            // (c) sent: a `spawn(…)` closure capturing a pre-claimed
+            // pointer ships it to another thread.
+            for sp in lexer::word_positions(code, "spawn") {
+                let after = code[sp + 5..].trim_start();
+                if !after.starts_with('(') {
+                    continue;
+                }
+                let region = gather_balanced(lines, li, code.len() - after.len());
+                for (v, def) in vars {
+                    if *def < li && !lexer::word_positions(&region, v).is_empty() {
+                        push(
+                            li,
+                            "sent",
+                            v,
+                            format!(
+                                "raw claim `{v}` (claimed at line {}) is captured by a \
+                                 spawn(…) closure — claims must be taken on the receiving \
+                                 thread; vet with `// AUDIT(escape-ok): <why>`",
+                                def + 1
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        // (d) used across a claims_barrier(): the barrier retires every
+        // outstanding claim epoch.
+        for &bl in &barrier_lines {
+            for (v, def) in vars {
+                if *def > bl {
+                    continue;
+                }
+                let used_after = (bl + 1..=end).find(|&u| {
+                    !sf.in_test[u]
+                        && ws.enclosing_fn(f.file, u) == Some(id)
+                        && !lexer::word_positions(&lines[u].code, v).is_empty()
+                });
+                if let Some(u) = used_after {
+                    push(
+                        u,
+                        "barrier",
+                        v,
+                        format!(
+                            "raw claim `{v}` (claimed at line {}) is used after the \
+                             claims_barrier() at line {} — the barrier retired its epoch; \
+                             re-claim after the barrier or vet with \
+                             `// AUDIT(escape-ok): <why>`",
+                            def + 1,
+                            bl + 1
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Byte position of a plain `=` assignment operator (not `==`, `!=`,
+/// `<=`, `>=`, `=>`, or compound `+=`-style operators).
+fn assignment_pos(code: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    for (k, &b) in bytes.iter().enumerate() {
+        if b != b'=' {
+            continue;
+        }
+        let prev = if k > 0 { bytes[k - 1] } else { b' ' };
+        let next = bytes.get(k + 1).copied().unwrap_or(b' ');
+        if matches!(
+            prev,
+            b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^'
+        ) {
+            continue;
+        }
+        if next == b'=' || next == b'>' {
+            continue;
+        }
+        return Some(k);
+    }
+    None
+}
+
+fn first_tainted(expr: &str, vars: &BTreeMap<String, usize>) -> Option<String> {
+    audit::idents(&audit::strip_subscripts(expr))
+        .into_iter()
+        .find(|w| {
+            w.chars()
+                .next()
+                .is_some_and(|c| c.is_lowercase() || c == '_')
+                && vars.contains_key(w)
+        })
+}
+
+/// Text of a balanced paren region starting at `open` on line `li`.
+fn gather_balanced(lines: &[lexer::LineView], li: usize, open: usize) -> String {
+    let mut text = String::new();
+    let mut depth = 0i64;
+    for (j, l) in lines.iter().enumerate().skip(li).take(200) {
+        let start = if j == li { open } else { 0 };
+        for c in l.code[start.min(l.code.len())..].chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return text;
+                    }
+                }
+                _ => {}
+            }
+            text.push(c);
+        }
+        text.push(' ');
+    }
+    text
+}
+
+// ---------------------------------------------------------------------------
+// atomic-role / atomic-ordering / fence-unpaired
+// ---------------------------------------------------------------------------
+
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Last identifier segment of the receiver chain before `.op(…)`:
+/// `local.counters[c as usize].fetch_add` → `counters`.
+fn receiver_segment(code: &str, dot: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut j = dot;
+    loop {
+        if j == 0 {
+            break;
+        }
+        let c = bytes[j - 1] as char;
+        if c == ')' || c == ']' {
+            match audit::balance_back(bytes, j - 1) {
+                Some(open) => j = open,
+                None => break,
+            }
+        } else if lexer::is_ident_char(c) || c == '.' || c == ':' {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    let chain = audit::strip_subscripts(code[j..dot].trim());
+    chain
+        .replace("::", ".")
+        .split('.')
+        .filter(|s| !s.is_empty() && s.chars().all(lexer::is_ident_char))
+        .rfind(|s| *s != "self")
+        .map(str::to_string)
+}
+
+/// Orderings named in a call-argument region, in textual order.
+fn orderings_in(text: &str) -> Vec<&'static str> {
+    let mut hits: Vec<(usize, &'static str)> = Vec::new();
+    for &ord in ORDERINGS {
+        for p in lexer::word_positions(text, ord) {
+            hits.push((p, ord));
+        }
+    }
+    hits.sort();
+    hits.into_iter().map(|(_, o)| o).collect()
+}
+
+pub fn atomics(ws: &Workspace, out: &mut Vec<Finding>) {
+    // Declarations must carry a role.
+    for d in &ws.atomics {
+        if d.in_test {
+            continue;
+        }
+        let sf = &ws.files[d.file];
+        if let Some(raw) = &d.role_raw {
+            if Role::parse(raw).is_none() {
+                out.push(Finding {
+                    rule: RULE_ATOMIC_ROLE,
+                    file: sf.rel.clone(),
+                    line: d.line + 1,
+                    symbol: d.name.clone(),
+                    message: format!(
+                        "unknown ATOMIC role `{raw}` on `{}` (expected statistic, handoff \
+                         or flag)",
+                        d.name
+                    ),
+                    chain: Vec::new(),
+                    salient: format!("bad-role|{}|{raw}", d.name),
+                    suppressed_at: None,
+                });
+            }
+        } else if d.role.is_none() {
+            out.push(Finding {
+                rule: RULE_ATOMIC_ROLE,
+                file: sf.rel.clone(),
+                line: d.line + 1,
+                symbol: d.name.clone(),
+                message: format!(
+                    "atomic `{}` has no declared role; classify it with \
+                     `// ATOMIC(statistic|handoff|flag): <why>` so ordering discipline \
+                     can be checked",
+                    d.name
+                ),
+                chain: Vec::new(),
+                salient: format!("missing-role|{}", d.name),
+                suppressed_at: None,
+            });
+        }
+    }
+    // Op sites against declared roles.
+    let mut fences: Vec<(usize, usize, Vec<&'static str>, Option<usize>)> = Vec::new();
+    for (fi, sf) in ws.files.iter().enumerate() {
+        for (li, l) in sf.lines.iter().enumerate() {
+            if sf.in_test[li] {
+                continue;
+            }
+            let code = &l.code;
+            for p in lexer::word_positions(code, "fence") {
+                let after = code[p + 5..].trim_start();
+                if !after.starts_with('(') {
+                    continue;
+                }
+                let region = gather_balanced(&sf.lines, li, code.len() - after.len());
+                let suppressed = covering_annotation_line(&sf.lines, li, "order-ok").map(|a| a + 1);
+                fences.push((fi, li, orderings_in(&region), suppressed));
+            }
+            for &op in ATOMIC_OPS {
+                for p in lexer::word_positions(code, op) {
+                    if p == 0 || code.as_bytes()[p - 1] != b'.' {
+                        continue;
+                    }
+                    let after = code[p + op.len()..].trim_start();
+                    if !after.starts_with('(') {
+                        continue;
+                    }
+                    let Some(recv) = receiver_segment(code, p - 1) else {
+                        continue;
+                    };
+                    let Some(decl) = resolve_atomic(ws, fi, &recv) else {
+                        continue;
+                    };
+                    let role = match decl.role {
+                        Some(r) => r,
+                        None => continue, // missing-role already reported
+                    };
+                    if role == Role::Statistic {
+                        continue;
+                    }
+                    let region = gather_balanced(&sf.lines, li, code.len() - after.len());
+                    let ords = orderings_in(&region);
+                    let Some(&first) = ords.first() else { continue };
+                    let ok = match op {
+                        "load" => matches!(first, "Acquire" | "SeqCst"),
+                        "store" => matches!(first, "Release" | "SeqCst"),
+                        _ => first != "Relaxed",
+                    };
+                    if ok {
+                        continue;
+                    }
+                    let want = match op {
+                        "load" => "Acquire (or SeqCst)",
+                        "store" => "Release (or SeqCst)",
+                        _ => "AcqRel or stronger",
+                    };
+                    let suppressed_at =
+                        covering_annotation_line(&sf.lines, li, "order-ok").map(|a| a + 1);
+                    out.push(Finding {
+                        rule: RULE_ATOMIC_ORDERING,
+                        file: sf.rel.clone(),
+                        line: li + 1,
+                        symbol: decl.name.clone(),
+                        message: format!(
+                            "`{recv}.{op}` uses Ordering::{first} but `{}` is declared \
+                             ATOMIC({}) — {} requires {want}; fix the ordering or vet \
+                             with `// AUDIT(order-ok): <why>`",
+                            decl.name,
+                            role.as_str(),
+                            role.as_str(),
+                        ),
+                        chain: Vec::new(),
+                        salient: format!("{}|{op}|{first}", decl.name),
+                        suppressed_at,
+                    });
+                }
+            }
+        }
+    }
+    // Fence pairing: a release-side fence needs an acquire-side fence
+    // somewhere in the workspace (and vice versa).
+    let acquire_side = |ords: &[&str]| {
+        ords.iter()
+            .any(|o| matches!(*o, "Acquire" | "AcqRel" | "SeqCst"))
+    };
+    let release_side = |ords: &[&str]| {
+        ords.iter()
+            .any(|o| matches!(*o, "Release" | "AcqRel" | "SeqCst"))
+    };
+    let have_acq = fences.iter().any(|(_, _, o, _)| acquire_side(o));
+    let have_rel = fences.iter().any(|(_, _, o, _)| release_side(o));
+    for (fi, li, ords, suppressed_at) in &fences {
+        let lonely_rel = release_side(ords) && !acquire_side(ords) && !have_acq;
+        let lonely_acq = acquire_side(ords) && !release_side(ords) && !have_rel;
+        if !(lonely_rel || lonely_acq) {
+            continue;
+        }
+        let sf = &ws.files[*fi];
+        let (this, wants) = if lonely_rel {
+            ("Release", "Acquire")
+        } else {
+            ("Acquire", "Release")
+        };
+        out.push(Finding {
+            rule: RULE_FENCE,
+            file: sf.rel.clone(),
+            line: li + 1,
+            symbol: "fence".into(),
+            message: format!(
+                "{this} fence has no {wants} counterpart anywhere in the workspace — \
+                 unpaired fences synchronize nothing; pair it or vet with \
+                 `// AUDIT(order-ok): <why>`"
+            ),
+            chain: Vec::new(),
+            salient: format!("fence|{}|{this}", sf.rel.display()),
+            suppressed_at: *suppressed_at,
+        });
+    }
+}
+
+/// Resolve an op receiver to an atomic declaration: same file, then
+/// same crate, then anywhere.
+fn resolve_atomic<'a>(
+    ws: &'a Workspace,
+    file: usize,
+    name: &str,
+) -> Option<&'a super::symbols::AtomicDecl> {
+    let crate_idx = ws.files[file].crate_idx;
+    ws.atomics
+        .iter()
+        .filter(|d| d.name == name && !d.is_alias)
+        .min_by_key(|d| {
+            if d.file == file {
+                0
+            } else if ws.files[d.file].crate_idx == crate_idx {
+                1
+            } else {
+                2
+            }
+        })
+}
+
+// ---------------------------------------------------------------------------
+// ipc-cast-truncation
+// ---------------------------------------------------------------------------
+
+pub fn ipc_casts(ws: &Workspace, cg: &CallGraph, taint: &IndexTaint, out: &mut Vec<Finding>) {
+    // Reachability from the hot-path files, with BFS parents for the
+    // witness chain.
+    let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        if !f.is_test && audit::hot_path_reachable(&ws.files[f.file].rel) {
+            prev.insert(id, id);
+            queue.push_back(id);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        for e in &cg.out[cur] {
+            if let std::collections::btree_map::Entry::Vacant(slot) = prev.entry(e.callee) {
+                slot.insert(cur);
+                queue.push_back(e.callee);
+            }
+        }
+    }
+    for (&id, _) in prev.iter() {
+        let f = &ws.fns[id];
+        if f.is_test {
+            continue;
+        }
+        let sf = &ws.files[f.file];
+        let hot = audit::hot_path_reachable(&sf.rel);
+        let base = &taint.base[id];
+        let full = taint.full(id);
+        if full.is_empty() {
+            continue;
+        }
+        let end = f.end.min(sf.lines.len().saturating_sub(1));
+        for li in f.line..=end {
+            if sf.in_test[li] || ws.enclosing_fn(f.file, li) != Some(id) {
+                continue;
+            }
+            let code = &sf.lines[li].code;
+            for pos in lexer::word_positions(code, "as") {
+                let rest = code[pos + 2..].trim_start();
+                let ty: String = rest
+                    .chars()
+                    .take_while(|&c| lexer::is_ident_char(c))
+                    .collect();
+                if !audit::NARROW_TYPES.contains(&ty.as_str()) {
+                    continue;
+                }
+                let operand = audit::operand_before(code, pos);
+                if ["==", "!=", "<=", ">=", "&&", "||"]
+                    .iter()
+                    .any(|op| operand.contains(op))
+                {
+                    continue;
+                }
+                let rooted = audit::idents(&audit::strip_subscripts(&operand));
+                let flow_full =
+                    operand.contains(".len(") || rooted.iter().any(|w| full.contains(w));
+                let flow_base =
+                    operand.contains(".len(") || rooted.iter().any(|w| base.contains(w));
+                // The intra-procedural audit owns hot-file findings that
+                // need no call-edge facts.
+                let fires = if hot {
+                    flow_full && !flow_base
+                } else {
+                    flow_full
+                };
+                if !fires {
+                    continue;
+                }
+                // Witness chain back to a hot-path root.
+                let mut chain = vec![id];
+                let mut node = id;
+                while prev[&node] != node {
+                    node = prev[&node];
+                    chain.push(node);
+                }
+                chain.reverse();
+                let chain_quals: Vec<String> =
+                    chain.iter().map(|&i| ws.fns[i].qual.clone()).collect();
+                let suppressed_at =
+                    covering_annotation_line(&sf.lines, li, "cast-ok").map(|a| a + 1);
+                out.push(Finding {
+                    rule: RULE_IPC_CAST,
+                    file: sf.rel.clone(),
+                    line: li + 1,
+                    symbol: f.qual.clone(),
+                    message: format!(
+                        "truncating cast `{operand} as {ty}` on an index that reached \
+                         `{}` through a call edge ({}); use try_from at the boundary or \
+                         vet with `// AUDIT(cast-ok): <why>`",
+                        f.name,
+                        chain_quals.join(" → "),
+                    ),
+                    chain: chain_quals,
+                    salient: format!("{}|{operand} as {ty}", f.qual),
+                    suppressed_at,
+                });
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// audit-stale-annotation
+// ---------------------------------------------------------------------------
+
+/// Map an audit rule to the key that suppresses it.
+const AUDIT_KEY_RULES: &[(&str, &str)] = &[
+    ("cast-ok", audit::RULE_CAST_TRUNCATION),
+    ("index-ok", audit::RULE_UNSAFE_INDEXING),
+    ("cfg-ok", audit::RULE_CFG_UNDECLARED),
+];
+
+/// Rewrite every audit tag to `XUDIT(` inside comments only, so the
+/// audit rules run with every suppression disabled (same byte layout,
+/// same line numbers).
+fn mute_annotations(sf: &super::symbols::SourceFile) -> String {
+    let mut out_lines: Vec<String> = Vec::new();
+    for (i, raw) in sf.source.lines().enumerate() {
+        let Some(view) = sf.lines.get(i) else {
+            out_lines.push(raw.to_string());
+            continue;
+        };
+        if !view.comment.contains("AUDIT(") {
+            out_lines.push(raw.to_string());
+            continue;
+        }
+        // The views are char-synchronized with the raw line.
+        let mut chars: Vec<char> = raw.chars().collect();
+        let comment: Vec<char> = view.comment.chars().collect();
+        let needle: Vec<char> = "AUDIT(".chars().collect();
+        let mut k = 0usize;
+        while k + needle.len() <= comment.len() {
+            if comment[k..k + needle.len()] == needle[..] {
+                if k < chars.len() {
+                    chars[k] = 'X';
+                }
+                k += needle.len();
+            } else {
+                k += 1;
+            }
+        }
+        out_lines.push(chars.into_iter().collect());
+    }
+    out_lines.join("\n")
+}
+
+#[allow(clippy::too_many_arguments)]
+pub fn stale_annotations(
+    ws: &Workspace,
+    ps: &PanicSources,
+    reaches_raw: &[bool],
+    findings: &[Finding],
+    out: &mut Vec<Finding>,
+) {
+    let analyze_keys = ["panic-ok", "escape-ok", "order-ok"];
+    let mut new: Vec<Finding> = Vec::new();
+    for (fi, sf) in ws.files.iter().enumerate() {
+        // Raw audit re-run for the intra-procedural keys (lazy: only
+        // when the file carries one of them).
+        let has_audit_key = sf.lines.iter().enumerate().any(|(li, l)| {
+            !sf.in_test[li]
+                && audit::annotations_in(&l.comment)
+                    .iter()
+                    .any(|(k, _)| AUDIT_KEY_RULES.iter().any(|(key, _)| key == k))
+        });
+        let raw_audit = if has_audit_key {
+            let muted = mute_annotations(sf);
+            audit::audit_source(&sf.rel, &muted, &ws.crates[sf.crate_idx].features)
+        } else {
+            Vec::new()
+        };
+        for (li, l) in sf.lines.iter().enumerate() {
+            if sf.in_test[li] {
+                continue;
+            }
+            // Prose in doc comments (`///`, `//!`) documents the
+            // grammar; only plain `//` comments are live suppressions.
+            let c = l.comment.trim_start();
+            if c.starts_with("///") || c.starts_with("//!") {
+                continue;
+            }
+            for (key, why) in audit::annotations_in(&l.comment) {
+                if why.is_none() || !audit::ANNOTATION_KEYS.contains(&key.as_str()) {
+                    continue; // malformed — the audit syntax check owns it
+                }
+                let used = if let Some((_, rule)) = AUDIT_KEY_RULES.iter().find(|(k, _)| *k == key)
+                {
+                    let by_audit = raw_audit.iter().any(|d| {
+                        d.rule == *rule
+                            && covering_annotation_line(&sf.lines, d.line - 1, &key) == Some(li)
+                    });
+                    // cast-ok also serves the inter-procedural rule.
+                    by_audit
+                        || (key == "cast-ok"
+                            && findings.iter().any(|f| {
+                                f.rule == RULE_IPC_CAST
+                                    && f.file == sf.rel
+                                    && f.suppressed_at == Some(li + 1)
+                            }))
+                } else if analyze_keys.contains(&key.as_str()) {
+                    match key.as_str() {
+                        "panic-ok" => {
+                            let covers_source = ws.fns.iter().enumerate().any(|(id, f)| {
+                                f.file == fi
+                                    && ps.per_fn[id].iter().any(|s| s.suppressed_at == Some(li))
+                            });
+                            let blocks_subtree = ps.blocked.iter().any(|(&id, &at)| {
+                                ws.fns[id].file == fi && at == li && reaches_raw[id]
+                            });
+                            covers_source || blocks_subtree
+                        }
+                        _ => findings
+                            .iter()
+                            .any(|f| f.file == sf.rel && f.suppressed_at == Some(li + 1)),
+                    }
+                } else {
+                    true
+                };
+                if !used {
+                    new.push(Finding {
+                        rule: RULE_STALE,
+                        file: sf.rel.clone(),
+                        line: li + 1,
+                        symbol: key.clone(),
+                        message: format!(
+                            "`AUDIT({key})` (line {}) no longer suppresses anything — the \
+                             vetted pattern is gone; remove the annotation",
+                            li + 1
+                        ),
+                        chain: Vec::new(),
+                        salient: format!("{key}|{}", sf.rel.display()),
+                        suppressed_at: None,
+                    });
+                }
+            }
+            for (role, _) in super::symbols::atomic_annotations_in(&l.comment) {
+                let used = ws
+                    .atomics
+                    .iter()
+                    .any(|d| d.file == fi && d.role_line == Some(li));
+                if !used {
+                    new.push(Finding {
+                        rule: RULE_STALE,
+                        file: sf.rel.clone(),
+                        line: li + 1,
+                        symbol: format!("ATOMIC({role})"),
+                        message: format!(
+                            "`ATOMIC({role})` (line {}) does not classify any atomic \
+                             declaration — the declaration moved or was removed; delete \
+                             the annotation",
+                            li + 1
+                        ),
+                        chain: Vec::new(),
+                        salient: format!("atomic|{role}|{}", sf.rel.display()),
+                        suppressed_at: None,
+                    });
+                }
+            }
+        }
+    }
+    out.extend(new);
+}

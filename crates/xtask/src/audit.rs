@@ -48,22 +48,34 @@ pub const RULE_CFG_UNDECLARED: &str = "cfg-undeclared";
 pub const RULE_LAYERING: &str = "crate-layering";
 pub const RULE_BAD_ANNOTATION: &str = "audit-bad-annotation";
 
-/// Annotation keys accepted by `// AUDIT(<key>): <why>`.
-pub const ANNOTATION_KEYS: &[&str] = &["cast-ok", "index-ok", "cfg-ok"];
+/// Annotation keys accepted by `// AUDIT(<key>): <why>`. The first
+/// three suppress audit rules; `panic-ok` / `escape-ok` / `order-ok`
+/// suppress the inter-procedural `analyze` rules (see `analyze/`), but
+/// share the grammar and the syntax check so one scanner vets all of
+/// them.
+pub const ANNOTATION_KEYS: &[&str] = &[
+    "cast-ok",
+    "index-ok",
+    "cfg-ok",
+    "panic-ok",
+    "escape-ok",
+    "order-ok",
+];
 
 /// Narrowing integer cast targets on a 64-bit host.
-const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+pub(crate) const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 
 /// Files whose code is reachable from the SpMV kernel hot paths — the
 /// lint `HOT_PATH_FILES` set plus the executor layers that call into
 /// them and the competing-format executors.
-const HOT_PATH_AUDIT_FILES: &[&str] = &["kernels.rs", "lanes.rs", "expand.rs", "exec.rs"];
+pub(crate) const HOT_PATH_AUDIT_FILES: &[&str] =
+    &["kernels.rs", "lanes.rs", "expand.rs", "exec.rs"];
 
 fn basename(rel: &Path) -> &str {
     rel.file_name().and_then(|n| n.to_str()).unwrap_or("")
 }
 
-fn hot_path_reachable(rel: &Path) -> bool {
+pub(crate) fn hot_path_reachable(rel: &Path) -> bool {
     HOT_PATH_AUDIT_FILES.contains(&basename(rel))
         || rel
             .components()
@@ -287,7 +299,7 @@ pub fn check_layering(metas: &[CrateMeta], out: &mut Vec<Diagnostic>) {
 /// Parse all `AUDIT(<key>): <why>` occurrences in one comment string.
 /// Returns `(key, why)` pairs; a `None` why means the annotation is
 /// malformed (missing `):` or empty reason).
-fn annotations_in(comment: &str) -> Vec<(String, Option<String>)> {
+pub(crate) fn annotations_in(comment: &str) -> Vec<(String, Option<String>)> {
     let mut out = Vec::new();
     let mut from = 0usize;
     while let Some(p) = comment[from..].find("AUDIT(") {
@@ -323,7 +335,7 @@ fn annotations_in(comment: &str) -> Vec<(String, Option<String>)> {
 /// `AUDIT(<key>): <why>` sits on the same line or in the contiguous
 /// comment/attribute block directly above (same walk as the linter's
 /// SAFETY-comment rule).
-fn annotation_covers(lines: &[LineView], idx: usize, key: &str) -> bool {
+pub(crate) fn annotation_covers(lines: &[LineView], idx: usize, key: &str) -> bool {
     let has = |comment: &str| {
         annotations_in(comment)
             .iter()
@@ -420,7 +432,7 @@ fn check_cfg_features(
 
 /// Line spans `(first, last)` of every `fn` body, header included.
 /// Nested functions yield their own (overlapping) spans.
-fn fn_spans(lines: &[LineView]) -> Vec<(usize, usize)> {
+pub(crate) fn fn_spans(lines: &[LineView]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     for i in 0..lines.len() {
         for pos in lexer::word_positions(&lines[i].code, "fn") {
@@ -477,7 +489,7 @@ fn fn_spans(lines: &[LineView]) -> Vec<(usize, usize)> {
 
 /// Remove `[...]` segments so identifiers used *as* subscripts don't
 /// count as the expression's own operands (`masks[mi]` → `masks`).
-fn strip_subscripts(s: &str) -> String {
+pub(crate) fn strip_subscripts(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut depth = 0usize;
     for c in s.chars() {
@@ -492,7 +504,7 @@ fn strip_subscripts(s: &str) -> String {
 }
 
 /// Identifiers (not numeric literals, not keywords-we-care-about) in `s`.
-fn idents(s: &str) -> Vec<String> {
+pub(crate) fn idents(s: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut cur = String::new();
     for c in s.chars() {
@@ -511,7 +523,7 @@ fn idents(s: &str) -> Vec<String> {
 
 /// Binder names introduced by a pattern like `x`, `mut x`, `(a, b)`,
 /// `&(mut a, b)`.
-fn binders(pat: &str) -> Vec<String> {
+pub(crate) fn binders(pat: &str) -> Vec<String> {
     idents(pat)
         .into_iter()
         .filter(|w| w != "mut" && w != "ref" && w != "_")
@@ -523,7 +535,7 @@ fn binders(pat: &str) -> Vec<String> {
 /// whose initializer involves `.len()`, `as usize`, a `usize`
 /// annotation, or an already-known index binding. Two rounds reach the
 /// fixpoint for the chained-`let` depth seen in practice.
-fn index_vars(lines: &[LineView], span: (usize, usize)) -> BTreeSet<String> {
+pub(crate) fn index_vars(lines: &[LineView], span: (usize, usize)) -> BTreeSet<String> {
     let mut vars: BTreeSet<String> = BTreeSet::new();
     for round in 0..2 {
         for l in &lines[span.0..=span.1] {
@@ -589,7 +601,7 @@ fn index_vars(lines: &[LineView], span: (usize, usize)) -> BTreeSet<String> {
 
 /// The expression text directly preceding an `as` keyword at byte
 /// `as_pos` — walks back over one postfix chain, balancing `()`/`[]`.
-fn operand_before(code: &str, as_pos: usize) -> String {
+pub(crate) fn operand_before(code: &str, as_pos: usize) -> String {
     let bytes = code.as_bytes();
     let mut end = as_pos;
     while end > 0 && bytes[end - 1].is_ascii_whitespace() {
@@ -615,7 +627,7 @@ fn operand_before(code: &str, as_pos: usize) -> String {
     code[j..end].trim().to_string()
 }
 
-fn balance_back(bytes: &[u8], close: usize) -> Option<usize> {
+pub(crate) fn balance_back(bytes: &[u8], close: usize) -> Option<usize> {
     let (open_c, close_c) = match bytes[close] {
         b')' => (b'(', b')'),
         b']' => (b'[', b']'),
@@ -750,7 +762,7 @@ fn unsafe_masks(lines: &[LineView]) -> Vec<Vec<bool>> {
 /// Byte offsets of `container[index]` subscripts with a non-literal
 /// index on one line (array literals, attributes, and types don't
 /// match: their `[` is not preceded by an identifier or `)`/`]`).
-fn subscript_positions(code: &str) -> Vec<usize> {
+pub(crate) fn subscript_positions(code: &str) -> Vec<usize> {
     let bytes = code.as_bytes();
     let mut out = Vec::new();
     for (i, &b) in bytes.iter().enumerate() {

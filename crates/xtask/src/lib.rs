@@ -1,6 +1,6 @@
 //! `cscv-xtask` — the workspace's correctness- and perf-tooling crate.
 //!
-//! Five subsystems, free of external dependencies:
+//! Several subsystems, free of external dependencies:
 //!
 //! * [`lint`] (driven by the [`lexer`]) — a project-specific static
 //!   analysis pass run as `cargo run -p cscv-xtask -- lint` from `ci.sh`
@@ -11,6 +11,14 @@
 //!   inside/feeding `unsafe` blocks, undeclared cfg features, and
 //!   crate-layering violations against the workspace DAG, with
 //!   `// AUDIT(<key>): <why>` annotations for vetted sites.
+//! * [`analyze`] — the whole-workspace *inter-procedural* engine
+//!   (`… -- analyze`): a cross-crate call graph over the lexer's item
+//!   model feeds fixpoint dataflow for four rule families
+//!   (unsafe-provenance escapes, panic-reachability with witness
+//!   chains, atomic-ordering discipline against `// ATOMIC(<role>)`
+//!   declarations, inter-procedural cast truncation) plus a
+//!   stale-annotation check; findings gate through the checked-in
+//!   ratchet baseline `crates/xtask/analyze_baseline.json`.
 //! * [`fuzz`] — structure-aware differential fuzzing (`… -- fuzz`):
 //!   randomized CT geometries and degenerate matrices round-tripped
 //!   through every sparse format with invariant validation after each
@@ -31,6 +39,7 @@
 //!   and reports speedups (exit 1 when a tuned config is slower than
 //!   the heuristic beyond the noise band).
 
+pub mod analyze;
 pub mod audit;
 pub mod fuzz;
 pub mod lexer;

@@ -3,6 +3,8 @@
 //! ```text
 //! cscv-xtask lint [--root DIR] [--format table|ndjson]
 //! cscv-xtask audit [--root DIR] [--format table|ndjson]
+//! cscv-xtask analyze [--root DIR] [--format table|ndjson]
+//!                    [--baseline FILE] [--write-baseline]
 //! cscv-xtask fuzz [--iters N] [--seed S] [--corpus DIR]
 //! cscv-xtask perf-report DIR [--format table|ndjson] [--peak-gbs F]
 //!                            [--export-dir DIR]
@@ -18,11 +20,13 @@
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = violations / perf regressions / fuzz
-//! failures, 2 = usage or IO error.
+//! failures, 2 = usage or IO error. `analyze` refines the convention:
+//! 1 = findings not in the ratchet baseline, 2 = stale baseline entries
+//! (or usage/IO errors).
 
 use cscv_xtask::audit::audit_root;
 use cscv_xtask::lint::{lint_root, Report};
-use cscv_xtask::{fuzz, ndjson, perf, shard_cmd, tune_cmd};
+use cscv_xtask::{analyze, fuzz, ndjson, perf, shard_cmd, tune_cmd};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -36,6 +40,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cscv-xtask lint [--root DIR] [--format table|ndjson]\n\
          \x20      cscv-xtask audit [--root DIR] [--format table|ndjson]\n\
+         \x20      cscv-xtask analyze [--root DIR] [--format table|ndjson] [--baseline FILE] [--write-baseline]\n\
          \x20      cscv-xtask fuzz [--iters N] [--seed S] [--corpus DIR]\n\
          \x20      cscv-xtask perf-report DIR [--format table|ndjson] [--peak-gbs F] [--export-dir DIR]\n\
          \x20      cscv-xtask perf-report --diff DIR_A DIR_B [--threshold F] [--format table|ndjson]\n\
@@ -49,6 +54,16 @@ fn usage() -> ExitCode {
          \x20           arithmetic in hot paths, slice indexing inside/feeding unsafe\n\
          \x20           blocks, cfg features missing from the owning Cargo.toml, and\n\
          \x20           crate-layering violations; vet sites with // AUDIT(<key>): why.\n\
+         analyze     whole-workspace inter-procedural analysis: a cross-crate call\n\
+         \x20           graph plus fixpoint dataflow checks unsafe-provenance escapes,\n\
+         \x20           panic reachability from the kernel hot paths (with witness\n\
+         \x20           call chains), atomic-ordering discipline against\n\
+         \x20           // ATOMIC(statistic|handoff|flag) declarations, inter-\n\
+         \x20           procedural cast truncation, and stale AUDIT/ATOMIC\n\
+         \x20           annotations; findings ratchet against --baseline (default\n\
+         \x20           <root>/crates/xtask/analyze_baseline.json) — new findings\n\
+         \x20           exit 1, stale baseline entries exit 2, clean exits 0;\n\
+         \x20           --write-baseline adopts the current findings.\n\
          fuzz        structure-aware differential fuzzing: random CT geometries and\n\
          \x20           degenerate matrices round-tripped through every format with\n\
          \x20           invariant validation and executor-vs-dense checks; failures\n\
@@ -82,6 +97,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint_cmd(&args[1..]),
         Some("audit") => audit_cmd(&args[1..]),
+        Some("analyze") => analyze_cmd(&args[1..]),
         Some("fuzz") => fuzz_cmd(&args[1..]),
         Some("perf-report") => perf_cmd(&args[1..]),
         Some("tune") => tune_cli(&args[1..]),
@@ -165,6 +181,70 @@ fn audit_cmd(args: &[String]) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+fn analyze_cmd(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Table;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => return usage(),
+            },
+            "--format" => match parse_format(it.next().map(String::as_str)) {
+                Some(f) => format = f,
+                None => return usage(),
+            },
+            "--ndjson" => format = Format::Ndjson,
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--write-baseline" => write_baseline = true,
+            _ => return usage(),
+        }
+    }
+    let baseline_path =
+        baseline_path.unwrap_or_else(|| root.join("crates/xtask/analyze_baseline.json"));
+    let report = match analyze::analyze_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cscv-xtask analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if write_baseline {
+        let text = analyze::Baseline::render(&report);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("cscv-xtask analyze: write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        let distinct: std::collections::BTreeSet<String> =
+            report.active().map(|f| f.fingerprint()).collect();
+        eprintln!(
+            "cscv-xtask analyze: wrote baseline ({} entries) to {}",
+            distinct.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match analyze::Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cscv-xtask analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ratchet = analyze::Ratchet::compare(&report, &baseline);
+    match format {
+        Format::Table => print!("{}", analyze::render_table(&report, &ratchet)),
+        Format::Ndjson => print!("{}", analyze::render_ndjson(&report, &ratchet)),
+    }
+    ExitCode::from(ratchet.exit_code())
 }
 
 fn fuzz_cmd(args: &[String]) -> ExitCode {

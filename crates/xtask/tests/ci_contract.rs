@@ -42,12 +42,73 @@ fn ci_sh_advertises_every_stage_flag() {
         "--miri",
         "--fuzz",
         "--shard-smoke",
+        "--sanitizers",
     ] {
         let mentions = text.matches(flag).count();
         assert!(
             mentions >= 2,
             "{flag}: expected both a header mention and a case arm, found {mentions}"
         );
+    }
+}
+
+#[test]
+fn ci_sh_runs_the_analyze_ratchet_unconditionally() {
+    // The inter-procedural analysis gate is part of the core stage
+    // list, not an opt-in flag: a new finding (exit 1) or a stale
+    // baseline entry (exit 2) must fail plain `ci.sh` under `set -e`.
+    let text = std::fs::read_to_string(repo_root().join("ci.sh")).unwrap();
+    let analyze_pos = text
+        .find("cargo run -q -p cscv-xtask -- analyze")
+        .expect("ci.sh must invoke the analyze gate");
+    let first_conditional = text.find("if [ \"$").unwrap_or(text.len());
+    assert!(
+        analyze_pos < first_conditional,
+        "analyze must run in the unconditional core gate, not behind a flag"
+    );
+}
+
+#[test]
+fn sanitizer_stage_is_deterministic_and_uses_vetted_suppressions() {
+    let text = std::fs::read_to_string(repo_root().join("ci.sh")).unwrap();
+    let stage = text
+        .split("if [ \"$SANITIZERS\" = 1 ]")
+        .nth(1)
+        .expect("ci.sh must have a --sanitizers stage");
+    let stage = stage.split("\nfi\n").next().unwrap();
+    for needle in [
+        "CSCV_NUMA=0",
+        "sanitizer_suppressions.txt",
+        "halt_on_error=1",
+        "-Zsanitizer=thread",
+        "-Zsanitizer=address",
+        "-p cscv-sparse -p cscv-core --lib",
+    ] {
+        assert!(stage.contains(needle), "sanitizer stage missing {needle}");
+    }
+}
+
+#[test]
+fn sanitizer_suppressions_all_carry_justifications() {
+    let path = repo_root().join("crates/xtask/sanitizer_suppressions.txt");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut prev_was_comment = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            prev_was_comment = false;
+        } else if line.starts_with('#') {
+            prev_was_comment = true;
+        } else {
+            assert!(
+                line.contains(':'),
+                "not a <kind>:<pattern> suppression: {line}"
+            );
+            assert!(
+                prev_was_comment,
+                "suppression without a justification comment above it: {line}"
+            );
+        }
     }
 }
 
