@@ -19,14 +19,32 @@
 //! used by the equivalence tests), [`Launch::Process`] spawns real
 //! worker processes (`cscv-xtask shard-worker`) against a listening
 //! Unix socket — the mode the `shard-smoke` CI job gates.
+//!
+//! **Distributed tracing (trace builds).** The coordinator allocates a
+//! cluster-wide trace id at [`Cluster::start`] and a fresh dispatch-span
+//! id per collective; workers parent their compute spans to those ids.
+//! At connect time a three-probe clock handshake estimates each worker's
+//! monotonic-epoch offset (NTP style, minimum-RTT sample wins), and the
+//! receive path folds unsolicited [`Msg::Trace`] frames — NDJSON event
+//! chunks plus cumulative counter snapshots — into per-worker telemetry
+//! state as they arrive. [`Cluster::telemetry`] snapshots live health
+//! and [`Cluster::shutdown_full`] returns, besides the final
+//! [`ClusterStats`], one [`ProcessTrace`] per worker ready for
+//! [`cscv_trace::export::chrome_trace_merged`]. A worker that dies
+//! abnormally is reported `degraded`, with its figures recovered from
+//! the last snapshot it streamed rather than dropped. Untraced builds
+//! send zero probe/trace frames and all of this is inert.
 
 use crate::plan::{slice_rows, ShardPlan};
-use crate::protocol::Msg;
+use crate::protocol::{hello_flags, Msg};
 use crate::wire::Conn;
 use crate::worker;
 use cscv_core::layout::ImageShape;
 use cscv_core::SinoLayout;
 use cscv_sparse::Csr;
+use cscv_trace::clock::{self, ClockSample, OffsetEstimate};
+use cscv_trace::export::ProcessTrace;
+use cscv_trace::span;
 use std::io;
 use std::ops::Range;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -62,6 +80,10 @@ pub struct WorkerReport {
     pub busy_ns: u64,
     pub spmv_calls: u64,
     pub spmv_t_calls: u64,
+    /// The worker died or desynced before final stats could be read;
+    /// `busy_ns`/`*_calls` come from its last streamed counter snapshot
+    /// (zeros if it never flushed one).
+    pub degraded: bool,
 }
 
 /// Cluster-wide traffic and merge-cost figures.
@@ -78,17 +100,71 @@ pub struct ClusterStats {
     pub wall_ns: u64,
 }
 
+/// Live per-worker health, snapshot by [`Cluster::telemetry`]. Traffic
+/// and reply counts are coordinator-side observations (meaningful in
+/// every build); `busy_ns`/`*_calls` mirror the worker's last streamed
+/// counter snapshot and stay zero until the first [`Msg::Trace`] frame
+/// (i.e. always zero in untraced builds).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerHealth {
+    pub shard: usize,
+    /// Worker's OS pid (from [`Msg::MatrixAck`]).
+    pub pid: u64,
+    /// Collective replies this worker has answered.
+    pub requests: u64,
+    /// Bytes the coordinator wrote to this worker's connection.
+    pub bytes_tx: u64,
+    /// Bytes the coordinator read from this worker's connection.
+    pub bytes_rx: u64,
+    pub busy_ns: u64,
+    pub spmv_calls: u64,
+    pub spmv_t_calls: u64,
+    /// Telemetry frames received from this worker.
+    pub trace_frames: u64,
+    /// Telemetry payload bytes received from this worker.
+    pub trace_bytes: u64,
+    /// Nanoseconds since cluster start when the last frame (of any
+    /// kind) arrived from this worker.
+    pub last_seen_ns: u64,
+    /// Estimated worker-epoch minus coordinator-epoch clock offset.
+    pub clock_offset_ns: i64,
+    /// Round-trip time of the winning clock probe.
+    pub clock_rtt_ns: u64,
+    pub degraded: bool,
+}
+
+/// Cluster-wide live-health snapshot ([`Cluster::telemetry`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterTelemetry {
+    pub workers: Vec<WorkerHealth>,
+    /// Wall-clock since cluster start at snapshot time.
+    pub wall_ns: u64,
+}
+
+/// Everything [`Cluster::shutdown_full`] hands back: the final stats, a
+/// last telemetry snapshot, and one offset-corrected event stream per
+/// worker for [`cscv_trace::export::chrome_trace_merged`] (empty event
+/// lists in untraced builds).
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    pub stats: ClusterStats,
+    pub telemetry: ClusterTelemetry,
+    pub traces: Vec<ProcessTrace>,
+}
+
 /// Fixed-order pairwise tree reduction: fold `bufs[i + s]` into
 /// `bufs[i]` for strides `s = 1, 2, 4, …` — the addition order is a
 /// function of the indices alone, so the merged vector is identical
 /// across runs regardless of how replies arrived. A single buffer is
-/// returned untouched (no floating-point op at all).
+/// returned untouched (no floating-point op at all). Traced builds drop
+/// one `shard.reduce.step` instant marker per stride.
 pub fn tree_reduce(mut bufs: Vec<Vec<f64>>) -> Vec<f64> {
     assert!(!bufs.is_empty(), "tree_reduce needs at least one buffer");
     let n = bufs.len();
     let mut s = 1;
     while s < n {
         let mut i = 0;
+        let mut merges = 0u64;
         while i + s < n {
             let (head, tail) = bufs.split_at_mut(i + s);
             let dst = &mut head[i];
@@ -97,8 +173,13 @@ pub fn tree_reduce(mut bufs: Vec<Vec<f64>>) -> Vec<f64> {
             for (d, v) in dst.iter_mut().zip(src) {
                 *d += v;
             }
+            merges += 1;
             i += 2 * s;
         }
+        span::event(
+            "shard.reduce.step",
+            &[("stride", s as f64), ("merges", merges as f64)],
+        );
         s *= 2;
     }
     bufs.swap_remove(0)
@@ -122,11 +203,83 @@ enum Endpoint {
     Process(Child),
 }
 
+/// The worker's last streamed cumulative counter snapshot — the figures
+/// recovered into the final report when a worker dies abnormally.
+#[derive(Debug, Clone, Copy, Default)]
+struct Snapshot {
+    busy_ns: u64,
+    spmv_calls: u64,
+    spmv_t_calls: u64,
+}
+
+/// Coordinator-side per-worker telemetry accumulator: everything the
+/// receive path learns passively about one worker.
+#[derive(Debug, Default)]
+struct WorkerState {
+    pid: u64,
+    offset: OffsetEstimate,
+    /// Concatenated NDJSON chunks from every `Trace` frame, parsed into
+    /// an event list at shutdown.
+    ndjson: String,
+    trace_frames: u64,
+    trace_bytes: u64,
+    requests: u64,
+    last_seen_ns: u64,
+    snapshot: Option<Snapshot>,
+    degraded: bool,
+}
+
+/// Receive the next non-telemetry message, folding any interleaved
+/// [`Msg::Trace`] frames into `st` (event chunks, counter snapshot,
+/// liveness). Every coordinator drain goes through here so periodic
+/// worker flushes can never desync a collective.
+fn recv_folding<S: io::Read + io::Write>(
+    conn: &mut Conn<S>,
+    st: &mut WorkerState,
+    started: &Instant,
+) -> io::Result<Msg> {
+    loop {
+        let msg = Msg::recv(conn)?;
+        st.last_seen_ns = started.elapsed().as_nanos() as u64;
+        match msg {
+            Msg::Trace {
+                seq: _,
+                busy_ns,
+                bytes_rx: _,
+                bytes_tx: _,
+                spmv_calls,
+                spmv_t_calls,
+                ndjson,
+            } => {
+                st.trace_frames += 1;
+                // Frame payload: six u64 fields plus the length-prefixed
+                // NDJSON string.
+                st.trace_bytes += 56 + ndjson.len() as u64;
+                st.ndjson.push_str(&ndjson);
+                st.snapshot = Some(Snapshot {
+                    busy_ns,
+                    spmv_calls,
+                    spmv_t_calls,
+                });
+            }
+            m => return Ok(m),
+        }
+    }
+}
+
+/// Open a coordinator dispatch span and return its wire id (0 — and no
+/// recorded span — in untraced builds).
+fn dispatch(name: &'static str) -> (u64, span::SpanGuard) {
+    let sid = span::next_span_id();
+    (sid, span::enter_ctx(name, sid, 0))
+}
+
 /// A running shard cluster: one connection per worker, replies drained
 /// in shard order.
 pub struct Cluster {
     conns: Vec<Conn<UnixStream>>,
     endpoints: Vec<Endpoint>,
+    states: Vec<WorkerState>,
     ranges: Vec<Range<usize>>,
     shard_nnz: Vec<usize>,
     windows: Vec<(usize, usize)>,
@@ -160,6 +313,10 @@ impl Cluster {
     /// fall on a multiple of `layout.n_bins` — always the case when
     /// `plan.block_rows == layout.n_bins`, and trivially for a one-shard
     /// plan (otherwise that worker uses the CSR pair).
+    ///
+    /// Traced builds additionally run the per-worker clock handshake and
+    /// stamp every `Hello` with the cluster trace id; worker build spans
+    /// parent to it.
     pub fn start(
         csr: &Csr<f64>,
         plan: &ShardPlan,
@@ -171,8 +328,18 @@ impl Cluster {
         let started = Instant::now();
         let n = plan.n_shards();
         assert!(n >= 1, "cluster needs at least one shard");
+        let trace_id = span::next_span_id();
+        let _s = span::enter_ctx("shard.cluster.start", trace_id, 0);
+        // Process workers own their registry and may stream all of it;
+        // in-process workers share ours and stream only their own serve
+        // thread's buffer (see `hello_flags::STREAM_FULL_REGISTRY`).
+        let flags = match launch {
+            Launch::Process { .. } => hello_flags::STREAM_FULL_REGISTRY,
+            Launch::Threads => 0,
+        };
 
         let (mut conns, endpoints, socket_path) = connect_all(n, launch)?;
+        let mut states: Vec<WorkerState> = (0..n).map(|_| WorkerState::default()).collect();
         let mut shard_nnz = Vec::with_capacity(n);
         for (i, conn) in conns.iter_mut().enumerate() {
             let range = plan.ranges[i].clone();
@@ -182,8 +349,11 @@ impl Cluster {
                 shard: i as u64,
                 n_shards: n as u64,
                 threads: threads_per_worker as u64,
+                trace_id,
+                flags,
             }
             .send(conn)?;
+            states[i].offset = clock_handshake(conn)?;
             let view_aligned = layout.n_bins > 0
                 && range.start.is_multiple_of(layout.n_bins)
                 && range.end.is_multiple_of(layout.n_bins);
@@ -207,24 +377,27 @@ impl Cluster {
         }
         let mut windows = Vec::with_capacity(n);
         let mut execs = Vec::with_capacity(n);
-        for conn in conns.iter_mut() {
+        for (i, conn) in conns.iter_mut().enumerate() {
             let Msg::MatrixAck {
                 col_lo,
                 col_hi,
                 exec,
-            } = Msg::recv(conn)?
+                pid,
+            } = recv_folding(conn, &mut states[i], &started)?
             else {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "expected MatrixAck",
                 ));
             };
+            states[i].pid = pid;
             windows.push((col_lo as usize, col_hi as usize));
             execs.push(exec);
         }
         Ok(Cluster {
             conns,
             endpoints,
+            states,
             ranges: plan.ranges.clone(),
             shard_nnz,
             windows,
@@ -259,16 +432,23 @@ impl Cluster {
     pub fn spmv(&mut self, x: &[f64], y: &mut [f64]) -> io::Result<()> {
         check_len("spmv x", x.len(), self.n_cols)?;
         check_len("spmv y", y.len(), self.n_rows)?;
+        let (sid, _s) = dispatch("shard.dispatch.spmv");
         for conn in self.conns.iter_mut() {
-            Msg::Spmv { x: x.to_vec() }.send(conn)?;
+            Msg::Spmv {
+                span: sid,
+                x: x.to_vec(),
+            }
+            .send(conn)?;
         }
         for (i, conn) in self.conns.iter_mut().enumerate() {
-            let Msg::SpmvOut { y: part } = Msg::recv(conn)? else {
+            let Msg::SpmvOut { y: part } = recv_folding(conn, &mut self.states[i], &self.started)?
+            else {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "expected SpmvOut",
                 ));
             };
+            self.states[i].requests += 1;
             let range = self.ranges[i].clone();
             if part.len() != range.len() {
                 return Err(io::Error::new(
@@ -286,20 +466,25 @@ impl Cluster {
     pub fn spmv_t(&mut self, y: &[f64], x: &mut [f64]) -> io::Result<()> {
         check_len("spmv_t y", y.len(), self.n_rows)?;
         check_len("spmv_t x", x.len(), self.n_cols)?;
+        let (sid, _s) = dispatch("shard.dispatch.spmv_t");
         for (i, conn) in self.conns.iter_mut().enumerate() {
             Msg::SpmvT {
+                span: sid,
                 y: y[self.ranges[i].clone()].to_vec(),
             }
             .send(conn)?;
         }
         let mut partials = Vec::with_capacity(self.conns.len());
         for (i, conn) in self.conns.iter_mut().enumerate() {
-            let Msg::SpmvTOut { col_lo, partial } = Msg::recv(conn)? else {
+            let Msg::SpmvTOut { col_lo, partial } =
+                recv_folding(conn, &mut self.states[i], &self.started)?
+            else {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "expected SpmvTOut",
                 ));
             };
+            self.states[i].requests += 1;
             let (lo, hi) = self.windows[i];
             if col_lo as usize != lo || partial.len() != hi - lo {
                 return Err(io::Error::new(
@@ -307,6 +492,15 @@ impl Cluster {
                     "SpmvTOut window mismatch",
                 ));
             }
+            span::event(
+                "shard.halo_exchange",
+                &[
+                    ("worker", i as f64),
+                    ("col_lo", lo as f64),
+                    ("width", (hi - lo) as f64),
+                    ("bytes", (partial.len() * 8) as f64),
+                ],
+            );
             let mut full = vec![0.0; self.n_cols];
             full[lo..hi].copy_from_slice(&partial);
             partials.push(full);
@@ -321,18 +515,22 @@ impl Cluster {
     /// `|A|` row and column sums: rows by placement, columns by the same
     /// fixed-order reduction as the adjoint.
     pub fn abs_sums(&mut self) -> io::Result<(Vec<f64>, Vec<f64>)> {
+        let (sid, _s) = dispatch("shard.dispatch.abs_sums");
         for conn in self.conns.iter_mut() {
-            Msg::AbsSums.send(conn)?;
+            Msg::AbsSums { span: sid }.send(conn)?;
         }
         let mut rows = vec![0.0; self.n_rows];
         let mut partials = Vec::with_capacity(self.conns.len());
         for (i, conn) in self.conns.iter_mut().enumerate() {
-            let Msg::AbsSumsOut { row, col_lo, col } = Msg::recv(conn)? else {
+            let Msg::AbsSumsOut { row, col_lo, col } =
+                recv_folding(conn, &mut self.states[i], &self.started)?
+            else {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "expected AbsSumsOut",
                 ));
             };
+            self.states[i].requests += 1;
             let range = self.ranges[i].clone();
             if row.len() != range.len() || col_lo as usize != self.windows[i].0 {
                 return Err(io::Error::new(
@@ -358,25 +556,86 @@ impl Cluster {
         Ok((rows, cols))
     }
 
-    /// Snapshot worker and traffic statistics (workers keep serving).
+    /// Live cluster-health snapshot from coordinator-side state alone —
+    /// no worker round trip, so it is safe to call from another thread's
+    /// cadence between collectives (via the owner) or after a failure.
+    pub fn telemetry(&self) -> ClusterTelemetry {
+        let workers = self
+            .states
+            .iter()
+            .enumerate()
+            .map(|(i, st)| {
+                let snap = st.snapshot.unwrap_or_default();
+                WorkerHealth {
+                    shard: i,
+                    pid: st.pid,
+                    requests: st.requests,
+                    bytes_tx: self.conns[i].bytes_tx,
+                    bytes_rx: self.conns[i].bytes_rx,
+                    busy_ns: snap.busy_ns,
+                    spmv_calls: snap.spmv_calls,
+                    spmv_t_calls: snap.spmv_t_calls,
+                    trace_frames: st.trace_frames,
+                    trace_bytes: st.trace_bytes,
+                    last_seen_ns: st.last_seen_ns,
+                    clock_offset_ns: st.offset.offset_ns,
+                    clock_rtt_ns: st.offset.rtt_ns,
+                    degraded: st.degraded,
+                }
+            })
+            .collect();
+        ClusterTelemetry {
+            workers,
+            wall_ns: self.started.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Snapshot worker and traffic statistics (workers keep serving). A
+    /// worker that fails the exchange is marked degraded and its report
+    /// row recovered from its last streamed counter snapshot; healthy
+    /// workers are unaffected.
     pub fn stats(&mut self) -> io::Result<ClusterStats> {
-        for conn in self.conns.iter_mut() {
-            Msg::Stats.send(conn)?;
+        let (sid, _s) = dispatch("shard.dispatch.stats");
+        for (i, conn) in self.conns.iter_mut().enumerate() {
+            if self.states[i].degraded {
+                continue;
+            }
+            if (Msg::Stats { span: sid }).send(conn).is_err() {
+                self.states[i].degraded = true;
+            }
         }
         let mut workers = Vec::with_capacity(self.conns.len());
         for (i, conn) in self.conns.iter_mut().enumerate() {
-            let Msg::StatsOut {
-                busy_ns,
-                spmv_calls,
-                spmv_t_calls,
-                ..
-            } = Msg::recv(conn)?
-            else {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "expected StatsOut",
-                ));
+            let st = &mut self.states[i];
+            let fresh = if st.degraded {
+                None
+            } else {
+                match recv_folding(conn, st, &self.started) {
+                    Ok(Msg::StatsOut {
+                        busy_ns,
+                        spmv_calls,
+                        spmv_t_calls,
+                        ..
+                    }) => {
+                        st.requests += 1;
+                        Some(Snapshot {
+                            busy_ns,
+                            spmv_calls,
+                            spmv_t_calls,
+                        })
+                    }
+                    _ => {
+                        st.degraded = true;
+                        None
+                    }
+                }
             };
+            // An authoritative StatsOut supersedes the last periodic
+            // flush; a degraded worker keeps whatever it last streamed.
+            if let Some(s) = fresh {
+                st.snapshot = Some(s);
+            }
+            let snap = st.snapshot.unwrap_or_default();
             workers.push(WorkerReport {
                 shard: i,
                 rows: self.ranges[i].clone(),
@@ -384,9 +643,10 @@ impl Cluster {
                 exec: self.execs[i].clone(),
                 col_lo: self.windows[i].0,
                 col_hi: self.windows[i].1,
-                busy_ns,
-                spmv_calls,
-                spmv_t_calls,
+                busy_ns: snap.busy_ns,
+                spmv_calls: snap.spmv_calls,
+                spmv_t_calls: snap.spmv_t_calls,
+                degraded: st.degraded,
             });
         }
         Ok(ClusterStats {
@@ -399,63 +659,148 @@ impl Cluster {
     }
 
     /// Collect final statistics, shut every worker down cleanly, and
-    /// reap the endpoints. Also publishes the `shard.*` trace counters
-    /// (traced builds), exactly once per cluster.
-    pub fn shutdown(mut self) -> io::Result<ClusterStats> {
-        let stats = self.stats()?;
-        for conn in self.conns.iter_mut() {
-            Msg::Shutdown.send(conn)?;
-        }
-        for conn in self.conns.iter_mut() {
-            if !matches!(Msg::recv(conn)?, Msg::ShutdownAck) {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "expected ShutdownAck",
-                ));
+    /// reap the endpoints, keeping only the [`ClusterStats`]. See
+    /// [`Cluster::shutdown_full`] for the telemetry-carrying variant.
+    pub fn shutdown(self) -> io::Result<ClusterStats> {
+        Ok(self.shutdown_full()?.stats)
+    }
+
+    /// Shut the cluster down and return everything it learned: final
+    /// stats, a last telemetry snapshot, and one offset-corrected
+    /// [`ProcessTrace`] per worker (lane pid `shard + 2`, so lanes stay
+    /// distinct even for in-process workers sharing one OS pid;
+    /// coordinator exporters conventionally take pid 1). Workers that
+    /// die during shutdown are reported `degraded`, not errors — their
+    /// last streamed snapshot stands in for final stats. Also publishes
+    /// the `shard.*` trace counters (traced builds), exactly once per
+    /// cluster.
+    pub fn shutdown_full(mut self) -> io::Result<ShutdownReport> {
+        let mut stats = self.stats()?;
+        let (sid, _s) = dispatch("shard.dispatch.shutdown");
+        for (i, conn) in self.conns.iter_mut().enumerate() {
+            if self.states[i].degraded {
+                continue;
+            }
+            if (Msg::Shutdown { span: sid }).send(conn).is_err() {
+                self.states[i].degraded = true;
             }
         }
-        for ep in self.endpoints.drain(..) {
+        for (i, conn) in self.conns.iter_mut().enumerate() {
+            let st = &mut self.states[i];
+            if st.degraded {
+                continue;
+            }
+            // The worker's final trace flush precedes its ShutdownAck;
+            // recv_folding captures it into the state.
+            match recv_folding(conn, st, &self.started) {
+                Ok(Msg::ShutdownAck) => {}
+                _ => st.degraded = true,
+            }
+        }
+        for (i, ep) in self.endpoints.drain(..).enumerate() {
             match ep {
                 Endpoint::Thread { handle, served } => {
-                    handle
-                        .join()
-                        .map_err(|_| io::Error::other("worker thread panicked"))?;
-                    if !served.load(Ordering::Acquire) {
-                        return Err(io::Error::other(
-                            "worker thread exited without completing serve()",
-                        ));
+                    if handle.join().is_err() || !served.load(Ordering::Acquire) {
+                        self.states[i].degraded = true;
                     }
                 }
-                Endpoint::Process(mut child) => {
-                    let status = child.wait()?;
-                    if !status.success() {
-                        return Err(io::Error::other(format!("worker exited with {status}")));
-                    }
-                }
+                Endpoint::Process(mut child) => match child.wait() {
+                    Ok(status) if status.success() => {}
+                    _ => self.states[i].degraded = true,
+                },
             }
         }
         if let Some(path) = self.socket_path.take() {
             let _ = std::fs::remove_file(path);
         }
-        let final_bytes_tx: u64 = self.conns.iter().map(|c| c.bytes_tx).sum();
-        let final_bytes_rx: u64 = self.conns.iter().map(|c| c.bytes_rx).sum();
+        // Endpoint reaping may have degraded workers after their report
+        // rows were built; reconcile the flags.
+        for w in stats.workers.iter_mut() {
+            w.degraded |= self.states[w.shard].degraded;
+        }
+        stats.bytes_tx = self.conns.iter().map(|c| c.bytes_tx).sum();
+        stats.bytes_rx = self.conns.iter().map(|c| c.bytes_rx).sum();
+        stats.wall_ns = self.started.elapsed().as_nanos() as u64;
         if cscv_trace::ENABLED {
             use cscv_trace::counters::{add, Counter};
-            add(Counter::ShardBytesTx, final_bytes_tx);
-            add(Counter::ShardBytesRx, final_bytes_rx);
+            add(Counter::ShardBytesTx, stats.bytes_tx);
+            add(Counter::ShardBytesRx, stats.bytes_rx);
             add(Counter::ShardReduceNs, self.reduce_ns);
             add(
                 Counter::ShardWorkerBusyNs,
                 stats.workers.iter().map(|w| w.busy_ns).sum(),
             );
+            add(
+                Counter::ShardTraceFrames,
+                self.states.iter().map(|s| s.trace_frames).sum(),
+            );
+            add(
+                Counter::ShardTraceBytes,
+                self.states.iter().map(|s| s.trace_bytes).sum(),
+            );
         }
-        Ok(ClusterStats {
-            bytes_tx: final_bytes_tx,
-            bytes_rx: final_bytes_rx,
-            wall_ns: self.started.elapsed().as_nanos() as u64,
-            ..stats
+        let telemetry = self.telemetry();
+        let traces = self
+            .states
+            .iter()
+            .enumerate()
+            .map(|(i, st)| ProcessTrace {
+                pid: i as u64 + 2,
+                label: format!("cscv-worker-{i} (pid {})", st.pid),
+                offset: st.offset,
+                // A malformed chunk (truncated by a dying worker) loses
+                // that worker's events, never the merge.
+                events: cscv_trace::export::from_ndjson(&st.ndjson).unwrap_or_default(),
+            })
+            .collect();
+        Ok(ShutdownReport {
+            stats,
+            telemetry,
+            traces,
         })
     }
+}
+
+/// Run the three-probe clock-offset handshake against a freshly greeted
+/// worker. Untraced builds send nothing and return the identity mapping
+/// (the worker-side echo loop is a passthrough there too).
+fn clock_handshake(conn: &mut Conn<UnixStream>) -> io::Result<OffsetEstimate> {
+    if !cscv_trace::ENABLED {
+        return Ok(OffsetEstimate::default());
+    }
+    let mut samples = Vec::with_capacity(3);
+    for seq in 0..3u64 {
+        let t_send_ns = span::now_ns();
+        Msg::ClockProbe {
+            seq,
+            t_coord_ns: t_send_ns,
+        }
+        .send(conn)?;
+        let Msg::ClockAck {
+            seq: echoed,
+            t_worker_ns,
+            ..
+        } = Msg::recv(conn)?
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected ClockAck",
+            ));
+        };
+        let t_recv_ns = span::now_ns();
+        if echoed != seq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "clock probe sequence mismatch",
+            ));
+        }
+        samples.push(ClockSample {
+            t_send_ns,
+            t_worker_ns,
+            t_recv_ns,
+        });
+    }
+    Ok(clock::estimate(&samples))
 }
 
 impl Drop for Cluster {
@@ -478,7 +823,10 @@ impl Drop for Cluster {
 }
 
 /// Bring up `n` worker endpoints and return their connections in shard
-/// order (accept order defines shard identity for processes).
+/// order (accept order defines shard identity for processes). Serve
+/// threads are named `cscv-shard-serve-{i}` so trace exporters can tell
+/// in-process worker events apart from coordinator events in the shared
+/// registry.
 #[allow(clippy::type_complexity)]
 fn connect_all(
     n: usize,
@@ -488,19 +836,21 @@ fn connect_all(
         Launch::Threads => {
             let mut conns = Vec::with_capacity(n);
             let mut endpoints = Vec::with_capacity(n);
-            for _ in 0..n {
+            for i in 0..n {
                 let (ours, theirs) = UnixStream::pair()?;
                 let served = Arc::new(AtomicBool::new(false));
                 let served_w = Arc::clone(&served);
-                let handle = std::thread::spawn(move || {
-                    let mut conn = Conn::new(theirs);
-                    let mut cache = worker::env_cache();
-                    // Errors surface on the coordinator side as broken
-                    // frames; the thread itself just stops serving.
-                    if worker::serve(&mut conn, &mut cache).is_ok() {
-                        served_w.store(true, Ordering::Release);
-                    }
-                });
+                let handle = std::thread::Builder::new()
+                    .name(format!("cscv-shard-serve-{i}"))
+                    .spawn(move || {
+                        let mut conn = Conn::new(theirs);
+                        let mut cache = worker::env_cache();
+                        // Errors surface on the coordinator side as broken
+                        // frames; the thread itself just stops serving.
+                        if worker::serve(&mut conn, &mut cache).is_ok() {
+                            served_w.store(true, Ordering::Release);
+                        }
+                    })?;
                 endpoints.push(Endpoint::Thread { handle, served });
                 conns.push(Conn::new(ours));
             }
@@ -634,10 +984,36 @@ mod tests {
         assert_eq!(cols.len(), 30);
         assert!(rows.iter().all(|&v| v > 0.0));
 
-        let stats = cluster.shutdown().unwrap();
+        let telemetry = cluster.telemetry();
+        assert_eq!(telemetry.workers.len(), 3);
+        for w in &telemetry.workers {
+            // spmv + spmv_t + abs_sums replies, counted coordinator-side.
+            assert_eq!(w.requests, 3);
+            assert!(w.bytes_tx > 0 && w.bytes_rx > 0);
+            assert!(!w.degraded);
+        }
+
+        let report = cluster.shutdown_full().unwrap();
+        let stats = &report.stats;
         assert_eq!(stats.workers.len(), 3);
         assert!(stats.bytes_tx > 0 && stats.bytes_rx > 0);
         assert_eq!(stats.workers.iter().map(|w| w.spmv_calls).sum::<u64>(), 3);
+        assert!(stats.workers.iter().all(|w| !w.degraded));
+        assert_eq!(report.traces.len(), 3);
+        // Lane pids are synthetic and distinct even though in-process
+        // workers share one OS pid.
+        let pids: Vec<u64> = report.traces.iter().map(|t| t.pid).collect();
+        assert_eq!(pids, vec![2, 3, 4]);
+        if cscv_trace::ENABLED {
+            assert!(report.telemetry.workers.iter().all(|w| w.trace_frames >= 1));
+        } else {
+            assert!(report.traces.iter().all(|t| t.events.is_empty()));
+            assert!(report
+                .telemetry
+                .workers
+                .iter()
+                .all(|w| w.trace_frames == 0 && w.trace_bytes == 0));
+        }
     }
 
     #[test]
@@ -661,5 +1037,56 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits(), "one shard must be bitwise equal");
         }
         cluster.shutdown().unwrap();
+    }
+
+    /// Satellite: abnormal worker death must not lose telemetry — the
+    /// final report folds the worker's last streamed counter snapshot
+    /// and marks it degraded; healthy siblings stay clean.
+    #[test]
+    fn dead_worker_is_reported_degraded_with_last_snapshot() {
+        let csr = banded_csr(40, 24);
+        let plan = ShardPlan::new(&vec![3usize; 40], 2, 1, PartitionMethod::Stripe);
+        let layout = SinoLayout {
+            n_views: 0,
+            n_bins: 0,
+        };
+        let img = ImageShape { nx: 6, ny: 4 };
+        let mut cluster = Cluster::start(&csr, &plan, layout, img, 1, &Launch::Threads).unwrap();
+
+        let x = vec![1.0; 24];
+        let mut y = vec![0.0; 40];
+        cluster.spmv(&x, &mut y).unwrap();
+
+        // Kill worker 1 out of band: a raw Shutdown makes its serve loop
+        // return cleanly from the worker's point of view, after which
+        // the coordinator's Stats exchange with it fails.
+        Msg::Shutdown { span: 0 }
+            .send(&mut cluster.conns[1])
+            .unwrap();
+        loop {
+            match recv_folding(
+                &mut cluster.conns[1],
+                &mut cluster.states[1],
+                &cluster.started,
+            )
+            .unwrap()
+            {
+                Msg::ShutdownAck => break,
+                _ => continue,
+            }
+        }
+
+        let report = cluster.shutdown_full().unwrap();
+        assert!(!report.stats.workers[0].degraded);
+        assert!(report.stats.workers[1].degraded);
+        assert!(report.telemetry.workers[1].degraded);
+        assert_eq!(report.stats.workers[0].spmv_calls, 1);
+        if cscv_trace::ENABLED {
+            // The dead worker's final flush rode ahead of its
+            // ShutdownAck, so its snapshot still reports the one spmv it
+            // served before dying.
+            assert_eq!(report.stats.workers[1].spmv_calls, 1);
+            assert!(report.telemetry.workers[1].trace_frames >= 1);
+        }
     }
 }

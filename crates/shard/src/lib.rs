@@ -37,7 +37,9 @@ pub mod protocol;
 pub mod wire;
 pub mod worker;
 
-pub use cluster::{Cluster, ClusterStats, Launch};
+pub use cluster::{
+    Cluster, ClusterStats, ClusterTelemetry, Launch, ShutdownReport, WorkerHealth, WorkerReport,
+};
 pub use operator::{LocalOperator, ShardedOperator};
 pub use plan::{slice_rows, PartitionMethod, ShardPlan};
 pub use worker::WorkerStats;

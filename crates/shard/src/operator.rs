@@ -55,9 +55,24 @@ impl ShardedOperator {
         self.cluster.lock().expect("cluster lock").stats()
     }
 
+    /// Live cluster-health snapshot (coordinator-side state only — no
+    /// worker round trip; see [`Cluster::telemetry`]).
+    pub fn telemetry(&self) -> crate::cluster::ClusterTelemetry {
+        self.cluster.lock().expect("cluster lock").telemetry()
+    }
+
     /// Shut the cluster down cleanly and return the final statistics.
     pub fn shutdown(self) -> io::Result<ClusterStats> {
         self.cluster.into_inner().expect("cluster lock").shutdown()
+    }
+
+    /// Shut down and return stats plus telemetry and per-worker trace
+    /// streams (see [`Cluster::shutdown_full`]).
+    pub fn shutdown_full(self) -> io::Result<crate::cluster::ShutdownReport> {
+        self.cluster
+            .into_inner()
+            .expect("cluster lock")
+            .shutdown_full()
     }
 }
 

@@ -7,20 +7,35 @@
 //!
 //! ```text
 //! coordinator                         worker
-//!   Hello{shard,n_shards,threads} ──▶
+//!   Hello{shard,…,trace_id,flags} ──▶
+//!   ClockProbe{seq,t_coord}       ──▶  (trace builds only, ×3)
+//!                                 ◀──  ClockAck{seq,t_coord,t_worker}
 //!   Matrix{shard CSR + layout}    ──▶  builds CscvExec / CSR pair
-//!                                 ◀──  MatrixAck{col window, exec name}
-//!   Spmv{x}                       ──▶  y_s = A_s x
+//!                                 ◀──  MatrixAck{col window, exec, pid}
+//!   Spmv{span,x}                  ──▶  y_s = A_s x
 //!                                 ◀──  SpmvOut{y_s}
-//!   SpmvT{y_s}                    ──▶  x̃_s = A_sᵀ y_s
+//!   SpmvT{span,y_s}               ──▶  x̃_s = A_sᵀ y_s
 //!                                 ◀──  SpmvTOut{x̃_s[window]}
-//!   AbsSums                       ──▶
+//!   AbsSums{span}                 ──▶
 //!                                 ◀──  AbsSumsOut{row sums, col sums[window]}
-//!   Stats                         ──▶
+//!   Stats{span}                   ──▶
 //!                                 ◀──  StatsOut{busy ns, bytes, calls}
-//!   Shutdown                      ──▶
+//!   Shutdown{span}                ──▶
+//!                                 ◀──  Trace{…}  (trace builds: final flush)
 //!                                 ◀──  ShutdownAck
 //! ```
+//!
+//! **Trace-context propagation.** Every coordinator request carries a
+//! `span` id (0 in untraced builds) naming the dispatch span that caused
+//! it; workers open spans parented to that id, so a merged timeline
+//! draws coordinator→worker causality. Workers in trace builds stream
+//! buffered events and counter snapshots back as unsolicited
+//! [`Msg::Trace`] frames — sent immediately before a reply (periodic
+//! flush) and before `ShutdownAck` (final flush). The coordinator's
+//! receive path treats any number of Trace frames before the actual
+//! reply as telemetry side-channel, never as the reply itself. Untraced
+//! builds send *zero* Trace/ClockProbe/ClockAck frames: the same-binary
+//! invariant means both ends agree on `cscv_trace::ENABLED`.
 //!
 //! Layouts are fixed little-endian ([`crate::wire`]); `Msg::encode` /
 //! [`Msg::decode`] are exact inverses (round-trip tested below).
@@ -29,7 +44,9 @@ use crate::wire::{Dec, Enc};
 use std::io;
 
 /// Frame tags (one per variant; `Err` is 255 so it stands out in dumps).
-mod tag {
+/// Public so wire-level tests (and debugging tools) can tally frames
+/// without re-deriving the numbering.
+pub mod tag {
     pub const HELLO: u8 = 1;
     pub const MATRIX: u8 = 2;
     pub const MATRIX_ACK: u8 = 3;
@@ -43,17 +60,34 @@ mod tag {
     pub const STATS_OUT: u8 = 11;
     pub const SHUTDOWN: u8 = 12;
     pub const SHUTDOWN_ACK: u8 = 13;
+    pub const CLOCK_PROBE: u8 = 14;
+    pub const CLOCK_ACK: u8 = 15;
+    pub const TRACE: u8 = 16;
     pub const ERR: u8 = 255;
+}
+
+/// Bit flags carried in [`Msg::Hello`]'s `flags` field.
+pub mod hello_flags {
+    /// The worker owns its OS process, so a `Trace` flush may drain the
+    /// *entire* trace registry (serve thread + pool threads). Cleared
+    /// for in-process (`Launch::Threads`) workers, which share one
+    /// registry with the coordinator and every sibling worker and must
+    /// therefore stream only their own serve thread's buffer to avoid
+    /// duplicating events across lanes.
+    pub const STREAM_FULL_REGISTRY: u64 = 1;
 }
 
 /// One protocol message. See the module docs for the exchange order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
-    /// Coordinator → worker, first frame: identity and pool width.
+    /// Coordinator → worker, first frame: identity, pool width, the
+    /// cluster-wide trace id, and capability flags (see [`hello_flags`]).
     Hello {
         shard: u64,
         n_shards: u64,
         threads: u64,
+        trace_id: u64,
+        flags: u64,
     },
     /// Coordinator → worker: the shard's rows as a rebased CSR, plus
     /// the view-aligned sinogram layout (`n_views = 0` means "not
@@ -70,23 +104,26 @@ pub enum Msg {
         col_idx: Vec<u32>,
         vals: Vec<f64>,
     },
-    /// Worker → coordinator: column support window (the adjoint halo)
-    /// and the executor the worker built.
+    /// Worker → coordinator: column support window (the adjoint halo),
+    /// the executor the worker built, and the worker's OS pid (labels
+    /// the process lane in merged traces).
     MatrixAck {
         col_lo: u64,
         col_hi: u64,
         exec: String,
+        pid: u64,
     },
     /// Coordinator → worker: full input vector for `y_s = A_s x`.
-    Spmv { x: Vec<f64> },
+    /// `span` is the dispatch span id the worker parents to (0 = none).
+    Spmv { span: u64, x: Vec<f64> },
     /// Worker → coordinator: this shard's contiguous output rows.
     SpmvOut { y: Vec<f64> },
     /// Coordinator → worker: this shard's slice of `y` for `x̃ = A_sᵀ y`.
-    SpmvT { y: Vec<f64> },
+    SpmvT { span: u64, y: Vec<f64> },
     /// Worker → coordinator: partial `x̃` trimmed to the column window.
     SpmvTOut { col_lo: u64, partial: Vec<f64> },
     /// Coordinator → worker: request SIRT weighting sums.
-    AbsSums,
+    AbsSums { span: u64 },
     /// Worker → coordinator: `|A_s|` row sums (shard rows) and column
     /// sums trimmed to the column window.
     AbsSumsOut {
@@ -95,7 +132,7 @@ pub enum Msg {
         col: Vec<f64>,
     },
     /// Coordinator → worker: request execution statistics.
-    Stats,
+    Stats { span: u64 },
     /// Worker → coordinator: cumulative execution statistics.
     StatsOut {
         busy_ns: u64,
@@ -105,9 +142,32 @@ pub enum Msg {
         spmv_t_calls: u64,
     },
     /// Coordinator → worker: drain and exit after acknowledging.
-    Shutdown,
+    Shutdown { span: u64 },
     /// Worker → coordinator: final frame before exit.
     ShutdownAck,
+    /// Coordinator → worker: clock-offset probe carrying the
+    /// coordinator's trace-epoch reading (trace builds only).
+    ClockProbe { seq: u64, t_coord_ns: u64 },
+    /// Worker → coordinator: probe echo plus the worker's own
+    /// trace-epoch reading at answer time.
+    ClockAck {
+        seq: u64,
+        t_coord_ns: u64,
+        t_worker_ns: u64,
+    },
+    /// Worker → coordinator, unsolicited telemetry (trace builds only):
+    /// a monotonically numbered flush carrying the worker's cumulative
+    /// counter snapshot and the NDJSON span/event lines recorded since
+    /// the previous flush.
+    Trace {
+        seq: u64,
+        busy_ns: u64,
+        bytes_rx: u64,
+        bytes_tx: u64,
+        spmv_calls: u64,
+        spmv_t_calls: u64,
+        ndjson: String,
+    },
     /// Either direction: protocol failure with a reason.
     Err { msg: String },
 }
@@ -121,9 +181,16 @@ impl Msg {
                 shard,
                 n_shards,
                 threads,
+                trace_id,
+                flags,
             } => (
                 tag::HELLO,
-                e.u64(*shard).u64(*n_shards).u64(*threads).finish(),
+                e.u64(*shard)
+                    .u64(*n_shards)
+                    .u64(*threads)
+                    .u64(*trace_id)
+                    .u64(*flags)
+                    .finish(),
             ),
             Msg::Matrix {
                 n_cols,
@@ -152,22 +219,23 @@ impl Msg {
                 col_lo,
                 col_hi,
                 exec,
+                pid,
             } => (
                 tag::MATRIX_ACK,
-                e.u64(*col_lo).u64(*col_hi).str(exec).finish(),
+                e.u64(*col_lo).u64(*col_hi).str(exec).u64(*pid).finish(),
             ),
-            Msg::Spmv { x } => (tag::SPMV, e.f64s(x).finish()),
+            Msg::Spmv { span, x } => (tag::SPMV, e.u64(*span).f64s(x).finish()),
             Msg::SpmvOut { y } => (tag::SPMV_OUT, e.f64s(y).finish()),
-            Msg::SpmvT { y } => (tag::SPMV_T, e.f64s(y).finish()),
+            Msg::SpmvT { span, y } => (tag::SPMV_T, e.u64(*span).f64s(y).finish()),
             Msg::SpmvTOut { col_lo, partial } => {
                 (tag::SPMV_T_OUT, e.u64(*col_lo).f64s(partial).finish())
             }
-            Msg::AbsSums => (tag::ABS_SUMS, e.finish()),
+            Msg::AbsSums { span } => (tag::ABS_SUMS, e.u64(*span).finish()),
             Msg::AbsSumsOut { row, col_lo, col } => (
                 tag::ABS_SUMS_OUT,
                 e.f64s(row).u64(*col_lo).f64s(col).finish(),
             ),
-            Msg::Stats => (tag::STATS, e.finish()),
+            Msg::Stats { span } => (tag::STATS, e.u64(*span).finish()),
             Msg::StatsOut {
                 busy_ns,
                 bytes_rx,
@@ -183,8 +251,38 @@ impl Msg {
                     .u64(*spmv_t_calls)
                     .finish(),
             ),
-            Msg::Shutdown => (tag::SHUTDOWN, e.finish()),
+            Msg::Shutdown { span } => (tag::SHUTDOWN, e.u64(*span).finish()),
             Msg::ShutdownAck => (tag::SHUTDOWN_ACK, e.finish()),
+            Msg::ClockProbe { seq, t_coord_ns } => {
+                (tag::CLOCK_PROBE, e.u64(*seq).u64(*t_coord_ns).finish())
+            }
+            Msg::ClockAck {
+                seq,
+                t_coord_ns,
+                t_worker_ns,
+            } => (
+                tag::CLOCK_ACK,
+                e.u64(*seq).u64(*t_coord_ns).u64(*t_worker_ns).finish(),
+            ),
+            Msg::Trace {
+                seq,
+                busy_ns,
+                bytes_rx,
+                bytes_tx,
+                spmv_calls,
+                spmv_t_calls,
+                ndjson,
+            } => (
+                tag::TRACE,
+                e.u64(*seq)
+                    .u64(*busy_ns)
+                    .u64(*bytes_rx)
+                    .u64(*bytes_tx)
+                    .u64(*spmv_calls)
+                    .u64(*spmv_t_calls)
+                    .str(ndjson)
+                    .finish(),
+            ),
             Msg::Err { msg } => (tag::ERR, e.str(msg).finish()),
         }
     }
@@ -197,6 +295,8 @@ impl Msg {
                 shard: d.u64()?,
                 n_shards: d.u64()?,
                 threads: d.u64()?,
+                trace_id: d.u64()?,
+                flags: d.u64()?,
             },
             tag::MATRIX => Msg::Matrix {
                 n_cols: d.u64()?,
@@ -213,21 +313,28 @@ impl Msg {
                 col_lo: d.u64()?,
                 col_hi: d.u64()?,
                 exec: d.str()?,
+                pid: d.u64()?,
             },
-            tag::SPMV => Msg::Spmv { x: d.f64s()? },
+            tag::SPMV => Msg::Spmv {
+                span: d.u64()?,
+                x: d.f64s()?,
+            },
             tag::SPMV_OUT => Msg::SpmvOut { y: d.f64s()? },
-            tag::SPMV_T => Msg::SpmvT { y: d.f64s()? },
+            tag::SPMV_T => Msg::SpmvT {
+                span: d.u64()?,
+                y: d.f64s()?,
+            },
             tag::SPMV_T_OUT => Msg::SpmvTOut {
                 col_lo: d.u64()?,
                 partial: d.f64s()?,
             },
-            tag::ABS_SUMS => Msg::AbsSums,
+            tag::ABS_SUMS => Msg::AbsSums { span: d.u64()? },
             tag::ABS_SUMS_OUT => Msg::AbsSumsOut {
                 row: d.f64s()?,
                 col_lo: d.u64()?,
                 col: d.f64s()?,
             },
-            tag::STATS => Msg::Stats,
+            tag::STATS => Msg::Stats { span: d.u64()? },
             tag::STATS_OUT => Msg::StatsOut {
                 busy_ns: d.u64()?,
                 bytes_rx: d.u64()?,
@@ -235,8 +342,26 @@ impl Msg {
                 spmv_calls: d.u64()?,
                 spmv_t_calls: d.u64()?,
             },
-            tag::SHUTDOWN => Msg::Shutdown,
+            tag::SHUTDOWN => Msg::Shutdown { span: d.u64()? },
             tag::SHUTDOWN_ACK => Msg::ShutdownAck,
+            tag::CLOCK_PROBE => Msg::ClockProbe {
+                seq: d.u64()?,
+                t_coord_ns: d.u64()?,
+            },
+            tag::CLOCK_ACK => Msg::ClockAck {
+                seq: d.u64()?,
+                t_coord_ns: d.u64()?,
+                t_worker_ns: d.u64()?,
+            },
+            tag::TRACE => Msg::Trace {
+                seq: d.u64()?,
+                busy_ns: d.u64()?,
+                bytes_rx: d.u64()?,
+                bytes_tx: d.u64()?,
+                spmv_calls: d.u64()?,
+                spmv_t_calls: d.u64()?,
+                ndjson: d.str()?,
+            },
             tag::ERR => Msg::Err { msg: d.str()? },
             other => {
                 return Err(io::Error::new(
@@ -282,6 +407,8 @@ mod tests {
             shard: 2,
             n_shards: 4,
             threads: 3,
+            trace_id: 0xfeed_beef,
+            flags: super::hello_flags::STREAM_FULL_REGISTRY,
         });
         round_trip(Msg::Matrix {
             n_cols: 9,
@@ -298,23 +425,28 @@ mod tests {
             col_lo: 1,
             col_hi: 9,
             exec: "CSCV-Z".into(),
+            pid: 4242,
         });
         round_trip(Msg::Spmv {
+            span: 17,
             x: vec![1.0, 2.0, 3.0],
         });
         round_trip(Msg::SpmvOut { y: vec![-1.5] });
-        round_trip(Msg::SpmvT { y: vec![0.25, 0.5] });
+        round_trip(Msg::SpmvT {
+            span: 18,
+            y: vec![0.25, 0.5],
+        });
         round_trip(Msg::SpmvTOut {
             col_lo: 4,
             partial: vec![8.0, 9.0],
         });
-        round_trip(Msg::AbsSums);
+        round_trip(Msg::AbsSums { span: 19 });
         round_trip(Msg::AbsSumsOut {
             row: vec![1.0],
             col_lo: 0,
             col: vec![2.0, 3.0],
         });
-        round_trip(Msg::Stats);
+        round_trip(Msg::Stats { span: 0 });
         round_trip(Msg::StatsOut {
             busy_ns: 123,
             bytes_rx: 456,
@@ -322,15 +454,33 @@ mod tests {
             spmv_calls: 10,
             spmv_t_calls: 11,
         });
-        round_trip(Msg::Shutdown);
+        round_trip(Msg::Shutdown { span: 20 });
         round_trip(Msg::ShutdownAck);
+        round_trip(Msg::ClockProbe {
+            seq: 1,
+            t_coord_ns: 123_456,
+        });
+        round_trip(Msg::ClockAck {
+            seq: 1,
+            t_coord_ns: 123_456,
+            t_worker_ns: 99_000,
+        });
+        round_trip(Msg::Trace {
+            seq: 3,
+            busy_ns: 777,
+            bytes_rx: 10,
+            bytes_tx: 20,
+            spmv_calls: 4,
+            spmv_t_calls: 5,
+            ndjson: "{\"type\":\"span\",\"name\":\"w\"}\n".into(),
+        });
         round_trip(Msg::Err { msg: "boom".into() });
     }
 
     #[test]
     fn unknown_tag_and_trailing_bytes_rejected() {
         assert!(Msg::decode(200, &[]).is_err());
-        let (t, mut payload) = Msg::AbsSums.encode();
+        let (t, mut payload) = Msg::AbsSums { span: 0 }.encode();
         payload.push(0);
         assert!(Msg::decode(t, &payload).is_err());
     }

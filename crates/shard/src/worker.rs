@@ -20,7 +20,7 @@
 //! thread scheduling. That is what lets the coordinator's fixed-order
 //! reduction make whole sharded solves reproducible.
 
-use crate::protocol::Msg;
+use crate::protocol::{hello_flags, Msg};
 use crate::wire::Conn;
 use cscv_core::layout::ImageShape;
 use cscv_core::{CscvExec, ExecConfig, SinoLayout, Variant};
@@ -182,6 +182,76 @@ fn proto_err(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("protocol: {what}"))
 }
 
+/// Worker-side trace streaming state: which slice of the registry this
+/// worker may drain, the flush cadence, and the flush sequence number.
+///
+/// In-process workers (`Launch::Threads`) share one registry with the
+/// coordinator and every sibling, so they stream only their own serve
+/// thread's buffer; process workers own their registry and stream all of
+/// it (serve thread + pool threads). Entirely inert in untraced builds.
+struct TraceStream {
+    full_registry: bool,
+    seq: u64,
+    cursor: cscv_trace::span::EventCursor,
+    local_cursor: cscv_trace::span::LocalEventCursor,
+    last_flush: Instant,
+    interval: std::time::Duration,
+}
+
+impl TraceStream {
+    fn new(flags: u64) -> TraceStream {
+        // Flush cadence for periodic telemetry during long solves;
+        // override with CSCV_SHARD_FLUSH_MS (0 = flush before every
+        // reply, useful in tests).
+        let ms = std::env::var("CSCV_SHARD_FLUSH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(250);
+        TraceStream {
+            full_registry: flags & hello_flags::STREAM_FULL_REGISTRY != 0,
+            seq: 0,
+            cursor: cscv_trace::span::EventCursor::default(),
+            local_cursor: cscv_trace::span::LocalEventCursor::default(),
+            last_flush: Instant::now(),
+            interval: std::time::Duration::from_millis(ms),
+        }
+    }
+
+    fn due(&self) -> bool {
+        cscv_trace::ENABLED && self.last_flush.elapsed() >= self.interval
+    }
+
+    /// Send one [`Msg::Trace`] frame: the cumulative counter snapshot
+    /// plus the NDJSON span/event lines recorded since the last flush.
+    /// No-op (zero frames on the wire) in untraced builds.
+    fn flush<S: Read + Write>(
+        &mut self,
+        conn: &mut Conn<S>,
+        stats: &WorkerStats,
+    ) -> io::Result<()> {
+        if !cscv_trace::ENABLED {
+            return Ok(());
+        }
+        let events = if self.full_registry {
+            cscv_trace::span::events_since(&mut self.cursor)
+        } else {
+            cscv_trace::span::local_events_since(&mut self.local_cursor)
+        };
+        self.seq += 1;
+        self.last_flush = Instant::now();
+        Msg::Trace {
+            seq: self.seq,
+            busy_ns: stats.busy_ns,
+            bytes_rx: conn.bytes_rx,
+            bytes_tx: conn.bytes_tx,
+            spmv_calls: stats.spmv_calls,
+            spmv_t_calls: stats.spmv_t_calls,
+            ndjson: cscv_trace::emit::events_ndjson(&events),
+        }
+        .send(conn)
+    }
+}
+
 /// Decode and validate a [`Msg::Matrix`] payload into a CSR plus the
 /// optional view-aligned layout.
 fn decode_matrix(m: Msg) -> io::Result<(Csr<f64>, Option<SinoLayout>, ImageShape)> {
@@ -240,24 +310,51 @@ pub fn serve<S: Read + Write>(
     conn: &mut Conn<S>,
     cache: &mut TuneCache,
 ) -> io::Result<WorkerStats> {
-    let Msg::Hello { threads, .. } = Msg::recv(conn)? else {
+    let Msg::Hello {
+        threads,
+        trace_id,
+        flags,
+        ..
+    } = Msg::recv(conn)?
+    else {
         return Err(proto_err("expected Hello"));
     };
+    let mut trace = TraceStream::new(flags);
+    // Clock-offset handshake: echo probes until the Matrix arrives. The
+    // coordinator only sends probes in trace builds, so this loop is a
+    // straight passthrough when tracing is off.
+    let matrix = loop {
+        match Msg::recv(conn)? {
+            Msg::ClockProbe { seq, t_coord_ns } => {
+                Msg::ClockAck {
+                    seq,
+                    t_coord_ns,
+                    t_worker_ns: cscv_trace::span::now_ns(),
+                }
+                .send(conn)?;
+            }
+            m => break m,
+        }
+    };
     let t0 = Instant::now();
-    let (csr, layout, img) = decode_matrix(Msg::recv(conn)?)?;
+    let (csr, layout, img) = decode_matrix(matrix)?;
     let mut stats = WorkerStats::default();
-    let backend = ShardBackend::build(csr, layout, img, threads as usize, cache);
+    let backend = {
+        let _s = cscv_trace::span::enter_ctx("shard.worker.build", 0, trace_id);
+        ShardBackend::build(csr, layout, img, threads as usize, cache)
+    };
     stats.busy_ns += t0.elapsed().as_nanos() as u64;
     Msg::MatrixAck {
         col_lo: backend.col_lo as u64,
         col_hi: backend.col_hi as u64,
         exec: backend.exec_name(),
+        pid: std::process::id() as u64,
     }
     .send(conn)?;
 
     loop {
         match Msg::recv(conn)? {
-            Msg::Spmv { x } => {
+            Msg::Spmv { span, x } => {
                 if x.len() != backend.n_cols() {
                     Msg::Err {
                         msg: "spmv input width mismatch".into(),
@@ -266,12 +363,18 @@ pub fn serve<S: Read + Write>(
                     return Err(proto_err("spmv input width mismatch"));
                 }
                 let t0 = Instant::now();
-                let y = backend.spmv(&x);
+                let y = {
+                    let _s = cscv_trace::span::enter_ctx("shard.worker.spmv", 0, span);
+                    backend.spmv(&x)
+                };
                 stats.busy_ns += t0.elapsed().as_nanos() as u64;
                 stats.spmv_calls += 1;
+                if trace.due() {
+                    trace.flush(conn, &stats)?;
+                }
                 Msg::SpmvOut { y }.send(conn)?;
             }
-            Msg::SpmvT { y } => {
+            Msg::SpmvT { span, y } => {
                 if y.len() != backend.n_rows() {
                     Msg::Err {
                         msg: "spmv_t input height mismatch".into(),
@@ -280,19 +383,31 @@ pub fn serve<S: Read + Write>(
                     return Err(proto_err("spmv_t input height mismatch"));
                 }
                 let t0 = Instant::now();
-                let x = backend.spmv_t(&y);
+                let x = {
+                    let _s = cscv_trace::span::enter_ctx("shard.worker.spmv_t", 0, span);
+                    backend.spmv_t(&y)
+                };
                 stats.busy_ns += t0.elapsed().as_nanos() as u64;
                 stats.spmv_t_calls += 1;
+                if trace.due() {
+                    trace.flush(conn, &stats)?;
+                }
                 Msg::SpmvTOut {
                     col_lo: backend.col_lo as u64,
                     partial: x[backend.col_lo..backend.col_hi].to_vec(),
                 }
                 .send(conn)?;
             }
-            Msg::AbsSums => {
+            Msg::AbsSums { span } => {
                 let t0 = Instant::now();
-                let (row, col) = backend.abs_sums();
+                let (row, col) = {
+                    let _s = cscv_trace::span::enter_ctx("shard.worker.abs_sums", 0, span);
+                    backend.abs_sums()
+                };
                 stats.busy_ns += t0.elapsed().as_nanos() as u64;
+                if trace.due() {
+                    trace.flush(conn, &stats)?;
+                }
                 Msg::AbsSumsOut {
                     row,
                     col_lo: backend.col_lo as u64,
@@ -300,7 +415,7 @@ pub fn serve<S: Read + Write>(
                 }
                 .send(conn)?;
             }
-            Msg::Stats => {
+            Msg::Stats { span: _ } => {
                 Msg::StatsOut {
                     busy_ns: stats.busy_ns,
                     bytes_rx: conn.bytes_rx,
@@ -310,7 +425,10 @@ pub fn serve<S: Read + Write>(
                 }
                 .send(conn)?;
             }
-            Msg::Shutdown => {
+            Msg::Shutdown { span: _ } => {
+                // Final flush: everything recorded since the last
+                // periodic frame, so the coordinator's merge is complete.
+                trace.flush(conn, &stats)?;
                 Msg::ShutdownAck.send(conn)?;
                 return Ok(stats);
             }
@@ -396,6 +514,17 @@ mod tests {
         assert_eq!(cs[4], 4.0);
     }
 
+    /// Receive the next *reply*, skipping any interleaved periodic
+    /// Trace flushes (trace builds may emit them before a reply).
+    fn recv_reply<S: Read + Write>(conn: &mut Conn<S>) -> Msg {
+        loop {
+            match Msg::recv(conn).unwrap() {
+                Msg::Trace { .. } => continue,
+                m => return m,
+            }
+        }
+    }
+
     #[test]
     fn serve_answers_a_full_session() {
         use std::os::unix::net::UnixStream;
@@ -411,6 +540,8 @@ mod tests {
             shard: 0,
             n_shards: 1,
             threads: 1,
+            trace_id: 0,
+            flags: 0,
         }
         .send(&mut conn)
         .unwrap();
@@ -428,37 +559,47 @@ mod tests {
         }
         .send(&mut conn)
         .unwrap();
-        let Msg::MatrixAck { col_lo, col_hi, .. } = Msg::recv(&mut conn).unwrap() else {
+        let Msg::MatrixAck { col_lo, col_hi, .. } = recv_reply(&mut conn) else {
             panic!("expected MatrixAck");
         };
         assert_eq!((col_lo, col_hi), (1, 5));
 
-        Msg::Spmv { x: vec![1.0; 6] }.send(&mut conn).unwrap();
-        let Msg::SpmvOut { y } = Msg::recv(&mut conn).unwrap() else {
+        Msg::Spmv {
+            span: 0,
+            x: vec![1.0; 6],
+        }
+        .send(&mut conn)
+        .unwrap();
+        let Msg::SpmvOut { y } = recv_reply(&mut conn) else {
             panic!("expected SpmvOut");
         };
         assert_eq!(y, vec![2.0, -1.0, 3.5, 1.0]);
 
-        Msg::SpmvT { y: vec![1.0; 4] }.send(&mut conn).unwrap();
-        let Msg::SpmvTOut { col_lo, partial } = Msg::recv(&mut conn).unwrap() else {
+        Msg::SpmvT {
+            span: 0,
+            y: vec![1.0; 4],
+        }
+        .send(&mut conn)
+        .unwrap();
+        let Msg::SpmvTOut { col_lo, partial } = recv_reply(&mut conn) else {
             panic!("expected SpmvTOut");
         };
         assert_eq!(col_lo, 1);
         assert_eq!(partial, vec![2.5, -1.0, 0.0, 4.0]);
 
-        Msg::Stats.send(&mut conn).unwrap();
+        Msg::Stats { span: 0 }.send(&mut conn).unwrap();
         let Msg::StatsOut {
             spmv_calls,
             spmv_t_calls,
             ..
-        } = Msg::recv(&mut conn).unwrap()
+        } = recv_reply(&mut conn)
         else {
             panic!("expected StatsOut");
         };
         assert_eq!((spmv_calls, spmv_t_calls), (1, 1));
 
-        Msg::Shutdown.send(&mut conn).unwrap();
-        assert!(matches!(Msg::recv(&mut conn).unwrap(), Msg::ShutdownAck));
+        Msg::Shutdown { span: 0 }.send(&mut conn).unwrap();
+        assert!(matches!(recv_reply(&mut conn), Msg::ShutdownAck));
         let stats = worker.join().unwrap();
         assert_eq!(stats.spmv_calls, 1);
     }

@@ -60,19 +60,37 @@ pub fn ndjson() -> String {
         out.push('\n');
     }
 
-    for (thread, e) in span::events() {
+    out.push_str(&events_ndjson(&span::events()));
+    out
+}
+
+/// Render span/event NDJSON lines for `events` alone — the chunk format
+/// shard workers stream back to the coordinator inside `Trace` frames.
+/// Identical to the span/event lines of [`ndjson`], so
+/// [`crate::export::from_ndjson`] parses both.
+pub fn events_ndjson(events: &[(String, span::Event)]) -> String {
+    let mut out = String::new();
+    for (thread, e) in events {
         let mut line = vec![
             (
                 "type".to_string(),
                 Json::from(if e.is_span { "span" } else { "event" }),
             ),
             ("name".to_string(), Json::from(e.name)),
-            ("thread".to_string(), Json::from(thread)),
+            ("thread".to_string(), Json::from(thread.as_str())),
             ("depth".to_string(), Json::from(e.depth as u64)),
             ("t_ns".to_string(), Json::from(e.t_ns)),
         ];
         if e.is_span {
             line.push(("dur_ns".to_string(), Json::from(e.dur_ns)));
+        }
+        // Trace-context ids are emitted only when set, so ordinary
+        // single-process traces keep their compact lines.
+        if e.span_id != 0 {
+            line.push(("span_id".to_string(), Json::from(e.span_id)));
+        }
+        if e.parent != 0 {
+            line.push(("parent".to_string(), Json::from(e.parent)));
         }
         line.extend(e.fields.iter().map(|(k, v)| (k.to_string(), Json::Num(*v))));
         out.push_str(&Json::Obj(line).to_string());
@@ -430,6 +448,35 @@ mod tests {
         let ps = pool_stats();
         assert_eq!(ps.busy_threads, 1);
         assert!((ps.imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn events_ndjson_chunks_carry_trace_context() {
+        let _guard = crate::registry::test_lock();
+        counters::reset();
+        let id = span::next_span_id();
+        {
+            let _d = span::enter_ctx("chunk.dispatch", id, 0);
+            let _w = span::enter_ctx("chunk.compute", 0, id);
+        }
+        let chunk = ndjson_chunk_for_test();
+        // Context ids appear exactly on the spans that carry them, and
+        // the chunk re-parses through the exporter.
+        let evs = crate::export::from_ndjson(&chunk).unwrap();
+        let dispatch = evs.iter().find(|e| e.name == "chunk.dispatch").unwrap();
+        assert_eq!((dispatch.span_id, dispatch.parent), (id, 0));
+        let compute = evs.iter().find(|e| e.name == "chunk.compute").unwrap();
+        assert_eq!((compute.span_id, compute.parent), (0, id));
+        // Ordinary spans keep their compact lines (no id keys at all).
+        let plain_line = chunk.lines().find(|l| l.contains("chunk.compute")).unwrap();
+        assert!(!plain_line.contains("\"span_id\""));
+        assert!(plain_line.contains("\"parent\""));
+    }
+
+    #[cfg(feature = "trace")]
+    fn ndjson_chunk_for_test() -> String {
+        events_ndjson(&span::events())
     }
 
     #[cfg(feature = "trace")]

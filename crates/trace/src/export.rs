@@ -40,6 +40,10 @@ pub struct ExportEvent {
     /// Duration in nanoseconds; `0` for point events.
     pub dur_ns: u64,
     pub is_span: bool,
+    /// Process-unique span id (`0` = unassigned).
+    pub span_id: u64,
+    /// Id of the causal parent span in another process (`0` = none).
+    pub parent: u64,
     pub fields: Vec<(String, f64)>,
 }
 
@@ -54,13 +58,17 @@ pub fn snapshot() -> Vec<ExportEvent> {
             t_ns: e.t_ns,
             dur_ns: e.dur_ns,
             is_span: e.is_span,
+            span_id: e.span_id,
+            parent: e.parent,
             fields: e.fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         })
         .collect()
 }
 
 /// Keys on span/event NDJSON lines that are structure, not payload.
-const STRUCTURAL_KEYS: [&str; 6] = ["type", "name", "thread", "depth", "t_ns", "dur_ns"];
+const STRUCTURAL_KEYS: [&str; 8] = [
+    "type", "name", "thread", "depth", "t_ns", "dur_ns", "span_id", "parent",
+];
 
 /// Re-parse the span/event lines of an NDJSON trace (as written by
 /// [`crate::emit::ndjson`]); other line types are skipped. Events come
@@ -103,6 +111,8 @@ pub fn from_ndjson(text: &str) -> Result<Vec<ExportEvent>, String> {
             t_ns: num_field("t_ns", true)? as u64,
             dur_ns: num_field("dur_ns", is_span)? as u64,
             is_span,
+            span_id: num_field("span_id", false)? as u64,
+            parent: num_field("parent", false)? as u64,
             fields,
         });
     }
@@ -122,6 +132,22 @@ fn thread_order(events: &[ExportEvent]) -> Vec<&str> {
     order
 }
 
+/// One process's lane set in a merged multi-process trace.
+#[derive(Debug, Clone)]
+pub struct ProcessTrace {
+    /// Chrome `pid` for this process's lanes (must be unique per lane
+    /// set; real OS pids work, as do synthetic ones for in-process
+    /// workers that share an OS pid).
+    pub pid: u64,
+    /// Human label for the process row, e.g. `"cscv-worker-2"`.
+    pub label: String,
+    /// Clock mapping from this process's trace epoch onto the
+    /// coordinator timeline (identity for the coordinator itself).
+    pub offset: crate::clock::OffsetEstimate,
+    /// This process's recorded events (its own epoch clock).
+    pub events: Vec<ExportEvent>,
+}
+
 /// Build a Chrome trace-event JSON document from `events`.
 ///
 /// Timestamps are microseconds (`f64`, the format's native unit); span
@@ -129,51 +155,103 @@ fn thread_order(events: &[ExportEvent]) -> Vec<&str> {
 /// payload fields ride in `args`, so Perfetto surfaces `iter`,
 /// `residual`, `iter_ms`, … in the selection panel.
 pub fn chrome_trace(events: &[ExportEvent]) -> Json {
-    let threads = thread_order(events);
-    let tid_of = |name: &str| threads.iter().position(|t| *t == name).unwrap_or(0) + 1;
-    let mut trace_events: Vec<Json> = Vec::with_capacity(events.len() + threads.len() + 1);
-    trace_events.push(Json::obj(vec![
-        ("name", Json::from("process_name")),
-        ("ph", Json::from("M")),
-        ("pid", Json::from(0u64)),
-        ("tid", Json::from(0u64)),
-        ("args", Json::obj(vec![("name", Json::from("cscv-trace"))])),
-    ]));
-    for t in &threads {
+    chrome_trace_merged(&[ProcessTrace {
+        pid: 0,
+        label: "cscv-trace".to_string(),
+        offset: crate::clock::OffsetEstimate::default(),
+        events: events.to_vec(),
+    }])
+}
+
+/// Build one Chrome trace-event document spanning several processes:
+/// a `process_name` metadata row and a lane per thread for each entry,
+/// timestamps mapped onto the coordinator timeline through each
+/// process's clock offset. Spans carrying trace-context ids additionally
+/// emit flow events (`ph:"s"` at a span that owns an id, `ph:"f"` at a
+/// span parented to one), so Perfetto draws arrows from coordinator
+/// dispatch spans to the worker spans they caused; the ids also ride in
+/// `args` (`span_id` / `parent_span`) for text-level assertions.
+pub fn chrome_trace_merged(procs: &[ProcessTrace]) -> Json {
+    let mut trace_events: Vec<Json> = Vec::new();
+    for p in procs {
+        let threads = thread_order(&p.events);
+        let tid_of = |name: &str| threads.iter().position(|t| *t == name).unwrap_or(0) + 1;
         trace_events.push(Json::obj(vec![
-            ("name", Json::from("thread_name")),
+            ("name", Json::from("process_name")),
             ("ph", Json::from("M")),
-            ("pid", Json::from(0u64)),
-            ("tid", Json::from(tid_of(t))),
-            ("args", Json::obj(vec![("name", Json::from(*t))])),
-        ]));
-    }
-    for e in events {
-        let mut obj = vec![
-            ("name", Json::from(e.name.as_str())),
-            ("ph", Json::from(if e.is_span { "X" } else { "i" })),
-            ("ts", Json::Num(e.t_ns as f64 / 1e3)),
-            ("pid", Json::from(0u64)),
-            ("tid", Json::from(tid_of(&e.thread))),
-        ];
-        if e.is_span {
-            obj.push(("dur", Json::Num(e.dur_ns as f64 / 1e3)));
-        } else {
-            // Thread-scoped instant: renders as a marker on its lane.
-            obj.push(("s", Json::from("t")));
-        }
-        if !e.fields.is_empty() {
-            obj.push((
+            ("pid", Json::from(p.pid)),
+            ("tid", Json::from(0u64)),
+            (
                 "args",
-                Json::Obj(
-                    e.fields
-                        .iter()
-                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
-                        .collect(),
-                ),
-            ));
+                Json::obj(vec![("name", Json::from(p.label.as_str()))]),
+            ),
+        ]));
+        for t in &threads {
+            trace_events.push(Json::obj(vec![
+                ("name", Json::from("thread_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::from(p.pid)),
+                ("tid", Json::from(tid_of(t))),
+                ("args", Json::obj(vec![("name", Json::from(*t))])),
+            ]));
         }
-        trace_events.push(Json::obj(obj));
+        for e in &p.events {
+            let ts_us = p.offset.to_coordinator_ns(e.t_ns) as f64 / 1e3;
+            let tid = tid_of(&e.thread);
+            let mut obj = vec![
+                ("name", Json::from(e.name.as_str())),
+                ("ph", Json::from(if e.is_span { "X" } else { "i" })),
+                ("ts", Json::Num(ts_us)),
+                ("pid", Json::from(p.pid)),
+                ("tid", Json::from(tid)),
+            ];
+            if e.is_span {
+                obj.push(("dur", Json::Num(e.dur_ns as f64 / 1e3)));
+            } else {
+                // Thread-scoped instant: renders as a marker on its lane.
+                obj.push(("s", Json::from("t")));
+            }
+            let mut args: Vec<(String, Json)> = e
+                .fields
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect();
+            if e.span_id != 0 {
+                args.push(("span_id".to_string(), Json::from(e.span_id)));
+            }
+            if e.parent != 0 {
+                args.push(("parent_span".to_string(), Json::from(e.parent)));
+            }
+            if !args.is_empty() {
+                obj.push(("args", Json::Obj(args)));
+            }
+            trace_events.push(Json::obj(obj));
+            // Flow arrows: matched by (cat, id); the start binds to the
+            // slice enclosing its ts, the finish (`bp:"e"`) likewise.
+            if e.is_span && e.span_id != 0 {
+                trace_events.push(Json::obj(vec![
+                    ("name", Json::from("shard.flow")),
+                    ("cat", Json::from("shard")),
+                    ("ph", Json::from("s")),
+                    ("id", Json::from(e.span_id)),
+                    ("ts", Json::Num(ts_us)),
+                    ("pid", Json::from(p.pid)),
+                    ("tid", Json::from(tid)),
+                ]));
+            }
+            if e.is_span && e.parent != 0 {
+                trace_events.push(Json::obj(vec![
+                    ("name", Json::from("shard.flow")),
+                    ("cat", Json::from("shard")),
+                    ("ph", Json::from("f")),
+                    ("bp", Json::from("e")),
+                    ("id", Json::from(e.parent)),
+                    ("ts", Json::Num(ts_us)),
+                    ("pid", Json::from(p.pid)),
+                    ("tid", Json::from(tid)),
+                ]));
+            }
+        }
     }
     Json::obj(vec![
         ("traceEvents", Json::Arr(trace_events)),
@@ -274,6 +352,8 @@ mod tests {
             t_ns,
             dur_ns,
             is_span: true,
+            span_id: 0,
+            parent: 0,
             fields: Vec::new(),
         }
     }
@@ -290,6 +370,8 @@ mod tests {
                 t_ns: 250,
                 dur_ns: 0,
                 is_span: false,
+                span_id: 0,
+                parent: 0,
                 fields: vec![("iter".into(), 3.0), ("residual".into(), 0.5)],
             },
         ]
@@ -394,6 +476,107 @@ mod tests {
             "{\"type\":\"span\",\"name\":\"x\",\"thread\":\"t\",\"depth\":0,\"t_ns\":1}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn merged_trace_lanes_offsets_and_flows() {
+        use crate::clock::OffsetEstimate;
+        // Coordinator dispatch span owns id 7; the worker span in a
+        // second process is parented to it, on a clock 1 µs ahead.
+        let mut dispatch = span("main", "shard.dispatch.spmv", 0, 2_000, 5_000);
+        dispatch.span_id = 7;
+        let mut compute = span("shard-worker", "shard.worker.spmv", 0, 3_500, 2_000);
+        compute.parent = 7;
+        let doc = chrome_trace_merged(&[
+            ProcessTrace {
+                pid: 1,
+                label: "cscv-coordinator".into(),
+                offset: OffsetEstimate::default(),
+                events: vec![dispatch],
+            },
+            ProcessTrace {
+                pid: 2,
+                label: "cscv-worker-0".into(),
+                offset: OffsetEstimate {
+                    offset_ns: 1_000,
+                    rtt_ns: 50,
+                    samples: 3,
+                },
+                events: vec![compute],
+            },
+        ]);
+        let back = Json::parse(&doc.to_string()).unwrap();
+        let evs = back.get("traceEvents").unwrap().as_arr().unwrap();
+        // Chrome schema: every row has name/ph/pid/tid (the PR 4 gate).
+        for e in evs {
+            for key in ["name", "ph", "pid", "tid"] {
+                assert!(e.get(key).is_some(), "every event has {key}");
+            }
+        }
+        // One process_name row per lane set, with distinct pids.
+        let procs: Vec<(f64, String)> = evs
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .map(|e| {
+                (
+                    e.get("pid").and_then(Json::as_f64).unwrap(),
+                    e.get("args")
+                        .unwrap()
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(procs.len(), 2);
+        assert_ne!(procs[0].0, procs[1].0);
+        assert!(procs.iter().any(|(_, n)| n == "cscv-worker-0"));
+        // The worker span's timestamp is mapped onto the coordinator
+        // clock: 3500 ns on a +1000 ns clock → 2500 ns = 2.5 µs.
+        let worker = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("shard.worker.spmv"))
+            .unwrap();
+        assert_eq!(worker.get("ts").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(
+            worker
+                .get("args")
+                .unwrap()
+                .get("parent_span")
+                .and_then(Json::as_f64),
+            Some(7.0)
+        );
+        // Flow arrow: an `s` on the dispatch lane and an `f` on the
+        // worker lane, joined by id 7.
+        let flow_s = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("s"))
+            .unwrap();
+        let flow_f = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("f"))
+            .unwrap();
+        assert_eq!(flow_s.get("id").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(flow_f.get("id").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(flow_s.get("pid").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(flow_f.get("pid").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(flow_f.get("bp").and_then(Json::as_str), Some("e"));
+    }
+
+    #[test]
+    fn trace_context_ids_survive_ndjson() {
+        let ndjson = "\
+{\"type\":\"span\",\"name\":\"d\",\"thread\":\"main\",\"depth\":0,\"t_ns\":10,\"dur_ns\":50,\"span_id\":9}\n\
+{\"type\":\"span\",\"name\":\"w\",\"thread\":\"s0\",\"depth\":0,\"t_ns\":20,\"dur_ns\":10,\"parent\":9}\n";
+        let evs = from_ndjson(ndjson).unwrap();
+        assert_eq!(evs[0].span_id, 9);
+        assert_eq!(evs[0].parent, 0);
+        assert_eq!(evs[1].span_id, 0);
+        assert_eq!(evs[1].parent, 9);
+        // Ids are structural, not payload fields.
+        assert!(evs[0].fields.is_empty());
+        assert!(evs[1].fields.is_empty());
     }
 
     #[cfg(not(feature = "trace"))]

@@ -37,14 +37,16 @@
 //! are trivially dead and compile to nothing. Instrumented kernels are
 //! byte-for-byte the uninstrumented kernels unless the feature is on.
 //!
-//! The [`json`], [`hist`], and [`export`] modules (the minimal JSON
-//! parser/writer, log-bucketed latency histograms, and the Chrome
-//! trace-event / collapsed-stack exporters) are always compiled:
+//! The [`json`], [`hist`], [`clock`], and [`export`] modules (the
+//! minimal JSON parser/writer, log-bucketed latency histograms, the
+//! cross-process clock-offset estimator, and the Chrome trace-event /
+//! collapsed-stack exporters) are always compiled:
 //! manifests, histograms, and trace conversion operate on *recorded*
 //! evidence, not hot-path instrumentation, and stay available in
 //! default builds — `cscv-xtask perf-report` uses them to analyze
 //! archived traces without carrying live instrumentation itself.
 
+pub mod clock;
 pub mod counters;
 pub mod emit;
 pub mod export;

@@ -25,6 +25,12 @@ pub struct Event {
     pub dur_ns: u64,
     /// `true` for spans, `false` for point events.
     pub is_span: bool,
+    /// Process-unique span id (`0` = unassigned). Only spans that need
+    /// cross-process parenting carry one — see [`next_span_id`].
+    pub span_id: u64,
+    /// Id of the causal parent span (`0` = none). Set on worker-side
+    /// spans opened under a coordinator-propagated trace context.
+    pub parent: u64,
     /// Numeric payload fields.
     pub fields: Vec<(&'static str, f64)>,
 }
@@ -33,6 +39,7 @@ pub struct Event {
 mod imp {
     use super::Event;
     use crate::registry;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// RAII guard for an open span; records on drop.
     #[must_use = "a span measures the scope holding its guard"]
@@ -40,18 +47,54 @@ mod imp {
         name: &'static str,
         t_ns: u64,
         depth: u16,
+        span_id: u64,
+        parent: u64,
+    }
+
+    // ATOMIC(statistic): process-global span-id allocator — a Relaxed
+    // fetch_add hands out unique nonzero ids; no ordering with other
+    // memory is implied or required.
+    static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// Allocate a fresh process-unique nonzero span id (for spans that
+    /// will parent work in other processes). `0` in untraced builds.
+    #[inline]
+    pub fn next_span_id() -> u64 {
+        NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Monotonic nanoseconds on the trace epoch clock — the time base of
+    /// every recorded span. Public so the shard clock-offset handshake
+    /// can exchange timestamps on the same clock the spans use.
+    #[inline]
+    pub fn now_ns() -> u64 {
+        registry::epoch_ns()
     }
 
     /// Open a span on the calling thread.
     #[inline]
     pub fn enter(name: &'static str) -> SpanGuard {
+        enter_ctx(name, 0, 0)
+    }
+
+    /// Open a span carrying an explicit trace context: `span_id` is this
+    /// span's own id (0 = anonymous), `parent` the id of the remote span
+    /// that caused it (0 = none).
+    #[inline]
+    pub fn enter_ctx(name: &'static str, span_id: u64, parent: u64) -> SpanGuard {
         let t_ns = registry::epoch_ns();
         let depth = registry::with_local(|l| {
             let d = l.depth.get();
             l.depth.set(d + 1);
             d
         });
-        SpanGuard { name, t_ns, depth }
+        SpanGuard {
+            name,
+            t_ns,
+            depth,
+            span_id,
+            parent,
+        }
     }
 
     impl Drop for SpanGuard {
@@ -70,6 +113,8 @@ mod imp {
                         t_ns: self.t_ns,
                         dur_ns: dur_ns.max(1),
                         is_span: true,
+                        span_id: self.span_id,
+                        parent: self.parent,
                         fields: Vec::new(),
                     });
             });
@@ -90,6 +135,8 @@ mod imp {
                     t_ns,
                     dur_ns: 0,
                     is_span: false,
+                    span_id: 0,
+                    parent: 0,
                     fields: fields.to_vec(),
                 });
         });
@@ -101,6 +148,31 @@ mod imp {
         let mut out = registry::collect_events();
         out.sort_by_key(|(_, e)| e.t_ns);
         out
+    }
+
+    /// Incremental drain: events recorded since the last call with the
+    /// same cursor (see [`crate::registry::collect_events_since`]).
+    pub fn events_since(cursor: &mut super::EventCursor) -> Vec<(String, Event)> {
+        let mut out = registry::collect_events_since(&mut cursor.generation, &mut cursor.offsets);
+        out.sort_by_key(|(_, e)| e.t_ns);
+        out
+    }
+
+    /// Incremental drain of the *calling thread's* buffer only.
+    pub fn local_events_since(cursor: &mut super::LocalEventCursor) -> Vec<(String, Event)> {
+        let thread = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| "thread".to_string());
+        registry::with_local(|l| {
+            let buf = l.events.lock().unwrap_or_else(|p| p.into_inner());
+            let start = cursor.offset.min(buf.len());
+            cursor.offset = buf.len();
+            buf[start..]
+                .iter()
+                .map(|e| (thread.clone(), e.clone()))
+                .collect()
+        })
     }
 }
 
@@ -119,15 +191,62 @@ mod imp {
     }
 
     #[inline(always)]
+    pub fn enter_ctx(_name: &'static str, _span_id: u64, _parent: u64) -> SpanGuard {
+        SpanGuard { _priv: () }
+    }
+
+    #[inline(always)]
+    pub fn next_span_id() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn now_ns() -> u64 {
+        0
+    }
+
+    #[inline(always)]
     pub fn event(_name: &'static str, _fields: &[(&'static str, f64)]) {}
 
     #[inline(always)]
     pub fn events() -> Vec<(String, Event)> {
         Vec::new()
     }
+
+    #[inline(always)]
+    pub fn events_since(_cursor: &mut super::EventCursor) -> Vec<(String, Event)> {
+        Vec::new()
+    }
+
+    #[inline(always)]
+    pub fn local_events_since(_cursor: &mut super::LocalEventCursor) -> Vec<(String, Event)> {
+        Vec::new()
+    }
 }
 
-pub use imp::{enter, event, events, SpanGuard};
+/// Cursor for [`events_since`]: remembers how far into each registered
+/// thread's buffer the previous drain reached. A fresh (default) cursor
+/// drains everything recorded so far.
+#[derive(Debug, Default, Clone)]
+pub struct EventCursor {
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    generation: u64,
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    offsets: Vec<usize>,
+}
+
+/// Cursor for [`local_events_since`]: position within the calling
+/// thread's own event buffer.
+#[derive(Debug, Default, Clone)]
+pub struct LocalEventCursor {
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    offset: usize,
+}
+
+pub use imp::{
+    enter, enter_ctx, event, events, events_since, local_events_since, next_span_id, now_ns,
+    SpanGuard,
+};
 
 #[cfg(test)]
 mod tests {
@@ -141,6 +260,14 @@ mod tests {
         let _g = enter("anything");
         event("marker", &[("x", 1.0)]);
         assert!(events().is_empty());
+        // The distributed-trace surface is equally inert.
+        assert_eq!(next_span_id(), 0);
+        assert_eq!(now_ns(), 0);
+        let _c = enter_ctx("ctx", 1, 2);
+        let mut cur = EventCursor::default();
+        assert!(events_since(&mut cur).is_empty());
+        let mut lcur = LocalEventCursor::default();
+        assert!(local_events_since(&mut lcur).is_empty());
     }
 
     #[cfg(feature = "trace")]
@@ -171,6 +298,81 @@ mod tests {
         assert!(inner.t_ns + inner.dur_ns <= outer.t_ns + outer.dur_ns);
         assert!(outer.dur_ns >= inner.dur_ns);
         assert_eq!(mark.fields, vec![("iter", 3.0)]);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn span_ids_are_unique_and_context_is_recorded() {
+        let _guard = crate::registry::test_lock();
+        crate::counters::reset();
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        {
+            let _d = enter_ctx("dispatch", a, 0);
+            let _w = enter_ctx("compute", 0, a);
+        }
+        {
+            let _plain = enter("plain");
+        }
+        let evs = events();
+        let find = |n: &str| evs.iter().find(|(_, e)| e.name == n).unwrap();
+        let (_, dispatch) = find("dispatch");
+        assert_eq!((dispatch.span_id, dispatch.parent), (a, 0));
+        let (_, compute) = find("compute");
+        assert_eq!((compute.span_id, compute.parent), (0, a));
+        let (_, plain) = find("plain");
+        assert_eq!((plain.span_id, plain.parent), (0, 0));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn cursor_drains_are_incremental() {
+        let _guard = crate::registry::test_lock();
+        crate::counters::reset();
+        let mut cur = EventCursor::default();
+        let mut lcur = LocalEventCursor::default();
+        {
+            let _a = enter("cursor.a");
+        }
+        let first = events_since(&mut cur);
+        assert!(first.iter().any(|(_, e)| e.name == "cursor.a"));
+        assert!(
+            events_since(&mut cur).is_empty(),
+            "nothing new since last drain"
+        );
+        // The thread-local drain sees only this thread's buffer.
+        let lfirst = local_events_since(&mut lcur);
+        assert!(lfirst.iter().any(|(_, e)| e.name == "cursor.a"));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _b = enter("cursor.other-thread");
+            });
+        });
+        let second = events_since(&mut cur);
+        assert!(second.iter().any(|(_, e)| e.name == "cursor.other-thread"));
+        assert!(
+            local_events_since(&mut lcur).is_empty(),
+            "other threads' events are not in the local buffer"
+        );
+        // A reset between drains restarts cleanly instead of panicking.
+        crate::counters::reset();
+        {
+            let _c = enter("cursor.post-reset");
+        }
+        let third = events_since(&mut cur);
+        assert!(third.iter().any(|(_, e)| e.name == "cursor.post-reset"));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn now_ns_is_monotonic_nonzero_epoch_clock() {
+        let t0 = now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let t1 = now_ns();
+        assert!(t1 > t0);
+        assert!(t1 - t0 >= 1_000_000, "slept ≥ 1 ms");
     }
 
     #[cfg(feature = "trace")]

@@ -15,6 +15,7 @@
 //! cscv-xtask shard [--case FILE] [--workers LIST] [--solver NAME|all]
 //!                  [--iters N] [--method stripe|bisect] [--threads N]
 //!                  [--launch process|threads] [--tol F]
+//!                  [--trace-export FILE] [--telemetry FILE]
 //!                  [--format table|ndjson]
 //! cscv-xtask shard-worker --socket PATH   (internal: worker process)
 //! ```
@@ -45,7 +46,7 @@ fn usage() -> ExitCode {
          \x20      cscv-xtask perf-report DIR [--format table|ndjson] [--peak-gbs F] [--export-dir DIR]\n\
          \x20      cscv-xtask perf-report --diff DIR_A DIR_B [--threshold F] [--format table|ndjson]\n\
          \x20      cscv-xtask tune [DIR] [--cache FILE] [--format table|ndjson] [--reps N] [--warmup N] [--threads N] [--model]\n\
-         \x20      cscv-xtask shard [--case FILE] [--workers LIST] [--solver NAME|all] [--iters N] [--method stripe|bisect] [--threads N] [--launch process|threads] [--tol F] [--format table|ndjson]\n\n\
+         \x20      cscv-xtask shard [--case FILE] [--workers LIST] [--solver NAME|all] [--iters N] [--method stripe|bisect] [--threads N] [--launch process|threads] [--tol F] [--trace-export FILE] [--telemetry FILE] [--format table|ndjson]\n\n\
          lint        scans crates/*/src/**.rs (and the umbrella src/) for the\n\
          \x20           project rules: SAFETY comments on unsafe, the unsafe-module\n\
          \x20           whitelist, panicking constructs in kernel hot paths, and\n\
@@ -87,7 +88,12 @@ fn usage() -> ExitCode {
          \x20           runs each solver sharded and single-process, and compares —\n\
          \x20           --workers 1 must match bit for bit, more must stay within\n\
          \x20           --tol (default 1e-10) per residual-trajectory entry; exits 1\n\
-         \x20           on any equivalence failure."
+         \x20           on any equivalence failure. Under --features trace,\n\
+         \x20           --trace-export FILE writes one merged Chrome trace (a lane\n\
+         \x20           per process, coordinator dispatch spans parenting worker\n\
+         \x20           spans, Perfetto-loadable) and --telemetry FILE writes\n\
+         \x20           per-worker health rows (type \"telemetry\" NDJSON) that\n\
+         \x20           perf-report joins into its tables."
     );
     ExitCode::from(2)
 }
@@ -347,6 +353,8 @@ fn perf_report(
             print!("{}", perf::render_table(&loaded, &report));
             let traces = perf::load_trace_counters(dir)?;
             print!("{}", perf::render_trace_section(&traces));
+            let telemetry = perf::load_telemetry(dir)?;
+            print!("{}", perf::render_telemetry_section(&telemetry));
         }
         Format::Ndjson => print!("{}", perf::render_ndjson(&loaded, &report)),
     }
@@ -368,7 +376,13 @@ fn perf_diff(
     let lb = perf::load_dir(b)?;
     let rows = perf::diff(&la, &lb, threshold);
     match format {
-        Format::Table => print!("{}", perf::render_diff_table(&la, &lb, &rows, threshold)),
+        Format::Table => {
+            print!("{}", perf::render_diff_table(&la, &lb, &rows, threshold));
+            // Informational trace-counter comparison; never gates the
+            // exit code (counter drift is not a latency regression).
+            let (ta, tb) = (perf::load_trace_counters(a)?, perf::load_trace_counters(b)?);
+            print!("{}", perf::render_trace_diff(&ta, &tb));
+        }
         Format::Ndjson => print!("{}", perf::render_diff_ndjson(&rows)),
     }
     Ok(if perf::has_regressions(&rows) {
@@ -484,6 +498,14 @@ fn shard_cli(args: &[String]) -> ExitCode {
                 Some(t) if t > 0.0 => cfg.tol = t,
                 _ => return usage(),
             },
+            "--trace-export" => match it.next() {
+                Some(p) => cfg.trace_export = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--telemetry" => match it.next() {
+                Some(p) => cfg.telemetry_out = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
             "--format" => match parse_format(it.next().map(String::as_str)) {
                 Some(f) => format = f,
                 None => return usage(),
@@ -515,6 +537,19 @@ fn shard_cli(args: &[String]) -> ExitCode {
 /// `cscv-xtask shard-worker --socket PATH` per shard; everything else —
 /// shard identity, the matrix, solver traffic — arrives over the socket.
 fn shard_worker_cmd(args: &[String]) -> ExitCode {
+    // Worker processes dump their own counters too (traced builds). All
+    // workers inherit the coordinator's CSCV_TRACE_OUT, so suffix it
+    // with the pid — otherwise every worker would race to overwrite the
+    // coordinator's file.
+    if let Ok(out) = std::env::var("CSCV_TRACE_OUT") {
+        if !out.is_empty() {
+            std::env::set_var(
+                "CSCV_TRACE_OUT",
+                format!("{out}.worker-{}", std::process::id()),
+            );
+        }
+    }
+    let _trace = cscv_trace::report_guard();
     let mut socket: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
