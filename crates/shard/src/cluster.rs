@@ -501,6 +501,7 @@ impl Cluster {
                     ("bytes", (partial.len() * 8) as f64),
                 ],
             );
+            // DOMAIN(ColId)
             let mut full = vec![0.0; self.n_cols];
             full[lo..hi].copy_from_slice(&partial);
             partials.push(full);

@@ -77,6 +77,43 @@ pub mod hello_flags {
     pub const STREAM_FULL_REGISTRY: u64 = 1;
 }
 
+/// The machine-checked session spec: the diagram above as data.
+///
+/// `cscv-xtask analyze` (rule family `protocol-conformance`) parses
+/// this constant and statically holds both endpoints to it — every
+/// send must have a receive state, every direct drain must absorb the
+/// legal `Trace`-before-reply interleaving, and every wire tag in
+/// [`tag`] must appear here (and vice versa). The spec also renders to
+/// the GraphViz artifact via `cscv-xtask analyze --protocol-dot`.
+///
+/// Line DSL: `endpoint <role> <file>` · `msg <frame> <dir> <from-state>
+/// <to-state>` · `side <frame> <dir> <states…>` (unsolicited,
+/// state-preserving) · `escape <frame> <dir>` (legal from any state,
+/// ends the session) · `absorber <fn>` (a drain that folds side frames
+/// out of the stream).
+pub const SESSION_SPEC: &[&str] = &[
+    "endpoint coordinator crates/shard/src/cluster.rs",
+    "endpoint worker crates/shard/src/worker.rs",
+    "msg Hello c2w Init Greeted",
+    "msg ClockProbe c2w Greeted ClockWait",
+    "msg ClockAck w2c ClockWait Greeted",
+    "msg Matrix c2w Greeted MatrixWait",
+    "msg MatrixAck w2c MatrixWait Ready",
+    "msg Spmv c2w Ready SpmvWait",
+    "msg SpmvOut w2c SpmvWait Ready",
+    "msg SpmvT c2w Ready SpmvTWait",
+    "msg SpmvTOut w2c SpmvTWait Ready",
+    "msg AbsSums c2w Ready AbsSumsWait",
+    "msg AbsSumsOut w2c AbsSumsWait Ready",
+    "msg Stats c2w Ready StatsWait",
+    "msg StatsOut w2c StatsWait Ready",
+    "msg Shutdown c2w Ready ShutdownWait",
+    "msg ShutdownAck w2c ShutdownWait Closed",
+    "side Trace w2c MatrixWait SpmvWait SpmvTWait AbsSumsWait StatsWait ShutdownWait",
+    "escape Err w2c",
+    "absorber recv_folding",
+];
+
 /// One protocol message. See the module docs for the exchange order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {

@@ -120,6 +120,7 @@ impl ShardBackend {
 
     /// Forward product for this shard's rows: `y_s = A_s x`.
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        // DOMAIN(ShardLocalRow)
         let mut y = vec![0.0; self.csr.n_rows()];
         match &self.exec {
             Exec::Cscv(e) => e.spmv(x, &mut y, &self.pool),
@@ -131,6 +132,7 @@ impl ShardBackend {
     /// Full-width adjoint partial: `x̃ = A_sᵀ y_s` (zeros outside the
     /// column window). Deterministic — see the module docs.
     pub fn spmv_t(&self, y: &[f64]) -> Vec<f64> {
+        // DOMAIN(ColId)
         let mut x = vec![0.0; self.csr.n_cols()];
         match &self.exec {
             Exec::Cscv(e) => e.spmv_transpose(y, &mut x, &self.pool),
@@ -148,7 +150,9 @@ impl ShardBackend {
 
     /// `|A_s|` row sums (one per shard row) and full-width column sums.
     pub fn abs_sums(&self) -> (Vec<f64>, Vec<f64>) {
+        // DOMAIN(ShardLocalRow)
         let mut row = vec![0.0; self.csr.n_rows()];
+        // DOMAIN(ColId)
         let mut col = vec![0.0; self.csr.n_cols()];
         for (r, row_r) in row.iter_mut().enumerate() {
             let (cols, vals) = self.csr.row(r);

@@ -149,4 +149,85 @@ mod tests {
         assert_eq!(est, OffsetEstimate::default());
         assert_eq!(est.to_coordinator_ns(42), 42);
     }
+
+    #[test]
+    fn asymmetric_rtt_error_is_bounded_by_rtt() {
+        // True offset 500, but the request leg took 180 ns and the
+        // reply leg 20 ns — the midpoint assumption misattributes the
+        // asymmetry. The estimate error must stay within the RTT bound.
+        let true_offset = 500i64;
+        let s = ClockSample {
+            t_send_ns: 1_000,
+            t_worker_ns: (1_180i64 + true_offset) as u64, // read after the slow leg
+            t_recv_ns: 1_200,
+        };
+        let est = estimate(&[s]);
+        let err = (est.offset_ns - true_offset).abs();
+        assert!(err > 0, "asymmetry must show up, or this test is vacuous");
+        assert!(
+            err as u64 <= est.rtt_ns,
+            "error {err} exceeds the RTT bound {}",
+            est.rtt_ns
+        );
+    }
+
+    #[test]
+    fn min_rtt_selection_among_negative_offsets() {
+        // All offsets negative (worker epochs start late); the filter
+        // must still pick by RTT, not by offset magnitude.
+        let wide = ClockSample {
+            t_send_ns: 10_000,
+            t_worker_ns: 2_000,
+            t_recv_ns: 11_000,
+        };
+        let tight = ClockSample {
+            t_send_ns: 30_000,
+            t_worker_ns: 22_040,
+            t_recv_ns: 30_080,
+        };
+        let est = estimate(&[wide, tight]);
+        assert_eq!(est.rtt_ns, 80);
+        assert_eq!(est.offset_ns, 22_040 - 30_040);
+        assert!(est.offset_ns < 0);
+        // Mapping a worker stamp forward onto the coordinator timeline.
+        assert_eq!(est.to_coordinator_ns(22_040), 30_040);
+    }
+
+    #[test]
+    fn single_probe_zero_rtt_is_exact() {
+        // Degenerate handshake: reply arrives on the same coordinator
+        // tick it was sent (loopback, coarse clock). RTT 0 means the
+        // error bound is zero and the offset is taken verbatim.
+        let s = ClockSample {
+            t_send_ns: 7_000,
+            t_worker_ns: 7_123,
+            t_recv_ns: 7_000,
+        };
+        let est = estimate(&[s]);
+        assert_eq!(est.rtt_ns, 0);
+        assert_eq!(est.offset_ns, 123);
+        assert_eq!(est.samples, 1);
+    }
+
+    #[test]
+    fn backwards_clock_sample_saturates_rtt() {
+        // t_recv < t_send (the coordinator clock misbehaved): rtt_ns
+        // saturates to 0 rather than wrapping, so the sample claims a
+        // perfect error bound and wins the filter — callers are expected
+        // to feed monotonic readings. This pins the documented behavior.
+        let broken = ClockSample {
+            t_send_ns: 5_000,
+            t_worker_ns: 9_999,
+            t_recv_ns: 4_000,
+        };
+        assert_eq!(broken.rtt_ns(), 0);
+        let honest = ClockSample {
+            t_send_ns: 6_000,
+            t_worker_ns: 6_150,
+            t_recv_ns: 6_200,
+        };
+        let est = estimate(&[honest, broken]);
+        assert_eq!(est.rtt_ns, 0);
+        assert_eq!(est.samples, 2);
+    }
 }

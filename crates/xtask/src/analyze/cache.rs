@@ -1,0 +1,247 @@
+//! Content-hash incremental cache for `cscv-xtask analyze`.
+//!
+//! The analyzer is a whole-workspace inter-procedural fixpoint, so
+//! partial (per-file) reuse is unsound — a one-line edit can change
+//! call edges three crates away. What *is* sound is all-or-nothing
+//! memoization: the cache key is an FNV-1a 64 over the rule version
+//! plus the per-file content hash of every analysis input (each
+//! crate's `Cargo.toml`, every `src/**.rs`, and the domain catalog).
+//! On a warm run with an unchanged key the stored report is replayed
+//! without re-lexing a single file; any changed, added, or removed
+//! input changes the key and forces a full recompute.
+//!
+//! The replayed report reproduces findings byte-for-byte (order,
+//! chains, suppression lines), so `analyze` output is identical cold
+//! and warm — CI gates on exactly that. The cache lives in
+//! `<root>/target/analyze-cache.json` (never committed) and every
+//! failure mode — unreadable, stale version, unknown rule name —
+//! degrades to a cold run.
+
+use super::{domains, symbols, AnalyzeReport, Finding, ALL_RULES};
+use crate::ndjson;
+use cscv_trace::json::Json;
+use std::path::{Path, PathBuf};
+
+/// Bump when a rule family changes behavior: the version feeds the
+/// cache key, so stale reports can never satisfy a newer analyzer.
+pub const RULE_VERSION: u32 = 2;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Every file whose content feeds the analysis, sorted by relative
+/// path: manifests, rust sources, the domain catalog.
+fn input_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let push_if_file = |out: &mut Vec<PathBuf>, p: PathBuf| {
+        if p.is_file() {
+            out.push(p);
+        }
+    };
+    push_if_file(&mut out, root.join("Cargo.toml"));
+    push_if_file(&mut out, root.join("crates/xtask/domain_catalog.json"));
+    let crates_dir = root.join("crates");
+    let mut subdirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect()
+        })
+        .unwrap_or_default();
+    subdirs.sort();
+    for dir in subdirs {
+        push_if_file(&mut out, dir.join("Cargo.toml"));
+        let mut stack = vec![dir.join("src")];
+        let mut files = Vec::new();
+        while let Some(d) = stack.pop() {
+            let Ok(rd) = std::fs::read_dir(&d) else {
+                continue;
+            };
+            for e in rd.filter_map(Result::ok) {
+                let p = e.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.extension().is_some_and(|x| x == "rs") {
+                    files.push(p);
+                }
+            }
+        }
+        files.sort();
+        out.extend(files);
+    }
+    out
+}
+
+/// The cache key over all inputs; reading (not lexing) each file is
+/// the entire cost of a warm run.
+pub fn cache_key(root: &Path) -> String {
+    let mut acc = format!("rule-version:{RULE_VERSION}\n");
+    for p in input_files(root) {
+        let rel = p.strip_prefix(root).unwrap_or(&p);
+        let content = std::fs::read(&p).unwrap_or_default();
+        acc.push_str(&format!("{}\x00{:016x}\n", rel.display(), fnv64(&content)));
+    }
+    format!("{:016x}", fnv64(acc.as_bytes()))
+}
+
+fn render_cache(key: &str, report: &AnalyzeReport) -> String {
+    let mut out = format!(
+        "{{\n  \"version\": 1,\n  \"rule_version\": {RULE_VERSION},\n  \"key\": \"{key}\",\n  \
+         \"files\": {},\n  \"lines\": {},\n  \"fns\": {},\n  \"edges\": {},\n  \"findings\": [\n",
+        report.files_scanned, report.lines_scanned, report.fn_count, report.edge_count,
+    );
+    let rows: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let chain = f
+                .chain
+                .iter()
+                .map(|c| format!("\"{}\"", ndjson::escape(c)))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"symbol\": \"{}\", \
+                 \"message\": \"{}\", \"chain\": [{}], \"salient\": \"{}\", \"suppressed_at\": {}}}",
+                ndjson::escape(f.rule),
+                ndjson::escape(&f.file.display().to_string()),
+                f.line,
+                ndjson::escape(&f.symbol),
+                ndjson::escape(&f.message),
+                chain,
+                ndjson::escape(&f.salient),
+                f.suppressed_at.map_or("null".to_string(), |s| s.to_string()),
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    if !rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse a cached report; `None` on any mismatch (wrong key, old rule
+/// version, unknown rule name, malformed JSON) — all degrade to cold.
+fn parse_cache(text: &str, key: &str) -> Option<AnalyzeReport> {
+    let json = Json::parse(text).ok()?;
+    if json.get("rule_version")?.as_f64()? as u32 != RULE_VERSION {
+        return None;
+    }
+    if json.get("key")?.as_str()? != key {
+        return None;
+    }
+    let num = |k: &str| -> Option<usize> { Some(json.get(k)?.as_f64()? as usize) };
+    let mut findings = Vec::new();
+    for item in json.get("findings")?.as_arr()? {
+        let rule_name = item.get("rule")?.as_str()?;
+        let rule = ALL_RULES.iter().find(|r| **r == rule_name)?;
+        let chain = item
+            .get("chain")?
+            .as_arr()?
+            .iter()
+            .filter_map(Json::as_str)
+            .map(str::to_string)
+            .collect();
+        findings.push(Finding {
+            rule,
+            file: PathBuf::from(item.get("file")?.as_str()?),
+            line: item.get("line")?.as_f64()? as usize,
+            symbol: item.get("symbol")?.as_str()?.to_string(),
+            message: item.get("message")?.as_str()?.to_string(),
+            chain,
+            salient: item.get("salient")?.as_str()?.to_string(),
+            suppressed_at: item
+                .get("suppressed_at")
+                .and_then(Json::as_f64)
+                .map(|v| v as usize),
+        });
+    }
+    Some(AnalyzeReport {
+        findings,
+        files_scanned: num("files")?,
+        lines_scanned: num("lines")?,
+        fn_count: num("fns")?,
+        edge_count: num("edges")?,
+    })
+}
+
+fn cache_path(root: &Path) -> PathBuf {
+    root.join("target/analyze-cache.json")
+}
+
+/// Analyze `root`, replaying the cached report when every input hash
+/// matches. Returns the report and whether the run was warm.
+pub fn analyze_root_cached(root: &Path, use_cache: bool) -> Result<(AnalyzeReport, bool), String> {
+    let path = cache_path(root);
+    let key = if use_cache {
+        cache_key(root)
+    } else {
+        String::new()
+    };
+    if use_cache {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Some(report) = parse_cache(&text, &key) {
+                return Ok((report, true));
+            }
+        }
+    }
+    let ws = symbols::Workspace::load(root)?;
+    let catalog = domains::Catalog::load(root)?;
+    let report = super::analyze_workspace_with(&ws, &catalog);
+    if use_cache {
+        // Best-effort: an unwritable target dir must not fail analyze.
+        if std::fs::create_dir_all(path.parent().unwrap_or(root)).is_ok() {
+            let _ = std::fs::write(&path, render_cache(&key, &report));
+        }
+    }
+    Ok((report, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_cache_text() {
+        let report = AnalyzeReport {
+            findings: vec![Finding {
+                rule: super::super::RULE_INDEX_DOMAIN,
+                file: PathBuf::from("crates/demo/src/lib.rs"),
+                line: 7,
+                symbol: "demo::f".into(),
+                message: "msg with \"quotes\"".into(),
+                chain: vec!["a::b".into(), "c::d".into()],
+                salient: "buf|RowId|ColId|demo::f".into(),
+                suppressed_at: Some(6),
+            }],
+            files_scanned: 3,
+            lines_scanned: 120,
+            fn_count: 9,
+            edge_count: 4,
+        };
+        let text = render_cache("deadbeefdeadbeef", &report);
+        let back = parse_cache(&text, "deadbeefdeadbeef").expect("parses");
+        assert_eq!(back.findings.len(), 1);
+        let f = &back.findings[0];
+        assert_eq!(f.rule, super::super::RULE_INDEX_DOMAIN);
+        assert_eq!(f.chain, vec!["a::b".to_string(), "c::d".to_string()]);
+        assert_eq!(f.suppressed_at, Some(6));
+        assert_eq!(f.message, "msg with \"quotes\"");
+        assert_eq!(back.edge_count, 4);
+        // Key mismatch and version skew degrade to cold.
+        assert!(parse_cache(&text, "0000000000000000").is_none());
+        let skew = text.replace(
+            &format!("\"rule_version\": {RULE_VERSION}"),
+            "\"rule_version\": 0",
+        );
+        assert!(parse_cache(&skew, "deadbeefdeadbeef").is_none());
+    }
+}

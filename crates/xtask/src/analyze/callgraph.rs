@@ -450,9 +450,6 @@ impl Resolver {
             }
             CallKind::Plain(name) => {
                 let cands = self.named(name);
-                if cands.is_empty() {
-                    return Vec::new();
-                }
                 // Same file beats everything.
                 let same_file: Vec<usize> = cands
                     .iter()
@@ -462,7 +459,11 @@ impl Resolver {
                 if !same_file.is_empty() {
                     return same_file;
                 }
-                // A `use` import naming it decides the path.
+                // A `use` import naming it decides the path. Checked
+                // before bailing on an empty `cands`: a renamed import
+                // (`use a::{b as c, d}`) binds a local name that no
+                // workspace fn carries, so the by-name table alone
+                // would drop the edge.
                 if let Some(imp) = file.imports.iter().find(|i| &i.alias == name) {
                     let segs: Vec<String> = imp.path.split("::").map(str::to_string).collect();
                     let (head, last) = segs.split_at(segs.len().saturating_sub(1));
@@ -730,6 +731,33 @@ mod tests {
         assert_eq!(
             cg.render(&ws),
             "cscv_core::exec::execute -> cscv_sparse::pool::dispatch_all"
+        );
+    }
+
+    #[test]
+    fn brace_grouped_rename_resolves_plain_call() {
+        // `use a::{b as c, d}` binds a local name (`c`) that no
+        // workspace fn carries; resolution must go through the import
+        // table, not the global by-name index (which is empty for `c`
+        // and used to drop the edge before the alias was consulted).
+        let ws = Workspace::from_sources(&[
+            (
+                "cscv-core",
+                "crates/core/src/exec.rs",
+                "use cscv_sparse::pool::{spawn_all as launch, join_all};\n\
+                 pub fn execute() {\n    launch();\n    join_all();\n}\n",
+            ),
+            (
+                "cscv-sparse",
+                "crates/sparse/src/pool.rs",
+                "pub fn spawn_all() {}\npub fn join_all() {}\n",
+            ),
+        ]);
+        let cg = build(&ws);
+        assert_eq!(
+            cg.render(&ws),
+            "cscv_core::exec::execute -> cscv_sparse::pool::join_all\n\
+             cscv_core::exec::execute -> cscv_sparse::pool::spawn_all"
         );
     }
 

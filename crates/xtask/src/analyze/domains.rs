@@ -1,0 +1,983 @@
+//! Index-domain provenance (`index-domain` rule family).
+//!
+//! CSCV juggles eight index spaces — original row/col ids, group/lane
+//! coordinates, nnz offsets, permuted positions, shard-local rows and
+//! worker column windows — and the classic failure mode is subscripting
+//! a buffer with an index from the wrong space. This pass makes the
+//! spaces explicit and checks them:
+//!
+//! * a machine-readable **catalog** ([`Catalog`], mirrored by the
+//!   committed `crates/xtask/domain_catalog.json`) names the domains,
+//!   the legal offset translations between them, and the return domains
+//!   of index-producing APIs addressed by qualified-name suffix;
+//! * `// DOMAIN(<d>)` **annotations** tag further sources in place: on
+//!   a `fn` header the return value is an index in `<d>`; on a `let` /
+//!   `static` / struct-field declaration the binding is either a scalar
+//!   index in `<d>` or — for indexable types — a buffer whose
+//!   *subscripts* must be in `<d>`. The two-domain form
+//!   `// DOMAIN(A -> B)` declares a translator buffer (subscripts in
+//!   `A`, elements are indices in `B` — a permutation array), and
+//!   `// DOMAIN(_ -> B)` a buffer with unchecked subscripts whose
+//!   elements are indices in `B`;
+//! * domains **propagate** through the same 8-round inter-procedural
+//!   fixpoint shape as the taint passes: `let` copies, call returns,
+//!   call arguments into callee parameters (joining conflicting call
+//!   sites to an opaque *mixed* state), translator-array subscripts,
+//!   and the offset arithmetic the catalog declares legal
+//!   (`global - global -> local`, `local + global -> global`);
+//! * every subscript of a buffer with a declared subscript domain is
+//!   **checked**: a known index domain that doesn't match is a finding
+//!   with the witness chain of how the domain arrived, vettable with
+//!   `// AUDIT(domain-ok): <why>`;
+//! * DOMAIN annotations that attach to nothing (or name an unknown
+//!   domain) are reported stale, same as AUDIT/ATOMIC staleness.
+//!
+//! The pass is deliberately silent when either side is unknown: it
+//! gates the *annotated* index flows without guessing about plain
+//! loop counters.
+
+use super::dataflow::{call_args, covering_annotation_line};
+use super::symbols::Workspace;
+use super::{Finding, RULE_INDEX_DOMAIN, RULE_STALE};
+use crate::audit;
+use crate::lexer;
+use cscv_trace::json::Json;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Fixpoint round budget, matched to the taint passes.
+const ROUNDS: usize = 8;
+
+/// Join result for conflicting domains (never reported against).
+const MIXED: &str = "!mixed";
+
+// ---------------------------------------------------------------------------
+// Catalog.
+// ---------------------------------------------------------------------------
+
+/// The machine-readable domain catalog. [`Catalog::builtin`] is the
+/// source of truth; `crates/xtask/domain_catalog.json` is its committed
+/// JSON rendering (kept in sync by a unit test) so external tooling can
+/// consume the same data without running the analyzer.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// Canonical domain names.
+    pub domains: Vec<String>,
+    /// `(global, local)` offset pairs: `global - global` yields the
+    /// local domain, `local + global` yields back the global.
+    pub offsets: Vec<(String, String)>,
+    /// `(qualified-name suffix, return domain)` for index-producing
+    /// APIs tagged without a source annotation.
+    pub apis: Vec<(String, String)>,
+}
+
+impl Catalog {
+    pub fn builtin() -> Catalog {
+        let s = |x: &str| x.to_string();
+        Catalog {
+            domains: [
+                "RowId",
+                "ColId",
+                "GroupId",
+                "LaneId",
+                "NnzIdx",
+                "PermutedPos",
+                "ShardLocalRow",
+                "ColWindowOff",
+            ]
+            .iter()
+            .map(|d| s(d))
+            .collect(),
+            offsets: vec![
+                (s("RowId"), s("ShardLocalRow")),
+                (s("ColId"), s("ColWindowOff")),
+            ],
+            apis: vec![
+                (s("layout::row_index"), s("RowId")),
+                (s("layout::col_index"), s("ColId")),
+            ],
+        }
+    }
+
+    /// Parse the JSON rendering (see `domain_catalog.json`).
+    pub fn parse(text: &str) -> Result<Catalog, String> {
+        let json = Json::parse(text)?;
+        let str_arr = |key: &str| -> Vec<String> {
+            json.get(key)
+                .and_then(Json::as_arr)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Json::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let pair_arr = |key: &str, a: &str, b: &str| -> Vec<(String, String)> {
+            json.get(key)
+                .and_then(Json::as_arr)
+                .map(|arr| {
+                    arr.iter()
+                        .filter_map(|o| {
+                            let ga = o.get(a).and_then(Json::as_str)?;
+                            let gb = o.get(b).and_then(Json::as_str)?;
+                            Some((ga.to_string(), gb.to_string()))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let domains = str_arr("domains");
+        if domains.is_empty() {
+            return Err("domain catalog: empty or missing `domains`".into());
+        }
+        Ok(Catalog {
+            domains,
+            offsets: pair_arr("offsets", "global", "local"),
+            apis: pair_arr("apis", "fn", "returns"),
+        })
+    }
+
+    /// Load `crates/xtask/domain_catalog.json` under `root`, falling
+    /// back to the builtin catalog when the file doesn't exist.
+    pub fn load(root: &Path) -> Result<Catalog, String> {
+        let path = root.join("crates/xtask/domain_catalog.json");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Catalog::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Catalog::builtin()),
+            Err(e) => Err(format!("read {}: {e}", path.display())),
+        }
+    }
+
+    /// The committed JSON rendering of this catalog.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"domains\": [");
+        out.push_str(
+            &self
+                .domains
+                .iter()
+                .map(|d| format!("\"{d}\""))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("],\n  \"offsets\": [\n");
+        let offs: Vec<String> = self
+            .offsets
+            .iter()
+            .map(|(g, l)| format!("    {{\"global\": \"{g}\", \"local\": \"{l}\"}}"))
+            .collect();
+        out.push_str(&offs.join(",\n"));
+        out.push_str("\n  ],\n  \"apis\": [\n");
+        let apis: Vec<String> = self
+            .apis
+            .iter()
+            .map(|(f, d)| format!("    {{\"fn\": \"{f}\", \"returns\": \"{d}\"}}"))
+            .collect();
+        out.push_str(&apis.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    fn is_domain(&self, name: &str) -> bool {
+        self.domains.iter().any(|d| d == name)
+    }
+
+    /// `global - global` produces this local domain.
+    fn local_of(&self, global: &str) -> Option<&str> {
+        self.offsets
+            .iter()
+            .find(|(g, _)| g == global)
+            .map(|(_, l)| l.as_str())
+    }
+
+    /// `local + global` produces back this global domain.
+    fn global_of(&self, local: &str) -> Option<&str> {
+        self.offsets
+            .iter()
+            .find(|(_, l)| l == local)
+            .map(|(g, _)| g.as_str())
+    }
+
+    /// Return domain of a fn by catalog qualified-name suffix.
+    fn api_return(&self, qual: &str) -> Option<&str> {
+        self.apis
+            .iter()
+            .find(|(suffix, _)| qual == suffix || qual.ends_with(&format!("::{suffix}")))
+            .map(|(_, d)| d.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DOMAIN(<d>) annotations.
+// ---------------------------------------------------------------------------
+
+/// One parsed `DOMAIN(...)` spec: `(subscript-or-return, element)`.
+/// `DOMAIN(RowId)` → `("RowId", None)`; `DOMAIN(RowId -> NnzIdx)` →
+/// `("RowId", Some("NnzIdx"))`; `DOMAIN(_ -> ColId)` → `("_",
+/// Some("ColId"))`.
+pub fn domain_annotations_in(comment: &str) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(p) = comment[from..].find("DOMAIN(") {
+        let at = from + p;
+        // `DOMAIN(` mid-word (e.g. `XDOMAIN(`) is not an annotation.
+        if at > 0 && lexer::is_ident_char(comment[..at].chars().next_back().unwrap_or(' ')) {
+            from = at + "DOMAIN(".len();
+            continue;
+        }
+        let rest = &comment[at + "DOMAIN(".len()..];
+        from = at + "DOMAIN(".len();
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let inner = rest[..close].trim();
+        // Prose like `DOMAIN(<d>)` in docs is not an annotation.
+        if !inner
+            .chars()
+            .all(|c| lexer::is_ident_char(c) || c == '-' || c == '>' || c == ' ' || c == '_')
+        {
+            continue;
+        }
+        match inner.split_once("->") {
+            Some((a, b)) => out.push((a.trim().to_string(), Some(b.trim().to_string()))),
+            None => out.push((inner.to_string(), None)),
+        }
+    }
+    out
+}
+
+/// Same-line or contiguous-comment-block-above coverage, for
+/// `DOMAIN(...)` (the AUDIT helper is keyed, so this mirrors it).
+fn covering_domain_line(
+    lines: &[lexer::LineView],
+    idx: usize,
+) -> Option<(usize, String, Option<String>)> {
+    let hit = |li: usize| -> Option<(usize, String, Option<String>)> {
+        domain_annotations_in(&lines[li].comment)
+            .into_iter()
+            .next()
+            .map(|(a, b)| (li, a, b))
+    };
+    if let Some(h) = hit(idx) {
+        return Some(h);
+    }
+    let mut li = idx;
+    while li > 0 {
+        li -= 1;
+        let l = &lines[li];
+        let code = l.code.trim();
+        let is_attr = code.starts_with("#[") || code.starts_with("#!");
+        if !code.is_empty() && !is_attr {
+            return None;
+        }
+        if l.comment.trim().is_empty() && code.is_empty() && !is_attr {
+            return None;
+        }
+        if let Some(h) = hit(li) {
+            return Some(h);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Declarations the annotations attach to.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct BufferDecl {
+    file: usize,
+    /// 0-based declaration line.
+    line: usize,
+    name: String,
+    /// Declared subscript domain (`None` for the `_` wildcard).
+    sub: Option<String>,
+    /// Element domain for translator buffers.
+    elem: Option<String>,
+    /// Struct-field / static declaration: matched crate-wide through
+    /// any receiver (`self.name`, `m.name`); otherwise scoped to the
+    /// enclosing fn.
+    field: bool,
+}
+
+#[derive(Debug)]
+struct ScalarDecl {
+    file: usize,
+    line: usize,
+    name: String,
+    domain: String,
+}
+
+#[derive(Debug, Default)]
+struct Decls {
+    /// fn id → declared return domain.
+    fn_ret: BTreeMap<usize, String>,
+    buffers: Vec<BufferDecl>,
+    scalars: Vec<ScalarDecl>,
+}
+
+/// The declaration-ish binder a `DOMAIN` annotation on `code` targets:
+/// `let [mut] x`, `static X`, `pub x: T` (struct field), `x: T,` in a
+/// struct body. Returns `(name, looks_indexable)`.
+fn decl_target(code: &str) -> Option<(String, bool)> {
+    let t = code.trim();
+    let indexable = |ty: &str| {
+        ty.contains("Vec<")
+            || ty.contains('[')
+            || ty.contains("vec!")
+            || ty.contains("with_capacity")
+            || ty.contains("collect()")
+    };
+    if let Some(rest) = t.strip_prefix("let ") {
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+        let name: String = rest
+            .chars()
+            .take_while(|&c| lexer::is_ident_char(c))
+            .collect();
+        if name.is_empty() {
+            return None;
+        }
+        return Some((name, indexable(rest)));
+    }
+    for kw in ["static ", "pub static "] {
+        if let Some(rest) = t.strip_prefix(kw) {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            let name: String = rest
+                .chars()
+                .take_while(|&c| lexer::is_ident_char(c))
+                .collect();
+            if name.is_empty() {
+                return None;
+            }
+            return Some((name, indexable(rest)));
+        }
+    }
+    // Struct field: `name: Type,` optionally pub-qualified.
+    let f = t
+        .strip_prefix("pub(crate) ")
+        .or_else(|| t.strip_prefix("pub "))
+        .unwrap_or(t);
+    let name: String = f.chars().take_while(|&c| lexer::is_ident_char(c)).collect();
+    if !name.is_empty() && f[name.len()..].trim_start().starts_with(':') && !f.contains('(') {
+        return Some((name, indexable(f)));
+    }
+    None
+}
+
+/// Scan every `DOMAIN` annotation, attach each to a fn header or a
+/// declaration, and report the ones that attach to nothing (or name an
+/// unknown domain) as stale.
+fn collect_decls(ws: &Workspace, catalog: &Catalog, findings: &mut Vec<Finding>) -> Decls {
+    let mut decls = Decls::default();
+    for (fi, sf) in ws.files.iter().enumerate() {
+        for (li, l) in sf.lines.iter().enumerate() {
+            if sf.in_test[li] {
+                continue;
+            }
+            // Doc comments are prose.
+            let trimmed = l.comment.trim_start();
+            if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+                continue;
+            }
+            for (a, b) in domain_annotations_in(&l.comment) {
+                let stale = |msg: String, decls_sal: &str| Finding {
+                    rule: RULE_STALE,
+                    file: sf.rel.clone(),
+                    line: li + 1,
+                    symbol: format!(
+                        "DOMAIN({a}{})",
+                        b.as_deref().map(|e| format!(" -> {e}")).unwrap_or_default()
+                    ),
+                    message: msg,
+                    chain: Vec::new(),
+                    salient: format!("domain|{decls_sal}|{}", sf.rel.display()),
+                    suppressed_at: None,
+                };
+                // Unknown domain name: stale/bad.
+                let names_ok = (a == "_" || catalog.is_domain(&a))
+                    && b.as_deref().is_none_or(|e| catalog.is_domain(e));
+                if !names_ok {
+                    findings.push(stale(
+                        format!(
+                            "`DOMAIN({a}{})` (line {}) names a domain outside the catalog — \
+                             see crates/xtask/domain_catalog.json",
+                            b.as_deref().map(|e| format!(" -> {e}")).unwrap_or_default(),
+                            li + 1
+                        ),
+                        &format!("unknown|{a}"),
+                    ));
+                    continue;
+                }
+                // A fn whose header this annotation covers?
+                let fn_hit = ws.fns.iter().enumerate().find(|(_, f)| {
+                    f.file == fi
+                        && covering_domain_line(&sf.lines, f.line).map(|(at, _, _)| at) == Some(li)
+                });
+                if let Some((id, _)) = fn_hit {
+                    if a != "_" && b.is_none() {
+                        decls.fn_ret.insert(id, a.clone());
+                        continue;
+                    }
+                    // Translator form on a fn is not supported; flag it.
+                    findings.push(stale(
+                        format!(
+                            "`DOMAIN({a} -> {})` (line {}) covers a fn header — fns declare \
+                             a plain return domain, translator arrays use the arrow form",
+                            b.as_deref().unwrap_or("_"),
+                            li + 1
+                        ),
+                        &format!("fn-arrow|{a}"),
+                    ));
+                    continue;
+                }
+                // The next code-bearing line (or this one) must be a
+                // declaration.
+                let mut target = None;
+                for cli in li..sf.lines.len().min(li + 4) {
+                    let code = sf.lines[cli].code.trim();
+                    if code.is_empty() || code.starts_with("#[") || code.starts_with("#!") {
+                        continue;
+                    }
+                    target = decl_target(code).map(|t| (cli, t));
+                    break;
+                }
+                let Some((dli, (name, indexable))) = target else {
+                    findings.push(stale(
+                        format!(
+                            "`DOMAIN({a})` (line {}) attaches to no fn header or \
+                             declaration — the tagged item moved; delete the annotation",
+                            li + 1
+                        ),
+                        &format!("unattached|{a}"),
+                    ));
+                    continue;
+                };
+                let enclosing = ws.enclosing_fn(fi, dli);
+                let field = enclosing.is_none();
+                if b.is_some() || indexable {
+                    decls.buffers.push(BufferDecl {
+                        file: fi,
+                        line: dli,
+                        name,
+                        sub: (a != "_").then(|| a.clone()),
+                        elem: b.clone(),
+                        field,
+                    });
+                } else {
+                    decls.scalars.push(ScalarDecl {
+                        file: fi,
+                        line: dli,
+                        name,
+                        domain: a.clone(),
+                    });
+                }
+            }
+        }
+    }
+    decls
+}
+
+// ---------------------------------------------------------------------------
+// Expression-level domain evaluation.
+// ---------------------------------------------------------------------------
+
+/// The identifier chain ending just before byte `at` (exclusive):
+/// `self.row_ptr` for `self.row_ptr[`, `perm` for `perm[`.
+fn base_before(code: &str, at: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut k = at;
+    while k > 0 {
+        let c = bytes[k - 1] as char;
+        if lexer::is_ident_char(c) || c == '.' {
+            k -= 1;
+        } else {
+            break;
+        }
+    }
+    if k == at {
+        return None;
+    }
+    let base = &code[k..at];
+    if base.starts_with('.') || base.ends_with('.') || base.is_empty() {
+        return None;
+    }
+    Some(base.to_string())
+}
+
+/// The text between the subscript's `[` at `open` and its matching `]`.
+fn subscript_inner(code: &str, open: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&code[open + 1..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Split `expr` on the last top-level occurrence of `op`, respecting
+/// parens/brackets. Returns `(lhs, rhs)`.
+fn split_top_op(expr: &str, op: char) -> Option<(&str, &str)> {
+    let bytes = expr.as_bytes();
+    let mut depth = 0i32;
+    for i in (0..bytes.len()).rev() {
+        match bytes[i] {
+            b')' | b']' => depth += 1,
+            b'(' | b'[' => depth -= 1,
+            b if depth == 0 && b == op as u8 => {
+                // `->`, `>-`-style and unary minus at the start are not
+                // arithmetic splits.
+                if i == 0 || bytes[i - 1] == b'<' || bytes[i - 1] == b'-' {
+                    continue;
+                }
+                return Some((&expr[..i], &expr[i + 1..]));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Domain of `expr` given the known variable domains of the enclosing
+/// fn. `None` = unknown (never reported); [`MIXED`] joins count as
+/// unknown at the check, but poison copies.
+fn expr_domain(expr: &str, vars: &BTreeMap<String, String>, catalog: &Catalog) -> Option<String> {
+    let mut t = expr.trim();
+    // Strip a trailing cast: `x as usize`.
+    if let Some(pos) = lexer::word_positions(t, "as").first().copied() {
+        t = t[..pos].trim_end();
+    }
+    // Strip redundant outer parens.
+    while t.starts_with('(') && t.ends_with(')') && subscript_like_balanced(t) {
+        t = t[1..t.len() - 1].trim();
+    }
+    if t.contains("..") {
+        return None;
+    }
+    // Plain variable (possibly a field chain used as a value).
+    if !t.is_empty() && t.chars().all(|c| lexer::is_ident_char(c) || c == '.') {
+        let leaf = t.rsplit('.').next().unwrap_or(t);
+        return vars.get(t).or_else(|| vars.get(leaf)).cloned();
+    }
+    // Offset arithmetic.
+    for op in ['-', '+'] {
+        if let Some((lhs, rhs)) = split_top_op(t, op) {
+            let ld = expr_domain(lhs, vars, catalog)?;
+            let rd = expr_domain(rhs, vars, catalog)?;
+            if ld == MIXED || rd == MIXED {
+                return Some(MIXED.to_string());
+            }
+            return match op {
+                // global - global → local counterpart.
+                '-' if ld == rd => catalog.local_of(&ld).map(str::to_string),
+                // local + global (either order) → global.
+                '+' if catalog.global_of(&ld) == Some(rd.as_str()) => Some(rd),
+                '+' if catalog.global_of(&rd) == Some(ld.as_str()) => Some(ld),
+                _ => None,
+            };
+        }
+    }
+    None
+}
+
+/// True when the parens in `t` stay balanced strictly inside (so
+/// stripping the outer pair is safe).
+fn subscript_like_balanced(t: &str) -> bool {
+    let mut depth = 0i32;
+    for (i, b) in t.bytes().enumerate() {
+        match b {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => {
+                depth -= 1;
+                if depth == 0 && i != t.len() - 1 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+/// `let [mut] <ident> … = <expr>` on one line: `(binder, rhs)`.
+fn let_assignment(code: &str) -> Option<(String, String)> {
+    let t = code.trim();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|&c| lexer::is_ident_char(c))
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    let eq = rest.find('=')?;
+    if rest.as_bytes().get(eq + 1) == Some(&b'=') {
+        return None;
+    }
+    let rhs = rest[eq + 1..]
+        .trim()
+        .trim_end_matches([';', ','])
+        .to_string();
+    Some((name, rhs))
+}
+
+// ---------------------------------------------------------------------------
+// The inter-procedural flow and the rule.
+// ---------------------------------------------------------------------------
+
+/// Per-fn variable domains plus provenance chains (qualified fn names,
+/// innermost last) describing how each domain arrived.
+pub struct DomainFlow {
+    vars: Vec<BTreeMap<String, String>>,
+    prov: Vec<BTreeMap<String, Vec<String>>>,
+}
+
+/// Join a domain fact into `(vars, prov)`; conflicting re-binding
+/// poisons to [`MIXED`]. Returns true when something changed.
+fn join(
+    vars: &mut BTreeMap<String, String>,
+    prov: &mut BTreeMap<String, Vec<String>>,
+    name: &str,
+    dom: &str,
+    chain: Vec<String>,
+) -> bool {
+    match vars.get(name) {
+        None => {
+            vars.insert(name.to_string(), dom.to_string());
+            prov.insert(name.to_string(), chain);
+            true
+        }
+        Some(have) if have == dom || have == MIXED => false,
+        Some(_) => {
+            vars.insert(name.to_string(), MIXED.to_string());
+            prov.insert(name.to_string(), Vec::new());
+            true
+        }
+    }
+}
+
+/// Resolve the buffer declaration a subscript base refers to: a
+/// fn-local `let` in the same fn wins, then a crate-wide field/static
+/// by leaf name.
+fn resolve_buffer<'d>(
+    decls: &'d Decls,
+    ws: &Workspace,
+    fi: usize,
+    fn_id: usize,
+    base: &str,
+) -> Option<&'d BufferDecl> {
+    let leaf = base.rsplit('.').next().unwrap_or(base);
+    let crate_idx = ws.files[fi].crate_idx;
+    decls
+        .buffers
+        .iter()
+        .find(|b| {
+            !b.field
+                && b.name == base
+                && b.file == fi
+                && ws.enclosing_fn(b.file, b.line) == Some(fn_id)
+        })
+        .or_else(|| {
+            decls
+                .buffers
+                .iter()
+                .find(|b| b.field && b.name == leaf && ws.files[b.file].crate_idx == crate_idx)
+        })
+}
+
+/// Run the domain-propagation fixpoint and emit `index-domain`
+/// findings plus DOMAIN staleness into `out`.
+pub fn index_domains(
+    ws: &Workspace,
+    cg: &super::callgraph::CallGraph,
+    catalog: &Catalog,
+    out: &mut Vec<Finding>,
+) {
+    let decls = collect_decls(ws, catalog, out);
+    let mut flow = DomainFlow {
+        vars: vec![BTreeMap::new(); ws.fns.len()],
+        prov: vec![BTreeMap::new(); ws.fns.len()],
+    };
+
+    // Seed scalar declarations.
+    for s in &decls.scalars {
+        if let Some(id) = ws.enclosing_fn(s.file, s.line) {
+            join(
+                &mut flow.vars[id],
+                &mut flow.prov[id],
+                &s.name,
+                &s.domain,
+                vec![ws.fns[id].qual.clone()],
+            );
+        }
+    }
+
+    // Return domain of a callee: source annotation first, catalog API
+    // suffix second.
+    let ret_domain = |id: usize| -> Option<&str> {
+        decls
+            .fn_ret
+            .get(&id)
+            .map(String::as_str)
+            .or_else(|| catalog.api_return(&ws.fns[id].qual))
+    };
+
+    for _ in 0..ROUNDS {
+        let mut changed = false;
+        for (caller, f) in ws.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let sf = &ws.files[f.file];
+            // Split borrows: transfer reads local state and writes both
+            // local (lets) and remote (callee params) state, so stage
+            // updates and apply after the scan of each fn.
+            let mut local: Vec<(String, String, Vec<String>)> = Vec::new();
+            let mut remote: Vec<(usize, String, String, Vec<String>)> = Vec::new();
+            {
+                let vars = &flow.vars[caller];
+                for li in f.line..=f.end.min(sf.lines.len().saturating_sub(1)) {
+                    if sf.in_test[li] || ws.enclosing_fn(f.file, li) != Some(caller) {
+                        continue;
+                    }
+                    let code = &sf.lines[li].code;
+                    // `let x = …`: call returns, translator subscripts,
+                    // copies, offset arithmetic.
+                    if let Some((binder, rhs)) = let_assignment(code) {
+                        let mut assigned: Option<(String, Vec<String>)> = None;
+                        // A call with a declared return domain — all
+                        // resolved callees on this line must agree.
+                        let callees: Vec<usize> = cg.out[caller]
+                            .iter()
+                            .filter(|e| e.line == li)
+                            .map(|e| e.callee)
+                            .collect();
+                        let doms: Vec<&str> =
+                            callees.iter().filter_map(|&id| ret_domain(id)).collect();
+                        if !doms.is_empty() && doms.iter().all(|d| *d == doms[0]) {
+                            let src = callees
+                                .iter()
+                                .find(|&&id| ret_domain(id).is_some())
+                                .map(|&id| ws.fns[id].qual.clone())
+                                .unwrap_or_default();
+                            assigned = Some((doms[0].to_string(), vec![src, f.qual.clone()]));
+                        }
+                        // Translator-array subscript: `let p = perm[r];`.
+                        if assigned.is_none() {
+                            for open in audit::subscript_positions(&rhs) {
+                                let Some(base) = base_before(&rhs, open) else {
+                                    continue;
+                                };
+                                let Some(b) = resolve_buffer(&decls, ws, f.file, caller, &base)
+                                else {
+                                    continue;
+                                };
+                                if let Some(elem) = &b.elem {
+                                    assigned = Some((
+                                        elem.clone(),
+                                        vec![format!("{base}[]"), f.qual.clone()],
+                                    ));
+                                }
+                                break;
+                            }
+                        }
+                        // Copy / offset arithmetic.
+                        if assigned.is_none() {
+                            if let Some(d) = expr_domain(&rhs, vars, catalog) {
+                                let chain = vars
+                                    .get(rhs.trim())
+                                    .and_then(|_| flow.prov[caller].get(rhs.trim()))
+                                    .cloned()
+                                    .unwrap_or_else(|| vec![f.qual.clone()]);
+                                assigned = Some((d, chain));
+                            }
+                        }
+                        if let Some((d, chain)) = assigned {
+                            local.push((binder, d, chain));
+                        }
+                    }
+                    // Call arguments → callee parameters.
+                    for e in cg.out[caller].iter().filter(|e| e.line == li) {
+                        let callee = &ws.fns[e.callee];
+                        if callee.is_test || callee.params.is_empty() {
+                            continue;
+                        }
+                        for args in call_args(&sf.lines, li, &callee.name) {
+                            for (k, arg) in args.iter().enumerate() {
+                                let Some(p) = callee.params.get(k) else {
+                                    break;
+                                };
+                                let Some(d) = expr_domain(arg, vars, catalog) else {
+                                    continue;
+                                };
+                                let mut chain = flow.prov[caller]
+                                    .get(arg.trim())
+                                    .cloned()
+                                    .unwrap_or_else(|| vec![f.qual.clone()]);
+                                chain.push(callee.qual.clone());
+                                remote.push((e.callee, p.name.clone(), d, chain));
+                            }
+                        }
+                    }
+                }
+            }
+            for (name, d, chain) in local {
+                changed |= join(
+                    &mut flow.vars[caller],
+                    &mut flow.prov[caller],
+                    &name,
+                    &d,
+                    chain,
+                );
+            }
+            for (callee, name, d, chain) in remote {
+                changed |= join(
+                    &mut flow.vars[callee],
+                    &mut flow.prov[callee],
+                    &name,
+                    &d,
+                    chain,
+                );
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Check every subscript of a domain-declared buffer.
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let sf = &ws.files[f.file];
+        let vars = &flow.vars[id];
+        for li in f.line..=f.end.min(sf.lines.len().saturating_sub(1)) {
+            if sf.in_test[li] || ws.enclosing_fn(f.file, li) != Some(id) {
+                continue;
+            }
+            let code = &sf.lines[li].code;
+            for open in audit::subscript_positions(code) {
+                let Some(base) = base_before(code, open) else {
+                    continue;
+                };
+                let Some(buf) = resolve_buffer(&decls, ws, f.file, id, &base) else {
+                    continue;
+                };
+                let Some(want) = &buf.sub else {
+                    continue;
+                };
+                let Some(inner) = subscript_inner(code, open) else {
+                    continue;
+                };
+                let Some(got) = expr_domain(inner, vars, catalog) else {
+                    continue;
+                };
+                if got == *want || got == MIXED {
+                    continue;
+                }
+                let suppressed_at =
+                    covering_annotation_line(&sf.lines, li, "domain-ok").map(|l| l + 1);
+                let mut chain = flow.prov[id].get(inner.trim()).cloned().unwrap_or_default();
+                if chain.last() != Some(&f.qual) {
+                    chain.push(f.qual.clone());
+                }
+                out.push(Finding {
+                    rule: RULE_INDEX_DOMAIN,
+                    file: sf.rel.clone(),
+                    line: li + 1,
+                    symbol: f.qual.clone(),
+                    message: format!(
+                        "`{base}[{inner}]` subscripts a `{want}`-indexed buffer with a \
+                         `{got}` index — translate it first (see the domain catalog) or \
+                         vet with `// AUDIT(domain-ok): <why>`",
+                    ),
+                    chain,
+                    salient: format!("{base}|{want}|{got}|{}", f.qual),
+                    suppressed_at,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotation_grammar() {
+        assert_eq!(
+            domain_annotations_in("// DOMAIN(RowId)"),
+            vec![("RowId".to_string(), None)]
+        );
+        assert_eq!(
+            domain_annotations_in("// DOMAIN(RowId -> NnzIdx)"),
+            vec![("RowId".to_string(), Some("NnzIdx".to_string()))]
+        );
+        assert_eq!(
+            domain_annotations_in("// DOMAIN(_ -> ColId)"),
+            vec![("_".to_string(), Some("ColId".to_string()))]
+        );
+        // Mid-word and non-ident interiors are prose.
+        assert!(domain_annotations_in("// XDOMAIN(RowId)").is_empty());
+        assert!(domain_annotations_in("// DOMAIN(<d>): grammar doc").is_empty());
+    }
+
+    #[test]
+    fn catalog_roundtrip_and_lookup() {
+        let c = Catalog::builtin();
+        let parsed = Catalog::parse(&c.render()).unwrap();
+        assert_eq!(parsed.domains, c.domains);
+        assert_eq!(parsed.offsets, c.offsets);
+        assert_eq!(parsed.apis, c.apis);
+        assert_eq!(c.local_of("RowId"), Some("ShardLocalRow"));
+        assert_eq!(c.global_of("ColWindowOff"), Some("ColId"));
+        assert_eq!(c.api_return("cscv_core::layout::row_index"), Some("RowId"));
+        assert_eq!(c.api_return("cscv_core::exec::spmv"), None);
+    }
+
+    #[test]
+    fn committed_catalog_matches_builtin() {
+        // The JSON file is the machine-readable export of the builtin
+        // catalog; a drifted copy would let external tooling and the
+        // analyzer disagree about what a domain means.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/domain_catalog.json");
+        let text = std::fs::read_to_string(path).expect("domain_catalog.json exists");
+        assert_eq!(
+            text,
+            Catalog::builtin().render(),
+            "regenerate with Catalog::render()"
+        );
+    }
+
+    #[test]
+    fn expr_domains_translate_offsets() {
+        let c = Catalog::builtin();
+        let mut v = BTreeMap::new();
+        v.insert("row".to_string(), "RowId".to_string());
+        v.insert("row0".to_string(), "RowId".to_string());
+        v.insert("off".to_string(), "ShardLocalRow".to_string());
+        assert_eq!(expr_domain("row", &v, &c).as_deref(), Some("RowId"));
+        assert_eq!(
+            expr_domain("row - row0", &v, &c).as_deref(),
+            Some("ShardLocalRow")
+        );
+        assert_eq!(expr_domain("off + row0", &v, &c).as_deref(), Some("RowId"));
+        assert_eq!(
+            expr_domain("row as usize", &v, &c).as_deref(),
+            Some("RowId")
+        );
+        assert_eq!(expr_domain("row + row0", &v, &c), None);
+        assert_eq!(expr_domain("mystery", &v, &c), None);
+    }
+}

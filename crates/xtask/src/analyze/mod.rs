@@ -4,17 +4,25 @@
 //! shared [`crate::lexer`] into an item/signature model; [`callgraph`]
 //! builds a cross-crate call graph (use/path tracking plus a
 //! trait-method approximation); [`dataflow`] runs fixpoint taint passes
-//! over it; [`rules`] turns the facts into findings. A checked-in
-//! ratchet baseline (`crates/xtask/analyze_baseline.json`) gates the
-//! result: a finding absent from the baseline exits 1, a baseline entry
-//! the analyzer no longer produces exits 2 (prune it), clean exits 0.
+//! over it; [`rules`] turns the facts into findings, joined by the
+//! declaration-driven [`domains`] (index-domain typestate over the
+//! committed catalog and `DOMAIN(<d>)` annotations) and [`protocol`]
+//! (session conformance against the shard `SESSION_SPEC`) families. A
+//! checked-in ratchet baseline (`crates/xtask/analyze_baseline.json`)
+//! gates the result: a finding absent from the baseline exits 1, a
+//! baseline entry the analyzer no longer produces exits 2 (prune it),
+//! clean exits 0. [`cache`] memoizes the whole report keyed by input
+//! content hashes, replaying warm runs byte-identically.
 //!
 //! Fingerprints deliberately exclude line numbers, so moving code
 //! around does not churn the baseline; they hash
 //! `rule|file|symbol|salient` with FNV-1a 64.
 
+pub mod cache;
 pub mod callgraph;
 pub mod dataflow;
+pub mod domains;
+pub mod protocol;
 pub mod rules;
 pub mod symbols;
 
@@ -29,7 +37,24 @@ pub const RULE_ATOMIC_ROLE: &str = "atomic-role";
 pub const RULE_ATOMIC_ORDERING: &str = "atomic-ordering";
 pub const RULE_FENCE: &str = "fence-unpaired";
 pub const RULE_IPC_CAST: &str = "ipc-cast-truncation";
+pub const RULE_INDEX_DOMAIN: &str = "index-domain";
+pub const RULE_PROTOCOL: &str = "protocol-conformance";
 pub const RULE_STALE: &str = "audit-stale-annotation";
+
+/// Every rule the analyzer can produce, in the stable order the
+/// per-rule NDJSON counts are emitted in (and the cache validates
+/// against).
+pub const ALL_RULES: &[&str] = &[
+    RULE_PROVENANCE,
+    RULE_PANIC_REACH,
+    RULE_ATOMIC_ROLE,
+    RULE_ATOMIC_ORDERING,
+    RULE_FENCE,
+    RULE_IPC_CAST,
+    RULE_INDEX_DOMAIN,
+    RULE_PROTOCOL,
+    RULE_STALE,
+];
 
 /// One analyzer finding. `line` and `suppressed_at` are 1-indexed;
 /// `chain` is the witness call chain (qualified fn names) for the
@@ -85,8 +110,17 @@ impl AnalyzeReport {
     }
 }
 
-/// Run the full pipeline over an in-memory workspace.
+/// Run the full pipeline over an in-memory workspace with the builtin
+/// domain catalog (fixture entry point).
 pub fn analyze_workspace(ws: &symbols::Workspace) -> AnalyzeReport {
+    analyze_workspace_with(ws, &domains::Catalog::builtin())
+}
+
+/// Run the full pipeline over an in-memory workspace.
+pub fn analyze_workspace_with(
+    ws: &symbols::Workspace,
+    catalog: &domains::Catalog,
+) -> AnalyzeReport {
     let cg = callgraph::build(ws);
     let ps = dataflow::panic_sources(ws);
     let it = dataflow::index_taint(ws, &cg);
@@ -98,6 +132,8 @@ pub fn analyze_workspace(ws: &symbols::Workspace) -> AnalyzeReport {
     rules::provenance(ws, &rt, &mut findings);
     rules::atomics(ws, &mut findings);
     rules::ipc_casts(ws, &cg, &it, &mut findings);
+    domains::index_domains(ws, &cg, catalog, &mut findings);
+    protocol::protocol_conformance(ws, &mut findings);
     let so_far = findings.clone();
     rules::stale_annotations(ws, &ps, &reaches_raw, &so_far, &mut findings);
 
@@ -116,10 +152,12 @@ pub fn analyze_workspace(ws: &symbols::Workspace) -> AnalyzeReport {
     }
 }
 
-/// Load the workspace from disk and analyze it.
+/// Load the workspace from disk and analyze it with the workspace's
+/// domain catalog (`crates/xtask/domain_catalog.json` when present).
 pub fn analyze_root(root: &Path) -> Result<AnalyzeReport, String> {
     let ws = symbols::Workspace::load(root)?;
-    Ok(analyze_workspace(&ws))
+    let catalog = domains::Catalog::load(root)?;
+    Ok(analyze_workspace_with(&ws, &catalog))
 }
 
 // ---------------------------------------------------------------------------
@@ -346,6 +384,27 @@ pub fn render_ndjson(report: &AnalyzeReport, ratchet: &Ratchet) -> String {
             ndjson::escape(&e.file),
             ndjson::escape(&e.salient),
             e.fingerprint,
+        ));
+    }
+    // Per-rule counts, one record per known rule in stable order, so
+    // CI can chart finding counts without re-aggregating.
+    for rule in ALL_RULES {
+        let active = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == *rule && f.suppressed_at.is_none())
+            .count();
+        let vetted = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == *rule && f.suppressed_at.is_some())
+            .count();
+        out.push_str(&format!(
+            "{{\"kind\":\"rule-count\",\"tool\":\"analyze\",\"rule\":\"{}\",\
+             \"active\":{},\"vetted\":{}}}\n",
+            ndjson::escape(rule),
+            active,
+            vetted,
         ));
     }
     let suppressed = report

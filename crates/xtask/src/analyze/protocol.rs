@@ -1,0 +1,663 @@
+//! Wire-protocol session conformance (`protocol-conformance` rule
+//! family).
+//!
+//! The shard coordinator/worker exchange is a session type in prose:
+//! request frames flow coordinator→worker (`c2w`), replies flow back
+//! (`w2c`), unsolicited `Trace` frames may interleave ahead of any
+//! reply in traced builds, and `Err` escapes the session from anywhere.
+//! This pass lifts that contract into one declared spec and checks both
+//! endpoints against it statically.
+//!
+//! The spec is a `SESSION_SPEC: &[&str]` const (the shard protocol
+//! module owns the real one) written in a line DSL the analyzer parses
+//! out of the string literals:
+//!
+//! ```text
+//! endpoint coordinator crates/shard/src/cluster.rs
+//! endpoint worker      crates/shard/src/worker.rs
+//! state    Init
+//! msg      Hello c2w Init Greeted          # frame dir from-state to-state
+//! side     Trace w2c Running AwaitReply    # unsolicited, state-preserving
+//! escape   Err w2c                         # legal anywhere, ends the session
+//! absorber recv_folding                    # fn that folds side frames out
+//! ```
+//!
+//! Checks, all vettable with `// AUDIT(protocol-ok): <why>`:
+//!
+//! * every `Msg::X { … }.send(…)` in an endpoint file must be a frame
+//!   the spec lets that endpoint send (transition, side, or escape) —
+//!   a send with no matching receive state is a finding;
+//! * every *direct* `Msg::recv` destructuring (let-else or match) that
+//!   waits on a reply must be able to absorb the side-channel frames
+//!   legal in that wait state (an explicit arm, a wildcard arm, or by
+//!   being a declared absorber fn) — `Trace`-before-reply must not
+//!   desync the session;
+//! * a declared absorber must actually fold every side frame;
+//! * wire tags (`pub const NAME: u8` in the spec's module) and spec
+//!   frames must cover each other — a tag added to `protocol.rs` but
+//!   absent from the spec is a finding, and vice versa.
+
+use super::dataflow::covering_annotation_line;
+use super::symbols::Workspace;
+use super::{Finding, RULE_PROTOCOL};
+use crate::lexer;
+use std::path::Path;
+
+#[derive(Debug, Clone)]
+pub struct Transition {
+    pub frame: String,
+    pub dir: String,
+    pub from: String,
+    pub to: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct Side {
+    pub frame: String,
+    pub dir: String,
+    /// States where the frame may interleave; empty = every state.
+    pub states: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+pub struct SessionSpec {
+    /// Index of the declaring file and 0-based declaration line.
+    pub file: usize,
+    pub line: usize,
+    /// `(role, path-suffix)`; `coordinator` sends `c2w`, `worker`
+    /// sends `w2c`.
+    pub endpoints: Vec<(String, String)>,
+    pub states: Vec<String>,
+    pub transitions: Vec<Transition>,
+    pub sides: Vec<Side>,
+    /// `(frame, dir)` escapes, legal from any state.
+    pub escapes: Vec<(String, String)>,
+    /// Fn names that fold side frames out of the stream.
+    pub absorbers: Vec<String>,
+}
+
+impl SessionSpec {
+    fn declare_state(&mut self, s: &str) {
+        if !self.states.iter().any(|x| x == s) {
+            self.states.push(s.to_string());
+        }
+    }
+
+    /// All frames the spec mentions.
+    pub fn frames(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .transitions
+            .iter()
+            .map(|t| t.frame.as_str())
+            .chain(self.sides.iter().map(|s| s.frame.as_str()))
+            .chain(self.escapes.iter().map(|(f, _)| f.as_str()))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// May endpoint-direction `dir` legally emit `frame` at all?
+    fn sendable(&self, frame: &str, dir: &str) -> bool {
+        self.transitions
+            .iter()
+            .any(|t| t.frame == frame && t.dir == dir)
+            || self.sides.iter().any(|s| s.frame == frame && s.dir == dir)
+            || self.escapes.iter().any(|(f, d)| f == frame && d == dir)
+    }
+
+    /// Side frames that may interleave while waiting for `reply`.
+    fn sides_before(&self, reply: &str, dir: &str) -> Vec<&str> {
+        let wait_states: Vec<&str> = self
+            .transitions
+            .iter()
+            .filter(|t| t.frame == reply && t.dir == dir)
+            .map(|t| t.from.as_str())
+            .collect();
+        self.sides
+            .iter()
+            .filter(|s| s.dir == dir && s.frame != reply)
+            .filter(|s| {
+                s.states.is_empty() || s.states.iter().any(|st| wait_states.contains(&st.as_str()))
+            })
+            .map(|s| s.frame.as_str())
+            .collect()
+    }
+}
+
+/// String literals on one line (the DSL lines of the spec array).
+fn string_literals(code_with_strings: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = code_with_strings.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if j < bytes.len() {
+                out.push(code_with_strings[i + 1..j].to_string());
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Find and parse the `SESSION_SPEC` const anywhere in the workspace.
+pub fn find_spec(ws: &Workspace) -> Option<SessionSpec> {
+    for (fi, sf) in ws.files.iter().enumerate() {
+        for (li, l) in sf.lines.iter().enumerate() {
+            if sf.in_test[li] || !l.code.contains("SESSION_SPEC") || !l.code.contains("const") {
+                continue;
+            }
+            let mut spec = SessionSpec {
+                file: fi,
+                line: li,
+                ..SessionSpec::default()
+            };
+            for cl in li..sf.lines.len() {
+                for lit in string_literals(&sf.lines[cl].code_with_strings) {
+                    // Strip a trailing `# comment`.
+                    let line = lit.split('#').next().unwrap_or("").trim().to_string();
+                    let words: Vec<&str> = line.split_whitespace().collect();
+                    match words.as_slice() {
+                        ["endpoint", role, path] => {
+                            spec.endpoints.push((role.to_string(), path.to_string()));
+                        }
+                        ["state", s] => spec.declare_state(s),
+                        ["msg", frame, dir, from, to] => {
+                            spec.declare_state(from);
+                            spec.declare_state(to);
+                            spec.transitions.push(Transition {
+                                frame: frame.to_string(),
+                                dir: dir.to_string(),
+                                from: from.to_string(),
+                                to: to.to_string(),
+                            });
+                        }
+                        ["side", frame, dir, states @ ..] => spec.sides.push(Side {
+                            frame: frame.to_string(),
+                            dir: dir.to_string(),
+                            states: states.iter().map(|s| s.to_string()).collect(),
+                        }),
+                        ["escape", frame, dir] => {
+                            spec.escapes.push((frame.to_string(), dir.to_string()));
+                        }
+                        ["absorber", f] => spec.absorbers.push(f.to_string()),
+                        _ => {}
+                    }
+                }
+                if sf.lines[cl].code.contains(']') && cl > li {
+                    break;
+                }
+                if cl == li && sf.lines[cl].code.contains("];") {
+                    break;
+                }
+            }
+            return Some(spec);
+        }
+    }
+    None
+}
+
+/// `MATRIX_ACK` → `MatrixAck`.
+fn camelize(tag: &str) -> String {
+    tag.split('_')
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f
+                    .to_uppercase()
+                    .chain(c.flat_map(char::to_lowercase))
+                    .collect(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+/// `Msg::<CamelName>` occurrences in one code line: `(offset, name)`.
+fn msg_tokens(code: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(p) = code[from..].find("Msg::") {
+        let at = from + p;
+        let rest = &code[at + 5..];
+        let name: String = rest
+            .chars()
+            .take_while(|&c| lexer::is_ident_char(c))
+            .collect();
+        from = at + 5 + name.len().max(1);
+        if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            out.push((at, name));
+        }
+    }
+    out
+}
+
+/// Join the statement starting at `li` (code view) until its top-level
+/// terminator, capped at 12 lines.
+fn statement_text(lines: &[lexer::LineView], li: usize) -> String {
+    let mut text = String::new();
+    let mut depth = 0i64;
+    for l in lines.iter().skip(li).take(12) {
+        for b in l.code.bytes() {
+            match b {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth -= 1,
+                b';' if depth <= 0 => {
+                    text.push(';');
+                    return text;
+                }
+                _ => {}
+            }
+            text.push(b as char);
+        }
+        text.push(' ');
+    }
+    text
+}
+
+/// Arm patterns of the `match` whose body opens at/after line `li`:
+/// `(frames, has_wildcard)`. Scans until the match's closing brace.
+fn match_arms(lines: &[lexer::LineView], li: usize) -> (Vec<String>, bool) {
+    let mut frames = Vec::new();
+    let mut wildcard = false;
+    let mut depth = 0i64;
+    let mut opened = false;
+    'outer: for l in lines.iter().skip(li).take(80) {
+        let code = &l.code;
+        if code.contains("=>") {
+            let pat = code.split("=>").next().unwrap_or("");
+            for (_, name) in msg_tokens(pat) {
+                frames.push(name);
+            }
+            let p = pat.trim();
+            // `_ =>`, `m =>`, `Ok(m) =>`, `Err(e) =>` — catch-alls.
+            if p == "_"
+                || p.chars().all(lexer::is_ident_char) && !p.is_empty() && !p.contains("Msg")
+                || (p.starts_with("Ok(") && !p.contains("Msg::"))
+                || p.starts_with("Err(")
+            {
+                wildcard = true;
+            }
+        }
+        for b in code.bytes() {
+            match b {
+                b'{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                b'}' => {
+                    depth -= 1;
+                    if opened && depth <= 0 {
+                        break 'outer;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    frames.sort_unstable();
+    frames.dedup();
+    (frames, wildcard)
+}
+
+/// Run every protocol-conformance check. Silent when the workspace
+/// declares no `SESSION_SPEC`.
+pub fn protocol_conformance(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(spec) = find_spec(ws) else {
+        return;
+    };
+    let decl_file = &ws.files[spec.file];
+
+    let finding = |file: &Path,
+                   line: usize,
+                   symbol: String,
+                   message: String,
+                   salient: String,
+                   suppressed_at: Option<usize>| Finding {
+        rule: RULE_PROTOCOL,
+        file: file.to_path_buf(),
+        line,
+        symbol,
+        message,
+        chain: Vec::new(),
+        salient,
+        suppressed_at,
+    };
+
+    for (role, path) in &spec.endpoints {
+        let (send_dir, recv_dir) = match role.as_str() {
+            "coordinator" => ("c2w", "w2c"),
+            "worker" => ("w2c", "c2w"),
+            other => {
+                out.push(finding(
+                    &decl_file.rel,
+                    spec.line + 1,
+                    "SESSION_SPEC".into(),
+                    format!(
+                        "endpoint role `{other}` is not `coordinator` or `worker` — \
+                         the analyzer cannot orient its frames"
+                    ),
+                    format!("endpoint|{other}"),
+                    None,
+                ));
+                continue;
+            }
+        };
+        let Some((fi, sf)) = ws
+            .files
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.rel.to_string_lossy().ends_with(path.as_str()))
+        else {
+            continue;
+        };
+
+        for (li, l) in sf.lines.iter().enumerate() {
+            if sf.in_test[li] {
+                continue;
+            }
+            let fn_id = ws.enclosing_fn(fi, li);
+            let qual = fn_id
+                .map(|id| ws.fns[id].qual.clone())
+                .unwrap_or_else(|| format!("{role} endpoint"));
+
+            // ---- send sites -------------------------------------------------
+            for (pos, frame) in msg_tokens(&l.code) {
+                // Pattern positions: match arm on this line, let-else /
+                // if-let destructuring, matches! test.
+                let before = &l.code[..pos];
+                let after = &l.code[pos..];
+                let is_pattern = after.contains("=>")
+                    || before.trim_end().ends_with("let")
+                    || before.contains("let Msg")
+                    || lexer::word_positions(before, "let").last().is_some()
+                    || before.contains("matches!(")
+                    || before.trim_end().ends_with("Ok(");
+                if is_pattern {
+                    continue;
+                }
+                let stmt = statement_text(&sf.lines, li);
+                let in_stmt = stmt.find("Msg::").map(|_| ()).is_some();
+                if !in_stmt || !stmt.contains(".send(") {
+                    continue;
+                }
+                if spec.sendable(&frame, send_dir) {
+                    continue;
+                }
+                let suppressed_at =
+                    covering_annotation_line(&sf.lines, li, "protocol-ok").map(|x| x + 1);
+                out.push(finding(
+                    &sf.rel,
+                    li + 1,
+                    qual.clone(),
+                    format!(
+                        "{role} sends `Msg::{frame}` but the session spec has no \
+                         receive state for a {send_dir} `{frame}` — add the \
+                         transition to SESSION_SPEC or vet with \
+                         `// AUDIT(protocol-ok): <why>`"
+                    ),
+                    format!("send|{frame}|{send_dir}|{qual}"),
+                    suppressed_at,
+                ));
+            }
+
+            // ---- direct receive sites ---------------------------------------
+            if !l.code.contains("Msg::recv(") {
+                continue;
+            }
+            let in_absorber = fn_id
+                .map(|id| spec.absorbers.contains(&ws.fns[id].name))
+                .unwrap_or(false);
+            if in_absorber {
+                // The absorber itself must fold every side frame of its
+                // direction.
+                let f = &ws.fns[fn_id.unwrap()];
+                let body: String = sf.lines[f.line..=f.end.min(sf.lines.len() - 1)]
+                    .iter()
+                    .map(|x| x.code.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                for side in spec.sides.iter().filter(|s| s.dir == recv_dir) {
+                    if body.contains(&format!("Msg::{}", side.frame)) {
+                        continue;
+                    }
+                    let suppressed_at =
+                        covering_annotation_line(&sf.lines, li, "protocol-ok").map(|x| x + 1);
+                    out.push(finding(
+                        &sf.rel,
+                        li + 1,
+                        qual.clone(),
+                        format!(
+                            "declared absorber `{}` never folds `Msg::{}` — the \
+                             side channel would leak into the collective stream",
+                            f.name, side.frame
+                        ),
+                        format!("absorber|{}|{qual}", side.frame),
+                        suppressed_at,
+                    ));
+                }
+                continue;
+            }
+            // Destructured reply frames at this direct recv.
+            let stmt = statement_text(&sf.lines, li);
+            let (replies, wildcard) = if stmt.trim_start().starts_with("match ")
+                || l.code.contains("match Msg::recv(")
+            {
+                match_arms(&sf.lines, li)
+            } else {
+                // let-else / if-let: the patterns on the statement text.
+                let pat = stmt.split('=').next().unwrap_or("");
+                let mut pats: Vec<String> = msg_tokens(pat).into_iter().map(|(_, n)| n).collect();
+                if pats.is_empty() {
+                    // Multi-line let-else: `let Msg::X { … }` opened on an
+                    // earlier line than the `Msg::recv(` call. Walk back to
+                    // the `let` that starts this binding.
+                    for back in (li.saturating_sub(6)..li).rev() {
+                        let code = &sf.lines[back].code;
+                        if code.contains(';') {
+                            break;
+                        }
+                        pats.extend(msg_tokens(code).into_iter().map(|(_, n)| n));
+                        if lexer::word_positions(code, "let").last().is_some() {
+                            break;
+                        }
+                    }
+                }
+                (pats, false)
+            };
+            let reply_frames: Vec<&String> = replies
+                .iter()
+                .filter(|r| {
+                    spec.transitions
+                        .iter()
+                        .any(|t| &t.frame == *r && t.dir == recv_dir)
+                })
+                .collect();
+            if wildcard {
+                continue;
+            }
+            for reply in &reply_frames {
+                for side in spec.sides_before(reply, recv_dir) {
+                    if replies.iter().any(|r| r == side) {
+                        continue;
+                    }
+                    let suppressed_at =
+                        covering_annotation_line(&sf.lines, li, "protocol-ok").map(|x| x + 1);
+                    out.push(finding(
+                        &sf.rel,
+                        li + 1,
+                        qual.clone(),
+                        format!(
+                            "direct `Msg::recv` waits for `{reply}` but cannot absorb \
+                             an interleaved `{side}` — route the drain through a \
+                             declared absorber or add a `{side}` arm"
+                        ),
+                        format!("absorb|{side}|{reply}|{qual}"),
+                        suppressed_at,
+                    ));
+                }
+            }
+        }
+    }
+
+    // ---- tag/spec coverage, both directions -----------------------------
+    let mut tags: Vec<(usize, String)> = Vec::new();
+    for (li, l) in decl_file.lines.iter().enumerate() {
+        if decl_file.in_test[li] {
+            continue;
+        }
+        let t = l.code.trim();
+        let Some(rest) = t
+            .strip_prefix("pub const ")
+            .or_else(|| t.strip_prefix("const "))
+        else {
+            continue;
+        };
+        let name: String = rest
+            .chars()
+            .take_while(|&c| lexer::is_ident_char(c))
+            .collect();
+        if !name.is_empty() && rest[name.len()..].trim_start().starts_with(": u8") {
+            tags.push((li, name));
+        }
+    }
+    if !tags.is_empty() {
+        let frames = spec.frames();
+        for (li, tag) in &tags {
+            let camel = camelize(tag);
+            if frames.iter().any(|f| *f == camel) {
+                continue;
+            }
+            let suppressed_at =
+                covering_annotation_line(&decl_file.lines, *li, "protocol-ok").map(|x| x + 1);
+            out.push(finding(
+                &decl_file.rel,
+                li + 1,
+                format!("tag::{tag}"),
+                format!(
+                    "wire tag `{tag}` has no frame in SESSION_SPEC — every tag \
+                     must appear in the declared session"
+                ),
+                format!("tag|{tag}"),
+                suppressed_at,
+            ));
+        }
+        for frame in frames {
+            if tags.iter().any(|(_, t)| camelize(t) == frame) {
+                continue;
+            }
+            out.push(finding(
+                &decl_file.rel,
+                spec.line + 1,
+                "SESSION_SPEC".into(),
+                format!(
+                    "SESSION_SPEC frame `{frame}` has no wire tag — the spec \
+                     drifted ahead of `mod tag`; prune or implement it"
+                ),
+                format!("spec-frame|{frame}"),
+                None,
+            ));
+        }
+    }
+}
+
+/// Render the declared session as GraphViz DOT (the CI artifact).
+pub fn render_dot(spec: &SessionSpec) -> String {
+    let mut out = String::from(
+        "// Session spec exported by `cscv-xtask analyze --protocol-dot`.\n\
+         digraph session {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
+    for s in &spec.states {
+        out.push_str(&format!("  \"{s}\";\n"));
+    }
+    for t in &spec.transitions {
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [label=\"{} {}\"];\n",
+            t.from, t.to, t.frame, t.dir
+        ));
+    }
+    for side in &spec.sides {
+        let states: Vec<&String> = if side.states.is_empty() {
+            spec.states.iter().collect()
+        } else {
+            side.states.iter().collect()
+        };
+        for s in states {
+            out.push_str(&format!(
+                "  \"{s}\" -> \"{s}\" [label=\"{} {} (side)\", style=dashed];\n",
+                side.frame, side.dir
+            ));
+        }
+    }
+    for (frame, dir) in &spec.escapes {
+        out.push_str(&format!("  \"{frame}\" [shape=octagon, style=dashed];\n"));
+        for s in &spec.states {
+            out.push_str(&format!(
+                "  \"{s}\" -> \"{frame}\" [label=\"{dir}\", style=dotted];\n"
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Load the workspace under `root` and export its session spec as DOT.
+/// `Ok(None)` when no spec is declared.
+pub fn dot_from_root(root: &Path) -> Result<Option<String>, String> {
+    let ws = Workspace::load(root)?;
+    Ok(find_spec(&ws).map(|spec| render_dot(&spec)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camelize_tags() {
+        assert_eq!(camelize("HELLO"), "Hello");
+        assert_eq!(camelize("MATRIX_ACK"), "MatrixAck");
+        assert_eq!(camelize("ERR"), "Err");
+    }
+
+    #[test]
+    fn msg_token_scan() {
+        let toks = msg_tokens("let Msg::SpmvOut { y } = Msg::recv(conn)?");
+        assert_eq!(toks.len(), 1, "recv is lowercase, not a frame: {toks:?}");
+        assert_eq!(toks[0].1, "SpmvOut");
+    }
+
+    #[test]
+    fn spec_parses_from_literals() {
+        let ws = Workspace::from_sources(&[(
+            "cscv-shard",
+            "crates/shard/src/protocol.rs",
+            "pub const SESSION_SPEC: &[&str] = &[\n\
+             \x20   \"endpoint coordinator crates/shard/src/cluster.rs\",\n\
+             \x20   \"msg Hello c2w Init Greeted\",\n\
+             \x20   \"side Trace w2c Greeted\",\n\
+             \x20   \"escape Err w2c\",\n\
+             \x20   \"absorber recv_folding\",\n\
+             ];\n",
+        )]);
+        let spec = find_spec(&ws).expect("spec found");
+        assert_eq!(spec.endpoints.len(), 1);
+        assert_eq!(spec.transitions.len(), 1);
+        assert_eq!(spec.states, vec!["Init", "Greeted"]);
+        assert_eq!(spec.sides[0].frame, "Trace");
+        assert_eq!(spec.escapes, vec![("Err".to_string(), "w2c".to_string())]);
+        assert_eq!(spec.absorbers, vec!["recv_folding"]);
+        let dot = render_dot(&spec);
+        assert!(dot.contains("\"Init\" -> \"Greeted\""));
+        assert!(dot.contains("style=dashed"));
+    }
+}

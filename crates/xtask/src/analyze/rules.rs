@@ -775,7 +775,13 @@ pub fn stale_annotations(
     findings: &[Finding],
     out: &mut Vec<Finding>,
 ) {
-    let analyze_keys = ["panic-ok", "escape-ok", "order-ok"];
+    let analyze_keys = [
+        "panic-ok",
+        "escape-ok",
+        "order-ok",
+        "domain-ok",
+        "protocol-ok",
+    ];
     let mut new: Vec<Finding> = Vec::new();
     for (fi, sf) in ws.files.iter().enumerate() {
         // Raw audit re-run for the intra-procedural keys (lazy: only

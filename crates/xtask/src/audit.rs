@@ -60,6 +60,8 @@ pub const ANNOTATION_KEYS: &[&str] = &[
     "panic-ok",
     "escape-ok",
     "order-ok",
+    "domain-ok",
+    "protocol-ok",
 ];
 
 /// Narrowing integer cast targets on a 64-bit host.

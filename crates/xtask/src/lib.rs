@@ -13,12 +13,15 @@
 //!   `// AUDIT(<key>): <why>` annotations for vetted sites.
 //! * [`analyze`] — the whole-workspace *inter-procedural* engine
 //!   (`… -- analyze`): a cross-crate call graph over the lexer's item
-//!   model feeds fixpoint dataflow for four rule families
+//!   model feeds fixpoint dataflow for six rule families
 //!   (unsafe-provenance escapes, panic-reachability with witness
 //!   chains, atomic-ordering discipline against `// ATOMIC(<role>)`
-//!   declarations, inter-procedural cast truncation) plus a
+//!   declarations, inter-procedural cast truncation, index-domain
+//!   provenance against the `DOMAIN(<d>)` typestate catalog, and
+//!   shard wire-protocol conformance against `SESSION_SPEC`) plus a
 //!   stale-annotation check; findings gate through the checked-in
-//!   ratchet baseline `crates/xtask/analyze_baseline.json`.
+//!   ratchet baseline `crates/xtask/analyze_baseline.json`, with warm
+//!   runs replayed byte-identically from `target/analyze-cache.json`.
 //! * [`fuzz`] — structure-aware differential fuzzing (`… -- fuzz`):
 //!   randomized CT geometries and degenerate matrices round-tripped
 //!   through every sparse format with invariant validation after each

@@ -41,7 +41,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cscv-xtask lint [--root DIR] [--format table|ndjson]\n\
          \x20      cscv-xtask audit [--root DIR] [--format table|ndjson]\n\
-         \x20      cscv-xtask analyze [--root DIR] [--format table|ndjson] [--baseline FILE] [--write-baseline]\n\
+         \x20      cscv-xtask analyze [--root DIR] [--format table|ndjson] [--baseline FILE] [--write-baseline] [--no-cache] [--protocol-dot FILE]\n\
          \x20      cscv-xtask fuzz [--iters N] [--seed S] [--corpus DIR]\n\
          \x20      cscv-xtask perf-report DIR [--format table|ndjson] [--peak-gbs F] [--export-dir DIR]\n\
          \x20      cscv-xtask perf-report --diff DIR_A DIR_B [--threshold F] [--format table|ndjson]\n\
@@ -60,11 +60,16 @@ fn usage() -> ExitCode {
          \x20           panic reachability from the kernel hot paths (with witness\n\
          \x20           call chains), atomic-ordering discipline against\n\
          \x20           // ATOMIC(statistic|handoff|flag) declarations, inter-\n\
-         \x20           procedural cast truncation, and stale AUDIT/ATOMIC\n\
+         \x20           procedural cast truncation, index-domain provenance against\n\
+         \x20           the // DOMAIN(<d>) catalog, wire-protocol session conformance\n\
+         \x20           against SESSION_SPEC, and stale AUDIT/ATOMIC/DOMAIN\n\
          \x20           annotations; findings ratchet against --baseline (default\n\
          \x20           <root>/crates/xtask/analyze_baseline.json) — new findings\n\
          \x20           exit 1, stale baseline entries exit 2, clean exits 0;\n\
-         \x20           --write-baseline adopts the current findings.\n\
+         \x20           --write-baseline adopts the current findings; warm runs\n\
+         \x20           replay target/analyze-cache.json byte-identically\n\
+         \x20           (--no-cache forces a cold run); --protocol-dot FILE exports\n\
+         \x20           the declared session spec as GraphViz DOT.\n\
          fuzz        structure-aware differential fuzzing: random CT geometries and\n\
          \x20           degenerate matrices round-tripped through every format with\n\
          \x20           invariant validation and executor-vs-dense checks; failures\n\
@@ -194,6 +199,8 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
     let mut format = Format::Table;
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut use_cache = true;
+    let mut protocol_dot: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -211,13 +218,39 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--write-baseline" => write_baseline = true,
+            "--no-cache" => use_cache = false,
+            "--protocol-dot" => match it.next() {
+                Some(p) => protocol_dot = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
     let baseline_path =
         baseline_path.unwrap_or_else(|| root.join("crates/xtask/analyze_baseline.json"));
-    let report = match analyze::analyze_root(&root) {
-        Ok(r) => r,
+    if let Some(dot_path) = &protocol_dot {
+        match analyze::protocol::dot_from_root(&root) {
+            Ok(Some(dot)) => {
+                if let Err(e) = std::fs::write(dot_path, dot) {
+                    eprintln!("cscv-xtask analyze: write {}: {e}", dot_path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!(
+                    "cscv-xtask analyze: wrote session-spec DOT to {}",
+                    dot_path.display()
+                );
+            }
+            Ok(None) => {
+                eprintln!("cscv-xtask analyze: no SESSION_SPEC declared — no DOT written");
+            }
+            Err(e) => {
+                eprintln!("cscv-xtask analyze: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match analyze::cache::analyze_root_cached(&root, use_cache) {
+        Ok((r, _warm)) => r,
         Err(e) => {
             eprintln!("cscv-xtask analyze: {e}");
             return ExitCode::from(2);

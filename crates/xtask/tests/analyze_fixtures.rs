@@ -11,7 +11,7 @@
 use cscv_xtask::analyze::symbols::Workspace;
 use cscv_xtask::analyze::{
     self, analyze_workspace, Baseline, Ratchet, RULE_ATOMIC_ORDERING, RULE_ATOMIC_ROLE, RULE_FENCE,
-    RULE_IPC_CAST, RULE_PANIC_REACH, RULE_PROVENANCE, RULE_STALE,
+    RULE_INDEX_DOMAIN, RULE_IPC_CAST, RULE_PANIC_REACH, RULE_PROTOCOL, RULE_PROVENANCE, RULE_STALE,
 };
 use std::path::{Path, PathBuf};
 
@@ -602,6 +602,409 @@ fn doc_comment_grammar_prose_is_not_stale() {
 }
 
 // ---------------------------------------------------------------------------
+// index-domain.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn index_domain_mismatch_fires_and_domain_ok_suppresses() {
+    let ws = Workspace::from_sources(&[(
+        "demo-a",
+        "crates/a/src/exec.rs",
+        "pub fn hot() {\n\
+         \x20   // DOMAIN(NnzIdx)\n\
+         \x20   let p = 3;\n\
+         \x20   // DOMAIN(RowId)\n\
+         \x20   let rows = vec![0.0; 8];\n\
+         \x20   let bad = rows[p];\n\
+         \x20   // AUDIT(domain-ok): nnz offsets double as row ids in this toy.\n\
+         \x20   let vetted = rows[p];\n\
+         \x20   let _ = (bad, vetted);\n\
+         }\n",
+    )]);
+    let report = analyze_workspace(&ws);
+    let hits = active(&report, RULE_INDEX_DOMAIN);
+    assert_eq!(hits.len(), 1, "{:?}", report.findings);
+    assert_eq!(hits[0].line, 6);
+    assert!(
+        hits[0].message.contains("`RowId`-indexed") && hits[0].message.contains("`NnzIdx` index"),
+        "{}",
+        hits[0].message
+    );
+    assert_eq!(suppressed(&report, RULE_INDEX_DOMAIN).len(), 1);
+    // The annotations all attached — nothing stale.
+    assert!(
+        active(&report, RULE_STALE).is_empty(),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn index_domain_translator_array_legalizes_permuted_access() {
+    let ws = Workspace::from_sources(&[(
+        "demo-a",
+        "crates/a/src/exec.rs",
+        "pub fn gather() {\n\
+         \x20   // DOMAIN(PermutedPos)\n\
+         \x20   let slot = 2;\n\
+         \x20   // DOMAIN(PermutedPos -> RowId)\n\
+         \x20   let perm = vec![0usize; 8];\n\
+         \x20   // DOMAIN(RowId)\n\
+         \x20   let rows = vec![0.0; 8];\n\
+         \x20   let r = perm[slot];\n\
+         \x20   let good = rows[r];\n\
+         \x20   let bad = rows[slot];\n\
+         \x20   let _ = (good, bad);\n\
+         }\n",
+    )]);
+    let report = analyze_workspace(&ws);
+    let hits = active(&report, RULE_INDEX_DOMAIN);
+    // Only the untranslated subscript fires; `perm[slot]` and
+    // `rows[perm[slot]]` are legal.
+    assert_eq!(hits.len(), 1, "{:?}", report.findings);
+    assert_eq!(hits[0].line, 10);
+    assert!(
+        hits[0].salient.contains("|RowId|PermutedPos|"),
+        "{}",
+        hits[0].salient
+    );
+}
+
+#[test]
+fn index_domain_offset_arithmetic_translates() {
+    let ws = Workspace::from_sources(&[(
+        "demo-a",
+        "crates/a/src/shard.rs",
+        "pub fn rebase() {\n\
+         \x20   // DOMAIN(RowId)\n\
+         \x20   let row = 9;\n\
+         \x20   // DOMAIN(RowId)\n\
+         \x20   let row0 = 4;\n\
+         \x20   // DOMAIN(ShardLocalRow)\n\
+         \x20   let local = vec![0.0; 8];\n\
+         \x20   let good = local[row - row0];\n\
+         \x20   let bad = local[row];\n\
+         \x20   let _ = (good, bad);\n\
+         }\n",
+    )]);
+    let report = analyze_workspace(&ws);
+    let hits = active(&report, RULE_INDEX_DOMAIN);
+    // `row - row0` translates RowId to ShardLocalRow per the catalog;
+    // the raw global subscript is the only finding.
+    assert_eq!(hits.len(), 1, "{:?}", report.findings);
+    assert_eq!(hits[0].line, 9);
+    assert!(
+        hits[0].salient.contains("|ShardLocalRow|RowId|"),
+        "{}",
+        hits[0].salient
+    );
+}
+
+#[test]
+fn index_domain_crosses_call_edges_with_witness_chain() {
+    let ws = Workspace::from_sources(&[
+        (
+            "demo-a",
+            "crates/a/src/ids.rs",
+            "// DOMAIN(RowId)\n\
+             pub fn first_row() -> usize {\n    0\n}\n",
+        ),
+        (
+            "demo-b",
+            "crates/b/src/exec.rs",
+            "pub fn drive() {\n\
+             \x20   let r = demo_a::ids::first_row();\n\
+             \x20   stash(r);\n\
+             }\n\
+             fn stash(r: usize) {\n\
+             \x20   // DOMAIN(NnzIdx)\n\
+             \x20   let buf = vec![0u32; 4];\n\
+             \x20   let x = buf[r];\n\
+             \x20   let _ = x;\n\
+             }\n",
+        ),
+    ]);
+    let report = analyze_workspace(&ws);
+    let hits = active(&report, RULE_INDEX_DOMAIN);
+    assert_eq!(hits.len(), 1, "{:?}", report.findings);
+    let chain = hits[0].chain.join(" -> ");
+    assert!(
+        chain.contains("first_row") && chain.contains("drive") && chain.contains("stash"),
+        "witness chain should walk producer -> caller -> subscript: {chain}"
+    );
+}
+
+#[test]
+fn index_domain_catalog_api_tags_returns() {
+    // No source annotation on the producer: the committed catalog's
+    // `layout::row_index -> RowId` suffix entry supplies the domain.
+    let ws = Workspace::from_sources(&[(
+        "demo-a",
+        "crates/a/src/layout.rs",
+        "pub fn row_index(v: usize, b: usize) -> usize {\n    v * 4 + b\n}\n\
+         pub fn use_it() {\n\
+         \x20   let r = row_index(1, 2);\n\
+         \x20   // DOMAIN(NnzIdx)\n\
+         \x20   let stream = vec![0u32; 16];\n\
+         \x20   let x = stream[r];\n\
+         \x20   let _ = x;\n\
+         }\n",
+    )]);
+    let report = analyze_workspace(&ws);
+    let hits = active(&report, RULE_INDEX_DOMAIN);
+    assert_eq!(hits.len(), 1, "{:?}", report.findings);
+    assert!(
+        hits[0].salient.contains("|NnzIdx|RowId|"),
+        "{}",
+        hits[0].salient
+    );
+}
+
+#[test]
+fn stale_domain_annotation_is_flagged() {
+    let ws = Workspace::from_sources(&[(
+        "demo-a",
+        "crates/a/src/lib.rs",
+        "// DOMAIN(RowId)\n\
+         \n\
+         pub fn unrelated() {}\n\
+         pub fn misnamed() {\n\
+         \x20   // DOMAIN(RowIdx)\n\
+         \x20   let v = vec![0; 4];\n\
+         \x20   let _ = v;\n\
+         }\n",
+    )]);
+    let report = analyze_workspace(&ws);
+    let stale: Vec<_> = active(&report, RULE_STALE)
+        .into_iter()
+        .filter(|f| f.salient.starts_with("domain|"))
+        .map(|f| f.salient.clone())
+        .collect();
+    // One unattached (blank line breaks the comment block), one naming
+    // a domain outside the catalog.
+    assert_eq!(stale.len(), 2, "{:?}", report.findings);
+    assert!(
+        stale.iter().any(|s| s.starts_with("domain|unattached|")),
+        "{stale:?}"
+    );
+    assert!(
+        stale
+            .iter()
+            .any(|s| s.starts_with("domain|unknown|RowIdx|")),
+        "{stale:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// protocol-conformance.
+// ---------------------------------------------------------------------------
+
+/// A minimal spec: coordinator requests Ping from Idle, worker replies
+/// Pong back to Idle; Trace may interleave while waiting; Err escapes.
+const TOY_SPEC: &str = "pub const SESSION_SPEC: &[&str] = &[\n\
+    \x20   \"endpoint coordinator crates/a/src/coord.rs\",\n\
+    \x20   \"endpoint worker crates/a/src/serve.rs\",\n\
+    \x20   \"msg Ping c2w Idle Waiting\",\n\
+    \x20   \"msg Pong w2c Waiting Idle\",\n\
+    \x20   \"side Trace w2c Waiting\",\n\
+    \x20   \"escape Err w2c\",\n\
+    \x20   \"absorber recv_folding\",\n\
+    ];\n";
+
+#[test]
+fn protocol_unmatched_send_fires_and_protocol_ok_suppresses() {
+    let ws = Workspace::from_sources(&[
+        ("demo-a", "crates/a/src/protocol.rs", TOY_SPEC),
+        (
+            "demo-a",
+            "crates/a/src/coord.rs",
+            "pub fn call(conn: &mut Conn) {\n\
+             \x20   Msg::Ping { n: 1 }.send(conn);\n\
+             \x20   Msg::Rogue { n: 2 }.send(conn);\n\
+             \x20   // AUDIT(protocol-ok): debug-only frame, workers ignore unknown tags.\n\
+             \x20   Msg::Probe { n: 3 }.send(conn);\n\
+             }\n",
+        ),
+    ]);
+    let report = analyze_workspace(&ws);
+    let hits = active(&report, RULE_PROTOCOL);
+    assert_eq!(hits.len(), 1, "{:?}", report.findings);
+    assert!(
+        hits[0].salient.starts_with("send|Rogue|c2w|"),
+        "{}",
+        hits[0].salient
+    );
+    assert_eq!(suppressed(&report, RULE_PROTOCOL).len(), 1);
+}
+
+#[test]
+fn protocol_worker_direction_is_oriented() {
+    // The same frame is fine from the worker (w2c) but a violation from
+    // the coordinator — direction comes from the endpoint role.
+    let ws = Workspace::from_sources(&[
+        ("demo-a", "crates/a/src/protocol.rs", TOY_SPEC),
+        (
+            "demo-a",
+            "crates/a/src/serve.rs",
+            "pub fn reply(conn: &mut Conn) {\n\
+             \x20   Msg::Pong { n: 1 }.send(conn);\n\
+             }\n",
+        ),
+        (
+            "demo-a",
+            "crates/a/src/coord.rs",
+            "pub fn confused(conn: &mut Conn) {\n\
+             \x20   Msg::Pong { n: 1 }.send(conn);\n\
+             }\n",
+        ),
+    ]);
+    let report = analyze_workspace(&ws);
+    let hits = active(&report, RULE_PROTOCOL);
+    assert_eq!(hits.len(), 1, "{:?}", report.findings);
+    assert!(
+        hits[0].salient.starts_with("send|Pong|c2w|"),
+        "{}",
+        hits[0].salient
+    );
+}
+
+#[test]
+fn protocol_direct_recv_must_absorb_trace() {
+    let ws = Workspace::from_sources(&[
+        ("demo-a", "crates/a/src/protocol.rs", TOY_SPEC),
+        (
+            "demo-a",
+            "crates/a/src/coord.rs",
+            "pub fn drain(conn: &mut Conn) -> Msg {\n\
+             \x20   let Msg::Pong { n } = Msg::recv(conn) else { panic!() };\n\
+             \x20   Msg::Pong { n }\n\
+             }\n",
+        ),
+    ]);
+    let report = analyze_workspace(&ws);
+    let hits = active(&report, RULE_PROTOCOL);
+    assert_eq!(hits.len(), 1, "{:?}", report.findings);
+    assert!(
+        hits[0].salient.starts_with("absorb|Trace|Pong|"),
+        "{}",
+        hits[0].salient
+    );
+}
+
+#[test]
+fn protocol_multiline_let_else_is_seen() {
+    // The destructuring pattern opens lines before the `Msg::recv(`
+    // call — the checker must look back to find the awaited reply.
+    let ws = Workspace::from_sources(&[
+        ("demo-a", "crates/a/src/protocol.rs", TOY_SPEC),
+        (
+            "demo-a",
+            "crates/a/src/coord.rs",
+            "pub fn drain(conn: &mut Conn) -> u64 {\n\
+             \x20   let Msg::Pong {\n\
+             \x20       n,\n\
+             \x20   } = Msg::recv(conn) else { panic!() };\n\
+             \x20   n\n\
+             }\n",
+        ),
+    ]);
+    let report = analyze_workspace(&ws);
+    let hits = active(&report, RULE_PROTOCOL);
+    assert_eq!(hits.len(), 1, "{:?}", report.findings);
+    assert!(
+        hits[0].salient.starts_with("absorb|Trace|Pong|"),
+        "{}",
+        hits[0].salient
+    );
+}
+
+#[test]
+fn protocol_absorber_is_clean_but_must_fold_every_side() {
+    let ws = Workspace::from_sources(&[
+        ("demo-a", "crates/a/src/protocol.rs", TOY_SPEC),
+        (
+            "demo-a",
+            "crates/a/src/coord.rs",
+            "pub fn recv_folding(conn: &mut Conn) -> Msg {\n\
+             \x20   loop {\n\
+             \x20       match Msg::recv(conn) {\n\
+             \x20           Msg::Trace { line } => fold(line),\n\
+             \x20           m => return m,\n\
+             \x20       }\n\
+             \x20   }\n\
+             }\n\
+             pub fn drain(conn: &mut Conn) -> Msg {\n\
+             \x20   let Msg::Pong { n } = recv_folding(conn) else { panic!() };\n\
+             \x20   Msg::Pong { n }\n\
+             }\n",
+        ),
+    ]);
+    let report = analyze_workspace(&ws);
+    assert!(
+        active(&report, RULE_PROTOCOL).is_empty(),
+        "{:?}",
+        report.findings
+    );
+
+    // Same shape, but the absorber forgets the Trace arm.
+    let ws = Workspace::from_sources(&[
+        ("demo-a", "crates/a/src/protocol.rs", TOY_SPEC),
+        (
+            "demo-a",
+            "crates/a/src/coord.rs",
+            "pub fn recv_folding(conn: &mut Conn) -> Msg {\n\
+             \x20   Msg::recv(conn)\n\
+             }\n",
+        ),
+    ]);
+    let report = analyze_workspace(&ws);
+    let hits = active(&report, RULE_PROTOCOL);
+    assert_eq!(hits.len(), 1, "{:?}", report.findings);
+    assert!(
+        hits[0].salient.starts_with("absorber|Trace|"),
+        "{}",
+        hits[0].salient
+    );
+}
+
+#[test]
+fn protocol_tag_spec_coverage_both_ways() {
+    let spec_with_tags = format!(
+        "pub mod tag {{\n\
+         \x20   pub const PING: u8 = 1;\n\
+         \x20   pub const PONG: u8 = 2;\n\
+         \x20   pub const TRACE: u8 = 16;\n\
+         \x20   pub const ERR: u8 = 255;\n\
+         \x20   pub const ROGUE: u8 = 9;\n\
+         }}\n{TOY_SPEC}"
+    );
+    let ws = Workspace::from_sources(&[("demo-a", "crates/a/src/protocol.rs", &spec_with_tags)]);
+    let report = analyze_workspace(&ws);
+    let hits: Vec<String> = active(&report, RULE_PROTOCOL)
+        .into_iter()
+        .map(|f| f.salient.clone())
+        .collect();
+    assert!(hits.contains(&"tag|ROGUE".to_string()), "{hits:?}");
+    assert!(!hits.iter().any(|s| s.starts_with("tag|PING")), "{hits:?}");
+
+    // And the reverse: a spec frame with no wire tag is drift too.
+    let spec_missing_tag = format!(
+        "pub mod tag {{\n\
+         \x20   pub const PING: u8 = 1;\n\
+         \x20   pub const TRACE: u8 = 16;\n\
+         \x20   pub const ERR: u8 = 255;\n\
+         }}\n{TOY_SPEC}"
+    );
+    let ws = Workspace::from_sources(&[("demo-a", "crates/a/src/protocol.rs", &spec_missing_tag)]);
+    let report = analyze_workspace(&ws);
+    let hits: Vec<String> = active(&report, RULE_PROTOCOL)
+        .into_iter()
+        .map(|f| f.salient.clone())
+        .collect();
+    assert!(hits.contains(&"spec-frame|Pong".to_string()), "{hits:?}");
+}
+
+// ---------------------------------------------------------------------------
 // Ratchet contract through the real binary.
 // ---------------------------------------------------------------------------
 
@@ -735,6 +1138,101 @@ fn ndjson_output_carries_fingerprints_and_summary() {
         "{text}"
     );
     assert!(lines.last().unwrap().contains("\"exit\":1"), "{text}");
+}
+
+#[test]
+fn ndjson_emits_per_rule_counts() {
+    let fx = FixtureWorkspace::new("rulecount", DIRTY_LIB);
+    let out = fx.analyze(&["--format", "ndjson"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.lines().any(|l| l.contains("\"kind\":\"rule-count\"")
+            && l.contains("\"rule\":\"atomic-role\"")
+            && l.contains("\"active\":1")),
+        "{text}"
+    );
+    // Every rule reports a count line, including silent ones.
+    for rule in ["index-domain", "protocol-conformance"] {
+        assert!(
+            text.lines().any(|l| l.contains("\"kind\":\"rule-count\"")
+                && l.contains(&format!("\"rule\":\"{rule}\""))
+                && l.contains("\"active\":0")),
+            "missing rule-count for {rule}: {text}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental cache: warm replays are byte-identical, edits invalidate.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cache_warm_run_is_byte_identical_and_edits_invalidate() {
+    let fx = FixtureWorkspace::new("cache", "pub fn tidy() {}\n");
+    let cold = fx.analyze(&[]);
+    assert_eq!(
+        cold.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&cold.stdout)
+    );
+    assert!(
+        fx.root.join("target/analyze-cache.json").exists(),
+        "cold run must persist the cache"
+    );
+    let warm = fx.analyze(&[]);
+    assert_eq!(warm.status.code(), Some(0));
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "warm replay must be byte-identical to the cold run"
+    );
+    // A source edit changes the content hash: the next run re-analyzes
+    // instead of replaying the stale result.
+    std::fs::write(fx.root.join("crates/demo/src/lib.rs"), DIRTY_LIB).unwrap();
+    let edited = fx.analyze(&[]);
+    assert_eq!(
+        edited.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&edited.stdout)
+    );
+    assert!(String::from_utf8_lossy(&edited.stdout).contains("[new] atomic-role"));
+    // --no-cache always produces the same report as the cached path.
+    let no_cache = fx.analyze(&["--no-cache"]);
+    assert_eq!(edited.stdout, no_cache.stdout);
+}
+
+// ---------------------------------------------------------------------------
+// Session-spec DOT export through the real binary.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn protocol_dot_export_writes_artifact() {
+    let fx = FixtureWorkspace::new(
+        "dot",
+        "pub const SESSION_SPEC: &[&str] = &[\n\
+         \x20   \"endpoint coordinator crates/demo/src/lib.rs\",\n\
+         \x20   \"msg Ping c2w Idle Waiting\",\n\
+         \x20   \"msg Pong w2c Waiting Idle\",\n\
+         \x20   \"side Trace w2c Waiting\",\n\
+         ];\n",
+    );
+    let dot_path = fx.root.join("session.dot");
+    let out = fx.analyze(&["--protocol-dot", dot_path.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.starts_with("// Session spec"), "{dot}");
+    assert!(dot.contains("digraph session"), "{dot}");
+    assert!(
+        dot.contains("\"Idle\" -> \"Waiting\" [label=\"Ping c2w\"]"),
+        "{dot}"
+    );
+    assert!(dot.contains("style=dashed"), "{dot}");
 }
 
 // ---------------------------------------------------------------------------
